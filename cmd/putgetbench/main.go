@@ -1,0 +1,70 @@
+// Command putgetbench regenerates the paper's figures and tables.
+//
+//	putgetbench -list
+//	putgetbench -experiment fig1a
+//	putgetbench -experiment all
+//	putgetbench -experiment fig2 -asic        # projected EXTOLL ASIC
+//	putgetbench -experiment fig1b -no-collapse # disable the P2P anomaly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"putget"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list available experiments")
+		experiment = flag.String("experiment", "", "experiment id (fig1a..table2) or 'all'")
+		asic       = flag.Bool("asic", false, "use the projected EXTOLL ASIC profile")
+		noCollapse = flag.Bool("no-collapse", false, "disable the PCIe P2P read collapse (ablation)")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	)
+	flag.Parse()
+
+	if *list || *experiment == "" {
+		fmt.Println("available experiments:")
+		for _, id := range putget.Experiments() {
+			fmt.Printf("  %s\n", id)
+		}
+		if *experiment == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	p := putget.DefaultParams()
+	if *asic {
+		p = putget.ASICParams()
+	}
+	if *noCollapse {
+		p.P2PCollapseOff = true
+	}
+
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = putget.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		var out string
+		var err error
+		if *jsonOut {
+			out, err = putget.RunExperimentJSON(id, p)
+		} else {
+			out, err = putget.RunExperiment(id, p)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		if !*jsonOut {
+			fmt.Printf("[%s completed in %.1fs wall time]\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command putgetcounters prints the paper's performance-counter analyses:
+// Table I (EXTOLL polling approaches), Table II (InfiniBand buffer
+// placement), the single-operation instruction costs of the device-side
+// verbs port, and the ablation studies quantifying the paper's §VI claims.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"putget/internal/bench"
+	"putget/internal/cluster"
+)
+
+func main() {
+	asic := flag.Bool("asic", false, "use the projected EXTOLL ASIC profile")
+	flag.Parse()
+
+	p := cluster.Default()
+	if *asic {
+		p = cluster.ASIC()
+	}
+
+	fmt.Println(bench.Table1(p).Format())
+	fmt.Println(bench.Table2(p).Format())
+
+	post, poll := bench.IBSingleOpInstr(p)
+	fmt.Printf("device-side verbs single-op costs (paper: 442 / 283):\n")
+	fmt.Printf("  ibv_post_send: %d instructions\n", post)
+	fmt.Printf("  ibv_poll_cq:   %d instructions\n\n", poll)
+
+	withOpt, withoutOpt := bench.AblationEndianness(p)
+	fmt.Printf("ablation: endianness conversion (claim 2)\n")
+	fmt.Printf("  post_send with static-field optimization:    %d instructions\n", withOpt)
+	fmt.Printf("  post_send without static-field optimization: %d instructions\n\n", withoutOpt)
+
+	ex := bench.AblationCollectivePostExtoll(p)
+	fmt.Printf("ablation: thread-collective EXTOLL WR write (claim 2)\n")
+	fmt.Printf("  single thread: %d instructions, %d PCIe write transactions\n", ex.SingleInstr, ex.SingleTxns)
+	fmt.Printf("  warp (8 lanes): %d instructions, %d PCIe write transactions\n\n", ex.CollectiveInstr, ex.CollectiveTxns)
+
+	ib := bench.AblationCollectivePostIB(p)
+	fmt.Printf("ablation: warp-cooperative WQE build (claim 2)\n")
+	fmt.Printf("  single thread: %d instructions, %d PCIe write transactions\n", ib.SingleInstr, ib.SingleTxns)
+	fmt.Printf("  warp (8 lanes): %d instructions, %d PCIe write transactions\n\n", ib.CollectiveInstr, ib.CollectiveTxns)
+
+	host, dev := bench.AblationNotifPlacement(p, 1024)
+	fmt.Printf("ablation: EXTOLL notification ring placement (claim 3, 1KiB ping-pong)\n")
+	fmt.Printf("  rings in host memory:   latency %v, %d sysmem poll reads over the measured window\n",
+		host.HalfRTT, host.Counters.SysmemReads32B)
+	fmt.Printf("  rings in device memory: latency %v, %d sysmem poll reads over the measured window\n\n",
+		dev.HalfRTT, dev.Counters.SysmemReads32B)
+
+	with, without := bench.AblationP2PCollapse(p)
+	fmt.Printf("ablation: PCIe P2P read collapse at 4MiB (Figs. 1b/4b droop)\n")
+	fmt.Printf("  with collapse:    %.0f MB/s\n", with.BytesPerSec/1e6)
+	fmt.Printf("  without collapse: %.0f MB/s\n", without.BytesPerSec/1e6)
+}

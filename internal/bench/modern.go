@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"putget/internal/cluster"
+)
+
+// ModernComparison asks the forward-looking question the reproduction
+// bands raise: with an NVSHMEM-era GPU (better single-thread issue, many
+// outstanding PCIe operations, a healed P2P path), does the paper's
+// GPU-control penalty survive? It contrasts the 2014 testbed with the
+// Modern profile on the headline metrics.
+func ModernComparison() string {
+	old := cluster.Default()
+	now := cluster.Modern()
+
+	var b strings.Builder
+	b.WriteString("2014 testbed vs NVSHMEM-era what-if (cluster.Modern)\n\n")
+	fmt.Fprintf(&b, "%-40s %10s %10s\n", "metric", "2014", "modern")
+	row := func(name string, o, n float64, unit string) {
+		fmt.Fprintf(&b, "%-40s %10.4g %10.4g  %s\n", name, o, n, unit)
+	}
+
+	row("EXTOLL direct 16B latency",
+		ExtollPingPong(old, ExtDirect, 16, 10, 2).HalfRTT.Microseconds(),
+		ExtollPingPong(now, ExtDirect, 16, 10, 2).HalfRTT.Microseconds(), "us")
+	row("EXTOLL host 16B latency",
+		ExtollPingPong(old, ExtHostControlled, 16, 10, 2).HalfRTT.Microseconds(),
+		ExtollPingPong(now, ExtHostControlled, 16, 10, 2).HalfRTT.Microseconds(), "us")
+	row("IB bufOnGPU 16B latency",
+		IBPingPong(old, IBBufOnGPU, 16, 10, 2).HalfRTT.Microseconds(),
+		IBPingPong(now, IBBufOnGPU, 16, 10, 2).HalfRTT.Microseconds(), "us")
+	row("IB host 16B latency",
+		IBPingPong(old, IBHostControlled, 16, 10, 2).HalfRTT.Microseconds(),
+		IBPingPong(now, IBHostControlled, 16, 10, 2).HalfRTT.Microseconds(), "us")
+	row("EXTOLL 4MiB bandwidth",
+		ExtollStream(old, ExtHostControlled, 4<<20, 6).BytesPerSec/1e6,
+		ExtollStream(now, ExtHostControlled, 4<<20, 6).BytesPerSec/1e6, "MB/s")
+	row("EXTOLL blocks msg rate, 32 pairs",
+		ExtollMessageRate(old, RateBlocks, 32, 80).MsgsPerSec,
+		ExtollMessageRate(now, RateBlocks, 32, 80).MsgsPerSec, "msgs/s")
+	row("IB blocks msg rate, 32 QPs",
+		IBMessageRate(old, RateBlocks, 32, 80).MsgsPerSec,
+		IBMessageRate(now, RateBlocks, 32, 80).MsgsPerSec, "msgs/s")
+
+	oldGap := float64(ExtollPingPong(old, ExtDirect, 16, 10, 2).HalfRTT) /
+		float64(ExtollPingPong(old, ExtHostControlled, 16, 10, 2).HalfRTT)
+	newGap := float64(ExtollPingPong(now, ExtDirect, 16, 10, 2).HalfRTT) /
+		float64(ExtollPingPong(now, ExtHostControlled, 16, 10, 2).HalfRTT)
+	fmt.Fprintf(&b, "\nEXTOLL GPU/host latency gap: %.2fx (2014) -> %.2fx (modern)\n", oldGap, newGap)
+	b.WriteString("Better GPUs and a healed P2P path shrink the penalty but do not\n")
+	b.WriteString("erase it while descriptors are built by one thread and completions\n")
+	b.WriteString("live in host memory — which is why NVSHMEM adopted exactly the\n")
+	b.WriteString("paper's claims (device-side collective interfaces, GPU-resident\n")
+	b.WriteString("completion state).\n")
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"putget/internal/cluster"
+	"putget/internal/gpusim"
+	"putget/internal/msg"
+	"putget/internal/sim"
+)
+
+// MsgPingPong measures a two-sided (tagged send/recv) ping-pong between
+// the GPUs over InfiniBand — the hybrid-model baseline of §II-B, with tag
+// matching and eager buffering on the critical path.
+func MsgPingPong(p cluster.Params, size, iters, warmup int) LatencyResult {
+	pf := fitParams(p, uint64(size)*4+(8<<20))
+	ea, eb, tb := msg.NewPair(pf)
+	defer tb.Shutdown()
+	src := tb.A.AllocDev(uint64(size) + 64)
+	dst := tb.A.AllocDev(uint64(size) + 64)
+	bsrc := tb.B.AllocDev(uint64(size) + 64)
+	bdst := tb.B.AllocDev(uint64(size) + 64)
+	total := warmup + iters
+
+	var tStart, tEnd sim.Time
+	da := tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1, ThreadsPerBlock: 32}, func(w *gpusim.Warp) {
+		for i := 1; i <= total; i++ {
+			if i == warmup+1 {
+				tStart = w.Now()
+			}
+			ea.DevSend(w, 1, src, size)
+			ea.DevRecv(w, 2, dst, size+64)
+		}
+		tEnd = w.Now()
+	})
+	db := tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1, ThreadsPerBlock: 32}, func(w *gpusim.Warp) {
+		for i := 1; i <= total; i++ {
+			eb.DevRecv(w, 1, bdst, size+64)
+			eb.DevSend(w, 2, bsrc, size)
+		}
+	})
+	tb.E.Run()
+	if !da.Done() || !db.Done() {
+		panic("bench: msg ping-pong deadlocked")
+	}
+	return LatencyResult{
+		Size:    size,
+		Iters:   iters,
+		HalfRTT: tEnd.Sub(tStart) / sim.Duration(2*iters),
+	}
+}
+
+// MsgVsPut contrasts two-sided send/recv with one-sided put latency at a
+// few sizes, quantifying §II-B: "This normally adds a lot of overhead to
+// the communication, due to tag matching or data buffering."
+func MsgVsPut(p cluster.Params) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "two-sided send/recv vs one-sided put (GPU-controlled, one-way latency)\n\n")
+	fmt.Fprintf(&b, "%-10s %16s %16s %10s\n", "size[B]", "send/recv [us]", "put [us]", "overhead")
+	for _, size := range []int{16, 1024, 4096, 65536} {
+		two := MsgPingPong(p, size, 8, 2).HalfRTT.Microseconds()
+		one := IBPingPong(p, IBBufOnGPU, size, 8, 2).HalfRTT.Microseconds()
+		fmt.Fprintf(&b, "%-10d %16.2f %16.2f %9.0f%%\n", size, two, one, (two/one-1)*100)
+	}
+	b.WriteString("\n(eager copies and tag matching inflate small/mid sizes; the\n")
+	b.WriteString(" rendezvous protocol amortizes at 64KiB — §II-B quantified)\n")
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"testing"
+
+	"putget/internal/cluster"
+	"putget/internal/core"
+	"putget/internal/extoll"
+	"putget/internal/gpusim"
+	"putget/internal/ibsim"
+	"putget/internal/memspace"
+	"putget/internal/sim"
+)
+
+// Saturation and robustness tests: drive the full stacks much harder than
+// the paper's benchmarks and assert nothing is lost, duplicated or
+// deadlocked.
+
+func TestExtollBidirectionalSaturation(t *testing.T) {
+	// Both GPUs stream at each other simultaneously on separate ports;
+	// every payload must arrive intact despite shared wire/datapath.
+	p := cluster.Default()
+	r := newExtollRig(p, 1<<20)
+	r.openPorts(2)
+	r.fillPayload(64 << 10)
+	const msgs = 24
+	mask := seqMask(64 << 10)
+	off := memspace.Addr(stampOff(64 << 10))
+
+	// A sends on port 0, B sends on port 1, concurrently.
+	doneA := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		for i := 1; i <= msgs; i++ {
+			w.StGlobalU64(r.aSend+off, uint64(i))
+			r.ra.DevPut(w, 0, r.aSendN, r.bRecvN, 64<<10, extoll.FlagReqNotif)
+			r.ra.DevWaitNotif(w, 0, extoll.ClassRequester)
+		}
+	})
+	doneB := r.tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		for i := 1; i <= msgs; i++ {
+			w.StGlobalU64(r.bSend+off, uint64(i))
+			r.rb.DevPut(w, 1, r.bSendN, r.aRecvN, 64<<10, extoll.FlagReqNotif)
+			r.rb.DevWaitNotif(w, 1, extoll.ClassRequester)
+		}
+	})
+	// Receivers poll for the final sequence numbers.
+	sawA := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		w.PollGlobalU64Masked(r.aRecv+off, uint64(msgs)&mask, mask)
+	})
+	sawB := r.tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		w.PollGlobalU64Masked(r.bRecv+off, uint64(msgs)&mask, mask)
+	})
+	r.tb.E.Run()
+	for _, d := range []*sim.Completion{doneA, doneB, sawA, sawB} {
+		mustDone(d, "bidirectional saturation")
+	}
+	if r.tb.A.Extoll.Stats().PutsSent != msgs || r.tb.B.Extoll.Stats().PutsSent != msgs {
+		t.Fatalf("puts lost: %d / %d", r.tb.A.Extoll.Stats().PutsSent, r.tb.B.Extoll.Stats().PutsSent)
+	}
+	if r.tb.A.Extoll.Stats().NotificationOverflows+r.tb.B.Extoll.Stats().NotificationOverflows != 0 {
+		t.Fatal("notification overflow under saturation")
+	}
+}
+
+func TestExtollAllPortsConcurrently(t *testing.T) {
+	// Every port pair carries traffic at once; per-port notification
+	// rings must stay isolated.
+	p := cluster.Default()
+	const pairs = 16
+	const perPair = 30
+	res := ExtollMessageRate(p, RateBlocks, pairs, perPair)
+	if res.Messages != pairs*perPair {
+		t.Fatalf("messages = %d", res.Messages)
+	}
+	if res.MsgsPerSec <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestIBManyQPsInterleavedTraffic(t *testing.T) {
+	// 8 QPs posting interleaved writes with shared CQs per QP; all must
+	// complete without cross-QP corruption.
+	p := cluster.Default()
+	tb := cluster.NewIBPair(fitParams(p, 1<<20))
+	va, vb := core.NewVerbs(tb.A), core.NewVerbs(tb.B)
+	const qps = 8
+	const per = 25
+	type pair struct{ qa *core.VQP }
+	var qpairs []pair
+	for q := 0; q < qps; q++ {
+		qa := va.CreateQP(64, 16, 64, false)
+		qb := vb.CreateQP(64, 16, 64, false)
+		core.ConnectVQPs(qa, qb)
+		qpairs = append(qpairs, pair{qa: qa})
+	}
+	src := tb.A.AllocDev(4096)
+	dst := tb.B.AllocDev(uint64(qps * per * 8))
+	srcMR := va.RegMR(src, 4096)
+	dstMR := vb.RegMR(dst, uint64(qps*per*8))
+
+	done := tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: qps}, func(w *gpusim.Warp) {
+		q := w.Block
+		for i := 0; i < per; i++ {
+			w.StGlobalU64(src, uint64(q*1000+i)) // racy across blocks; value unused
+			va.DevPostSend(w, qpairs[q].qa, ibsim.WQE{
+				Opcode: ibsim.OpRDMAWrite, Flags: ibsim.FlagSignaled, WRID: uint64(i),
+				LAddr: uint64(src), LKey: srcMR.LKey, Length: 8,
+				RAddr: uint64(dst) + uint64((q*per+i)*8), RKey: dstMR.RKey,
+			})
+			va.DevPollCQ(w, qpairs[q].qa.SendCQ)
+		}
+	})
+	tb.E.Run()
+	mustDone(done, "interleaved QP traffic")
+	if got := tb.B.IB.Stats().PacketsRx; got != qps*per {
+		t.Fatalf("received %d of %d packets", got, qps*per)
+	}
+	if tb.A.IB.Stats().ProtectionErrs+tb.B.IB.Stats().ProtectionErrs != 0 {
+		t.Fatal("protection errors under load")
+	}
+	if tb.A.IB.Stats().CQOverflows != 0 {
+		t.Fatal("CQ overflow under load")
+	}
+}
+
+func TestLongRunNotificationRingWrap(t *testing.T) {
+	// More messages than ring entries: the consumed-and-freed ring must
+	// wrap indefinitely without overflow.
+	p := cluster.Default()
+	p.ExtNotifEntries = 32 // tiny ring
+	r := newExtollRig(p, 4096)
+	r.openPorts(1)
+	r.fillPayload(64)
+	const msgs = 200 // > 6 ring wraps
+	done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		for i := 0; i < msgs; i++ {
+			r.ra.DevPut(w, 0, r.aSendN, r.bRecvN, 64, extoll.FlagReqNotif)
+			r.ra.DevWaitNotif(w, 0, extoll.ClassRequester)
+		}
+	})
+	r.tb.E.Run()
+	mustDone(done, "ring wrap run")
+	st := r.tb.A.Extoll.Stats()
+	if st.NotificationOverflows != 0 {
+		t.Fatalf("overflows on a consumed ring: %d", st.NotificationOverflows)
+	}
+	if st.NotificationsWritten != msgs {
+		t.Fatalf("notifications = %d, want %d", st.NotificationsWritten, msgs)
+	}
+}

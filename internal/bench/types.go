@@ -1,0 +1,156 @@
+// Package bench implements the paper's microbenchmarks — ping-pong
+// latency, streaming bandwidth, sustained message rate, and the
+// performance-counter analyses — for both fabrics and all control modes,
+// plus the experiment drivers that regenerate every figure and table of
+// the evaluation section.
+package bench
+
+import (
+	"fmt"
+
+	"putget/internal/gpusim"
+	"putget/internal/sim"
+)
+
+// ExtollMode selects the control path for EXTOLL experiments (§V-A).
+type ExtollMode int
+
+const (
+	// ExtDirect posts WRs from the GPU and polls notifications in system
+	// memory (dev2dev-direct).
+	ExtDirect ExtollMode = iota
+	// ExtPollOnGPU posts WRs from the GPU and polls the last received
+	// element in device memory (dev2dev-pollOnGPU).
+	ExtPollOnGPU
+	// ExtAssisted has the GPU trigger the CPU through a host-memory flag;
+	// the CPU performs the transfer (dev2dev-assisted).
+	ExtAssisted
+	// ExtHostControlled keeps all control flow on the CPU
+	// (dev2dev-hostControlled); data still moves GPU-to-GPU.
+	ExtHostControlled
+)
+
+// String implements fmt.Stringer with the paper's series names.
+func (m ExtollMode) String() string {
+	switch m {
+	case ExtDirect:
+		return "dev2dev-direct"
+	case ExtPollOnGPU:
+		return "dev2dev-pollOnGPU"
+	case ExtAssisted:
+		return "dev2dev-assisted"
+	case ExtHostControlled:
+		return "dev2dev-hostControlled"
+	}
+	return fmt.Sprintf("ExtollMode(%d)", int(m))
+}
+
+// IBMode selects the control path for InfiniBand experiments (§V-B).
+type IBMode int
+
+const (
+	// IBBufOnGPU: GPU-controlled, queues in GPU device memory.
+	IBBufOnGPU IBMode = iota
+	// IBBufOnHost: GPU-controlled, queues in host memory.
+	IBBufOnHost
+	// IBAssisted: GPU triggers the CPU via a flag.
+	IBAssisted
+	// IBHostControlled: CPU-controlled with write-with-immediate.
+	IBHostControlled
+)
+
+// String implements fmt.Stringer with the paper's series names.
+func (m IBMode) String() string {
+	switch m {
+	case IBBufOnGPU:
+		return "dev2dev-bufOnGPU"
+	case IBBufOnHost:
+		return "dev2dev-bufOnHost"
+	case IBAssisted:
+		return "dev2dev-assisted"
+	case IBHostControlled:
+		return "dev2dev-hostControlled"
+	}
+	return fmt.Sprintf("IBMode(%d)", int(m))
+}
+
+// RateMethod selects how the message-rate agents are organized (§V-A.2).
+type RateMethod int
+
+const (
+	// RateBlocks: one kernel, one CUDA block per connection pair.
+	RateBlocks RateMethod = iota
+	// RateKernels: one single-block kernel per pair, on its own stream.
+	RateKernels
+	// RateAssisted: GPU blocks trigger one shared CPU service thread.
+	RateAssisted
+	// RateHostControlled: one CPU thread drives all pairs.
+	RateHostControlled
+)
+
+// String implements fmt.Stringer with the paper's series names.
+func (m RateMethod) String() string {
+	switch m {
+	case RateBlocks:
+		return "dev2dev-blocks"
+	case RateKernels:
+		return "dev2dev-kernels"
+	case RateAssisted:
+		return "dev2dev-assisted"
+	case RateHostControlled:
+		return "dev2dev-hostControlled"
+	}
+	return fmt.Sprintf("RateMethod(%d)", int(m))
+}
+
+// LatencyResult is one ping-pong measurement point.
+type LatencyResult struct {
+	Size     int
+	Iters    int
+	HalfRTT  sim.Duration // mean one-way latency
+	PutTime  sim.Duration // mean per-iteration WR-generation time (origin)
+	PollTime sim.Duration // mean per-iteration completion-wait time (origin)
+	Counters gpusim.Counters
+}
+
+// Ratio returns PollTime/PutTime — the decomposition of Fig. 3.
+func (r LatencyResult) Ratio() float64 {
+	if r.PutTime <= 0 {
+		return 0
+	}
+	return float64(r.PollTime) / float64(r.PutTime)
+}
+
+// BandwidthResult is one streaming measurement point.
+type BandwidthResult struct {
+	Size     int
+	Messages int
+	Elapsed  sim.Duration
+	// BytesPerSec is payload throughput observed at the receiver.
+	BytesPerSec float64
+}
+
+// RateResult is one message-rate measurement point.
+type RateResult struct {
+	Pairs      int
+	Messages   int
+	Elapsed    sim.Duration
+	MsgsPerSec float64
+}
+
+// seqMask returns the comparison mask for a size-byte sequence stamp.
+func seqMask(size int) uint64 {
+	if size >= 8 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (8 * uint(size))) - 1
+}
+
+// stampOff returns the in-buffer offset of the 8-byte stamp word for a
+// message of the given size (the last full word, or 0 for tiny messages).
+func stampOff(size int) int {
+	if size >= 8 {
+		return size - 8
+	}
+	return 0
+}

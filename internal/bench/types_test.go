@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"putget/internal/cluster"
+	"putget/internal/sim"
+)
+
+func TestSeqMask(t *testing.T) {
+	cases := []struct {
+		size int
+		want uint64
+	}{
+		{1, 0xff},
+		{2, 0xffff},
+		{4, 0xffffffff},
+		{7, 0xffffffffffffff},
+		{8, ^uint64(0)},
+		{1024, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := seqMask(c.size); got != c.want {
+			t.Errorf("seqMask(%d) = %#x, want %#x", c.size, got, c.want)
+		}
+	}
+}
+
+func TestStampOff(t *testing.T) {
+	if stampOff(4) != 0 || stampOff(8) != 0 || stampOff(9) != 1 || stampOff(1024) != 1016 {
+		t.Fatalf("stampOff wrong: %d %d %d %d", stampOff(4), stampOff(8), stampOff(9), stampOff(1024))
+	}
+}
+
+// Property: a sequence number below the mask always round-trips through
+// stamp-and-mask comparison.
+func TestSeqMaskProperty(t *testing.T) {
+	f := func(size uint8, seq uint16) bool {
+		s := int(size%16) + 1
+		m := seqMask(s)
+		v := uint64(seq) & m
+		return v&m == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyResultRatio(t *testing.T) {
+	r := LatencyResult{PutTime: 100, PollTime: 1000}
+	if r.Ratio() != 10 {
+		t.Fatalf("Ratio = %v", r.Ratio())
+	}
+	if (LatencyResult{}).Ratio() != 0 {
+		t.Fatal("zero put time should yield ratio 0")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ExtDirect.String() != "dev2dev-direct" || ExtHostControlled.String() != "dev2dev-hostControlled" {
+		t.Fatal("EXTOLL mode names wrong")
+	}
+	if IBBufOnGPU.String() != "dev2dev-bufOnGPU" || IBAssisted.String() != "dev2dev-assisted" {
+		t.Fatal("IB mode names wrong")
+	}
+	if RateKernels.String() != "dev2dev-kernels" {
+		t.Fatal("rate method names wrong")
+	}
+	if !strings.HasPrefix(ExtollMode(99).String(), "ExtollMode(") {
+		t.Fatal("unknown mode should degrade gracefully")
+	}
+}
+
+func TestFigureFormatAligned(t *testing.T) {
+	f := Figure{
+		ID: "X", Title: "test", XLabel: "size", YLabel: "stuff",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Label: "b", X: []float64{2, 4}, Y: []float64{30, 40}},
+		},
+	}
+	out := f.Format()
+	if !strings.Contains(out, "X: test") || !strings.Contains(out, "stuff") {
+		t.Fatalf("format missing headers:\n%s", out)
+	}
+	// x=1 exists only in series a: series b's cell must be "-".
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1 ") || strings.HasPrefix(l, "1\t") || strings.HasPrefix(l, "1  ") {
+			if !strings.Contains(l, "-") {
+				t.Fatalf("missing-point marker absent in %q", l)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("x=1 row missing:\n%s", out)
+	}
+}
+
+func TestFigureJSONParses(t *testing.T) {
+	f := Figure{ID: "J", Series: []Series{{Label: "s", X: []float64{1}, Y: []float64{2}}}}
+	j := f.JSON()
+	if !strings.Contains(j, `"Label": "s"`) {
+		t.Fatalf("JSON missing series label: %s", j)
+	}
+}
+
+func TestExperimentLookup(t *testing.T) {
+	for _, id := range []string{"fig1a", "table2", "asic", "msgcmp", "claims"} {
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+	}
+	if _, ok := Lookup("bogus"); ok {
+		t.Fatal("bogus experiment found")
+	}
+}
+
+func TestLatencyItersScale(t *testing.T) {
+	i1, w1 := latencyIters(64)
+	i2, w2 := latencyIters(64 << 20)
+	if i1 <= i2 || w1 <= w2 {
+		t.Fatalf("large sizes should use fewer iterations: (%d,%d) vs (%d,%d)", i1, w1, i2, w2)
+	}
+}
+
+func TestStreamMessagesBounds(t *testing.T) {
+	if streamMessages(1) != 192 {
+		t.Fatalf("tiny messages should cap at 192, got %d", streamMessages(1))
+	}
+	if streamMessages(64<<20) != 6 {
+		t.Fatalf("huge messages should floor at 6, got %d", streamMessages(64<<20))
+	}
+}
+
+func TestClaimsReportRuns(t *testing.T) {
+	out := ClaimsReport(cluster.Default())
+	for _, needle := range []string{"claim 1", "claim 2", "claim 3", "immediate put"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("claims report missing %q", needle)
+		}
+	}
+}
+
+func TestImmPutGainPositive(t *testing.T) {
+	if g := measureImmPutGain(cluster.Default()); g <= 0 {
+		t.Fatalf("immediate put gain = %.3f us, want positive", g)
+	}
+}
+
+func TestFitParamsShrinksOnly(t *testing.T) {
+	p := cluster.Default()
+	small := fitParams(p, 1024)
+	if small.GPUDevMemSize > p.GPUDevMemSize {
+		t.Fatal("fitParams grew device memory")
+	}
+	huge := fitParams(p, 1<<30)
+	if huge.GPUDevMemSize != p.GPUDevMemSize {
+		t.Fatal("fitParams should not shrink below the requirement")
+	}
+	_ = sim.Time(0)
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+
+	"putget/internal/extoll"
+	"putget/internal/gpusim"
+	"putget/internal/hostsim"
+	"putget/internal/ibsim"
+	"putget/internal/memspace"
+	"putget/internal/pcie"
+	"putget/internal/sim"
+	"putget/internal/wire"
+)
+
+// Node is one machine: CPU + host RAM + GPU + (at most one) NIC on a
+// private PCIe fabric.
+type Node struct {
+	Name    string
+	E       *sim.Engine
+	Space   *memspace.Space
+	Fabric  *pcie.Fabric
+	CPU     *hostsim.CPU
+	GPU     *gpusim.GPU
+	HostRAM memspace.Region
+
+	Extoll *extoll.NIC // nil on IB testbeds
+	IB     *ibsim.HCA  // nil on EXTOLL testbeds
+
+	hostBrk memspace.Addr // bump allocator for host RAM
+	devBrk  memspace.Addr // bump allocator for device memory
+}
+
+// p2pReadRate builds the GPU's inbound read-service curve.
+func p2pReadRate(p Params) func(total int) float64 {
+	return func(total int) float64 {
+		if !p.P2PCollapseOff && total > p.P2PCollapseBytes {
+			return p.P2PReadLarge
+		}
+		return p.P2PReadSmall
+	}
+}
+
+// newNode builds one node without a NIC.
+func newNode(e *sim.Engine, name string, p Params) *Node {
+	space := memspace.NewSpace()
+	host := space.MustMap(HostRAMBase, memspace.NewRAM(name+".host", p.HostRAMSize))
+	f := pcie.NewFabric(e, space)
+	hostEP := f.AddEndpoint(name+".hostmem", pcie.EndpointConfig{
+		EgressRate: p.HostEgress, OneWay: p.HostOneWay, ReadLatency: p.HostReadLat,
+	})
+	f.ClaimRAM(hostEP, host)
+	cpu := hostsim.New(e, f, hostsim.Config{
+		Name:          name + ".cpu",
+		MemLatency:    p.HostMemLat,
+		MMIOWriteCost: p.CPUMMIO,
+		WRGenCost:     p.CPUWRGen,
+		HostRAM:       host,
+		PCIe: pcie.EndpointConfig{
+			EgressRate: p.CPUEgress, OneWay: p.CPUOneWay, ReadLatency: 100 * sim.Nanosecond,
+		},
+	})
+	hostEP.OnInboundWrite = func(addr memspace.Addr, n int) { cpu.NotifyInboundWrite() }
+	gpu := gpusim.New(e, f, gpusim.Config{
+		Name:           name + ".gpu",
+		SMs:            p.GPUSMs,
+		IssueCost:      p.GPUIssue,
+		IssueShare:     p.GPUIssueShare,
+		L2HitLatency:   p.GPUL2Hit,
+		DevMemLatency:  p.GPUDevMemLat,
+		PCIeOpOverhead: p.GPUPCIeOp,
+		PCIeSlots:      p.GPUPCIeSlots,
+		PollLoopStall:  p.GPUPollStall,
+		LaunchOverhead: p.GPULaunch,
+		L2Bytes:        p.GPUL2Bytes,
+		L2Assoc:        p.GPUL2Assoc,
+		L2Sector:       p.GPUL2Sector,
+		DevMemBase:     DevMemBase,
+		DevMemSize:     p.GPUDevMemSize,
+		PCIe: pcie.EndpointConfig{
+			EgressRate:  p.GPUEgress,
+			OneWay:      p.GPUOneWay,
+			ReadLatency: p.GPUReadLat,
+			ReadRate:    p2pReadRate(p),
+		},
+	})
+	return &Node{
+		Name: name, E: e, Space: space, Fabric: f,
+		CPU: cpu, GPU: gpu, HostRAM: host,
+		// Keep low host RAM for queues/flags; the notification area and a
+		// generous slice above it are reserved.
+		hostBrk: NotifArea + 0x0100_0000,
+		devBrk:  DevMemBase,
+	}
+}
+
+// AllocHost carves n bytes (64-byte aligned) out of host RAM.
+func (n *Node) AllocHost(size uint64) memspace.Addr {
+	a := (n.hostBrk + 63) &^ 63
+	n.hostBrk = a + memspace.Addr(size)
+	if n.hostBrk > n.HostRAM.End() {
+		panic(fmt.Sprintf("cluster: %s: host RAM exhausted", n.Name))
+	}
+	return a
+}
+
+// AllocDev carves n bytes (256-byte aligned) out of GPU device memory.
+func (n *Node) AllocDev(size uint64) memspace.Addr {
+	a := (n.devBrk + 255) &^ 255
+	n.devBrk = a + memspace.Addr(size)
+	if uint64(n.devBrk) > uint64(DevMemBase)+n.GPU.DevMem().Size {
+		panic(fmt.Sprintf("cluster: %s: device memory exhausted", n.Name))
+	}
+	return a
+}
+
+// Testbed is a two-node cluster joined by one cable.
+type Testbed struct {
+	E      *sim.Engine
+	A, B   *Node
+	Params Params
+}
+
+// Shutdown terminates the testbed's parked processes (NIC engines, stream
+// runners) so their goroutines exit; call it when done with the testbed.
+func (t *Testbed) Shutdown() { t.E.Shutdown() }
+
+// NewExtollPair builds the EXTOLL testbed: two nodes with Galibier NICs.
+func NewExtollPair(p Params) *Testbed {
+	e := sim.NewEngine()
+	a := newNode(e, "a", p)
+	b := newNode(e, "b", p)
+	notifBase := NotifArea
+	if p.ExtNotifInDevMem {
+		// Carve the rings out of the top of device memory (the heap
+		// allocator grows from the bottom).
+		notifBase = DevMemBase + memspace.Addr(p.GPUDevMemSize-(32<<20))
+	}
+	for _, n := range []*Node{a, b} {
+		n.Extoll = extoll.New(e, n.Fabric, extoll.Config{
+			Name:          n.Name + ".rma",
+			ClockHz:       p.ExtClock,
+			DatapathBytes: p.ExtDatapath,
+			ReqCycles:     p.ExtReqCycles,
+			CompCycles:    p.ExtCompCycles,
+			RespCycles:    p.ExtRespCycles,
+			NumPorts:      p.ExtPorts,
+			BARBase:       ExtollBAR,
+			NotifBase:     notifBase,
+			NotifEntries:  p.ExtNotifEntries,
+			DMAContexts:   p.ExtDMACtx,
+			PCIe: pcie.EndpointConfig{
+				EgressRate: p.ExtEgress, OneWay: p.ExtOneWay, ReadLatency: p.ExtReadLat,
+			},
+		})
+	}
+	ab, ba := wire.NewDuplex[extoll.Packet](e, p.ExtWireBW, p.ExtWireLat)
+	a.Extoll.AttachWire(ab, ba)
+	b.Extoll.AttachWire(ba, ab)
+	return &Testbed{E: e, A: a, B: b, Params: p}
+}
+
+// NewIBPair builds the InfiniBand testbed: two nodes with FDR HCAs.
+func NewIBPair(p Params) *Testbed {
+	e := sim.NewEngine()
+	a := newNode(e, "a", p)
+	b := newNode(e, "b", p)
+	for _, n := range []*Node{a, b} {
+		n.IB = ibsim.New(e, n.Fabric, ibsim.Config{
+			Name:          n.Name + ".hca",
+			BARBase:       IBBAR,
+			WQEFetchBatch: p.IBFetchBatch,
+			ProcessTime:   p.IBProc,
+			RxProcessTime: p.IBRxProc,
+			DMAContexts:   p.IBDMACtx,
+			PCIe: pcie.EndpointConfig{
+				EgressRate: p.IBEgress, OneWay: p.IBOneWay, ReadLatency: p.IBReadLat,
+			},
+		})
+	}
+	ab, ba := wire.NewDuplex[ibsim.Packet](e, p.IBWireBW, p.IBWireLat)
+	a.IB.AttachWire(ab, ba)
+	b.IB.AttachWire(ba, ab)
+	return &Testbed{E: e, A: a, B: b, Params: p}
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"testing"
+
+	"putget/internal/sim"
+)
+
+func TestExtollPairConstructs(t *testing.T) {
+	tb := NewExtollPair(Default())
+	if tb.A.Extoll == nil || tb.B.Extoll == nil {
+		t.Fatal("EXTOLL NICs missing")
+	}
+	if tb.A.IB != nil {
+		t.Fatal("unexpected IB HCA on EXTOLL testbed")
+	}
+	if tb.A.GPU == nil || tb.A.CPU == nil {
+		t.Fatal("node incomplete")
+	}
+	// The notification area must fit below the host allocator floor.
+	area := tb.A.Extoll.NotifRingArea()
+	if floor := tb.A.AllocHost(64); uint64(NotifArea)+area > uint64(floor) {
+		t.Fatalf("notification rings (%d bytes) collide with heap floor %#x", area, uint64(floor))
+	}
+}
+
+func TestIBPairConstructs(t *testing.T) {
+	tb := NewIBPair(Default())
+	if tb.A.IB == nil || tb.B.IB == nil {
+		t.Fatal("HCAs missing")
+	}
+	if tb.A.Extoll != nil {
+		t.Fatal("unexpected EXTOLL NIC on IB testbed")
+	}
+}
+
+func TestAllocatorsAlignAndAdvance(t *testing.T) {
+	tb := NewExtollPair(Default())
+	h1 := tb.A.AllocHost(100)
+	h2 := tb.A.AllocHost(100)
+	if h1%64 != 0 || h2%64 != 0 {
+		t.Fatal("host allocations unaligned")
+	}
+	if h2 <= h1 || uint64(h2-h1) < 100 {
+		t.Fatal("host allocations overlap")
+	}
+	d1 := tb.A.AllocDev(1000)
+	d2 := tb.A.AllocDev(1000)
+	if d1%256 != 0 || d2 <= d1 {
+		t.Fatal("dev allocations wrong")
+	}
+	if !tb.A.GPU.DevMem().Contains(d1) {
+		t.Fatal("dev allocation outside device memory")
+	}
+	if !tb.A.HostRAM.Contains(h1) {
+		t.Fatal("host allocation outside host RAM")
+	}
+}
+
+func TestNodesHaveIndependentSpaces(t *testing.T) {
+	tb := NewExtollPair(Default())
+	if err := tb.A.Space.WriteU64(0x40, 111); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tb.B.Space.ReadU64(0x40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 111 {
+		t.Fatal("node address spaces alias")
+	}
+}
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := Default()
+	if p.P2PReadSmall <= p.P2PReadLarge {
+		t.Fatal("P2P collapse inverted")
+	}
+	if p.GPUIssue <= 0 || p.ExtClock <= 0 || p.IBWireBW <= 0 {
+		t.Fatal("zero parameters")
+	}
+	a := ASIC()
+	if a.ExtClock <= p.ExtClock || a.ExtDatapath <= p.ExtDatapath {
+		t.Fatal("ASIC profile not faster than FPGA")
+	}
+}
+
+func TestP2PCollapseToggle(t *testing.T) {
+	p := Default()
+	rate := p2pReadRate(p)
+	if rate(1<<10) != p.P2PReadSmall || rate(4<<20) != p.P2PReadLarge {
+		t.Fatal("collapse curve wrong")
+	}
+	p.P2PCollapseOff = true
+	rate = p2pReadRate(p)
+	if rate(4<<20) != p.P2PReadSmall {
+		t.Fatal("collapse not disabled by ablation flag")
+	}
+}
+
+func TestEngineRunsQuiescent(t *testing.T) {
+	tb := NewExtollPair(Default())
+	tb.E.RunUntil(sim.Time(100 * sim.Microsecond))
+	if tb.E.Now() != sim.Time(100*sim.Microsecond) {
+		t.Fatalf("engine stalled at %v", tb.E.Now())
+	}
+}
+
+func TestModernProfileSane(t *testing.T) {
+	d, m := Default(), Modern()
+	if m.GPUIssue >= d.GPUIssue {
+		t.Fatal("modern GPU not faster at issue")
+	}
+	if m.GPUPCIeSlots <= d.GPUPCIeSlots {
+		t.Fatal("modern GPU not more parallel on PCIe")
+	}
+	if !m.P2PCollapseOff {
+		t.Fatal("modern profile should heal the P2P path")
+	}
+	if m.P2PReadSmall <= d.P2PReadSmall {
+		t.Fatal("modern P2P not faster")
+	}
+}

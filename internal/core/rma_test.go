@@ -1,0 +1,305 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"putget/internal/cluster"
+	"putget/internal/extoll"
+	"putget/internal/gpusim"
+	"putget/internal/memspace"
+	"putget/internal/sim"
+)
+
+// extollRig wires the API layer over an EXTOLL testbed with one connected
+// port pair and registered buffers on both GPUs.
+type extollRig struct {
+	tb       *cluster.Testbed
+	ra, rb   *RMA
+	srcAddr  memspace.Addr
+	dstAddr  memspace.Addr
+	srcNLA   extoll.NLA
+	dstNLA   extoll.NLA
+	bufBytes uint64
+}
+
+func newExtollRig(t *testing.T) *extollRig {
+	t.Helper()
+	tb := cluster.NewExtollPair(cluster.Default())
+	ra, rb := NewRMA(tb.A), NewRMA(tb.B)
+	const size = 1 << 20
+	src := tb.A.AllocDev(size)
+	dst := tb.B.AllocDev(size)
+	srcNLA := ra.Register(src, size)
+	dstNLA := rb.Register(dst, size)
+	ra.OpenPort(0)
+	rb.OpenPort(0)
+	extoll.ConnectPorts(tb.A.Extoll, 0, tb.B.Extoll, 0)
+	return &extollRig{
+		tb: tb, ra: ra, rb: rb,
+		srcAddr: src, dstAddr: dst,
+		srcNLA: srcNLA, dstNLA: dstNLA, bufBytes: size,
+	}
+}
+
+func TestDevPutMovesDataBetweenGPUs(t *testing.T) {
+	r := newExtollRig(t)
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i ^ 0x5a)
+	}
+	if err := r.tb.A.GPU.HostWrite(r.srcAddr, payload); err != nil {
+		t.Fatal(err)
+	}
+	done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		r.ra.DevPut(w, 0, r.srcNLA, r.dstNLA, len(payload), extoll.FlagReqNotif)
+		r.ra.DevWaitNotif(w, 0, extoll.ClassRequester)
+	})
+	r.tb.E.Run()
+	if !done.Done() {
+		t.Fatal("kernel stuck")
+	}
+	got := make([]byte, len(payload))
+	if err := r.tb.B.GPU.HostRead(r.dstAddr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestDevPutCountsThreeSysmemWrites(t *testing.T) {
+	r := newExtollRig(t)
+	r.tb.A.GPU.ResetCounters()
+	before := r.tb.A.GPU.Counters()
+	done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		r.ra.DevPut(w, 0, r.srcNLA, r.dstNLA, 64, 0)
+	})
+	r.tb.E.Run()
+	if !done.Done() {
+		t.Fatal("kernel stuck")
+	}
+	c := r.tb.A.GPU.Counters().Sub(before)
+	// "polling on device memory causes 3 system memory write operations
+	// per iteration which is exactly the size of the WR (3x64 bit)".
+	if c.SysmemWrites32B != 3 {
+		t.Fatalf("WR post = %d sysmem writes, want 3", c.SysmemWrites32B)
+	}
+	if c.SysmemReads32B != 0 {
+		t.Fatalf("WR post performed %d sysmem reads", c.SysmemReads32B)
+	}
+}
+
+func TestDevPutCollectiveFewerTransactions(t *testing.T) {
+	r := newExtollRig(t)
+	r.tb.A.GPU.ResetCounters()
+	done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1, ThreadsPerBlock: 8}, func(w *gpusim.Warp) {
+		r.ra.DevPutCollective(w, 0, r.srcNLA, r.dstNLA, 64, 0)
+	})
+	r.tb.E.Run()
+	if !done.Done() {
+		t.Fatal("kernel stuck")
+	}
+	c := r.tb.A.GPU.Counters()
+	if c.SysmemWrites32B != 1 {
+		t.Fatalf("collective WR = %d transactions, want 1 (24B burst)", c.SysmemWrites32B)
+	}
+	if r.tb.A.Extoll.Stats().PutsSent != 1 {
+		t.Fatal("collective WR not executed by NIC")
+	}
+}
+
+func TestDevWaitNotifConsumesAndFrees(t *testing.T) {
+	r := newExtollRig(t)
+	var size int
+	done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		r.ra.DevPut(w, 0, r.srcNLA, r.dstNLA, 512, extoll.FlagReqNotif)
+		size = r.ra.DevWaitNotif(w, 0, extoll.ClassRequester)
+		// A second put reuses the freed slot logic.
+		r.ra.DevPut(w, 0, r.srcNLA, r.dstNLA, 256, extoll.FlagReqNotif)
+		r.ra.DevWaitNotif(w, 0, extoll.ClassRequester)
+	})
+	r.tb.E.Run()
+	if !done.Done() {
+		t.Fatal("kernel stuck")
+	}
+	if size != 512 {
+		t.Fatalf("notification size = %d, want 512", size)
+	}
+	// Both entries must be freed (zero) in host memory.
+	for idx := 0; idx < 2; idx++ {
+		w0, _ := r.tb.A.Space.ReadU64(r.tb.A.Extoll.NotifEntryAddr(0, extoll.ClassRequester, idx))
+		if extoll.NotifValid(w0) {
+			t.Fatalf("notification %d not freed", idx)
+		}
+	}
+	// Read pointer advanced to 2.
+	rp, _ := r.tb.A.Space.ReadU32(r.tb.A.Extoll.NotifRPAddr(0, extoll.ClassRequester))
+	if rp != 2 {
+		t.Fatalf("read pointer = %d, want 2", rp)
+	}
+}
+
+func TestDevPollU64SeesCompleterWrite(t *testing.T) {
+	r := newExtollRig(t)
+	seq := uint64(0xabc123)
+	lastWord := r.srcAddr // reuse source buffer on A as the pong sink
+	dstOnA := r.ra.Register(lastWord, 8)
+	// B puts 8 bytes to A.
+	if err := r.tb.B.GPU.HostWriteU64(r.dstAddr, seq); err != nil {
+		t.Fatal(err)
+	}
+	srcOnB := r.rb.Register(r.dstAddr, 8)
+	extoll.ConnectPorts(r.tb.B.Extoll, 1, r.tb.A.Extoll, 1)
+	r.tb.B.Extoll.OpenPort(1)
+	r.tb.A.Extoll.OpenPort(1)
+	doneB := r.tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		w.Proc().Sleep(20 * sim.Microsecond)
+		r.rb.DevPut(w, 1, srcOnB, dstOnA, 8, 0)
+	})
+	var sawAt sim.Time
+	doneA := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		r.ra.DevPollU64(w, lastWord, seq)
+		sawAt = w.Now()
+	})
+	r.tb.E.Run()
+	if !doneA.Done() || !doneB.Done() {
+		t.Fatal("kernels stuck")
+	}
+	if sawAt < sim.Time(20*sim.Microsecond) {
+		t.Fatal("poll returned before data was sent")
+	}
+	// Device-memory polling must be L2-resident: hits vastly outnumber
+	// misses.
+	c := r.tb.A.GPU.Counters()
+	if c.L2ReadHits < 10*c.L2ReadMisses {
+		t.Fatalf("devmem polling not cached: hits=%d misses=%d", c.L2ReadHits, c.L2ReadMisses)
+	}
+	if c.SysmemReads32B != 0 {
+		t.Fatalf("devmem polling produced %d sysmem reads", c.SysmemReads32B)
+	}
+}
+
+func TestHostPutAndHostNotif(t *testing.T) {
+	r := newExtollRig(t)
+	payload := []byte("host controlled put")
+	if err := r.tb.A.GPU.HostWrite(r.srcAddr, payload); err != nil {
+		t.Fatal(err)
+	}
+	var notifSize int
+	r.tb.E.Spawn("cpuA", func(p *sim.Proc) {
+		r.ra.HostPut(p, 0, r.srcNLA, r.dstNLA, len(payload), extoll.FlagReqNotif|extoll.FlagCompNotif)
+		notifSize = r.ra.HostWaitNotif(p, 0, extoll.ClassRequester)
+	})
+	var gotNotif bool
+	r.tb.E.Spawn("cpuB", func(p *sim.Proc) {
+		r.rb.HostWaitNotif(p, 0, extoll.ClassCompleter)
+		gotNotif = true
+	})
+	r.tb.E.Run()
+	if notifSize != len(payload) || !gotNotif {
+		t.Fatalf("notifSize=%d gotNotif=%v", notifSize, gotNotif)
+	}
+	got := make([]byte, len(payload))
+	if err := r.tb.B.GPU.HostRead(r.dstAddr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestHostGetFetchesRemote(t *testing.T) {
+	r := newExtollRig(t)
+	payload := []byte("data pulled by get")
+	if err := r.tb.B.GPU.HostWrite(r.dstAddr, payload); err != nil {
+		t.Fatal(err)
+	}
+	// A gets from B's buffer into A's buffer.
+	r.tb.E.Spawn("cpuA", func(p *sim.Proc) {
+		r.ra.HostGet(p, 0, r.dstNLA, r.srcNLA, len(payload), extoll.FlagCompNotif)
+		r.ra.HostWaitNotif(p, 0, extoll.ClassCompleter)
+		got := make([]byte, len(payload))
+		if err := r.tb.A.GPU.HostRead(r.srcAddr, got); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("get payload corrupted")
+		}
+	})
+	r.tb.E.Run()
+}
+
+func TestAssistProtocol(t *testing.T) {
+	r := newExtollRig(t)
+	flags := NewAssistFlags(r.tb.A)
+	var serviced uint64
+	// CPU service loop: on request, do a host put and acknowledge.
+	r.tb.E.Spawn("cpu-service", func(p *sim.Proc) {
+		for seq := uint64(1); seq <= 3; seq++ {
+			HostAwaitAssistReq(p, r.tb.A.CPU, flags, seq)
+			r.ra.HostPut(p, 0, r.srcNLA, r.dstNLA, 64, extoll.FlagReqNotif)
+			r.ra.HostWaitNotif(p, 0, extoll.ClassRequester)
+			serviced = seq
+			HostAckAssist(p, r.tb.A.CPU, flags, seq)
+		}
+	})
+	done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		for seq := uint64(1); seq <= 3; seq++ {
+			DevRequestAssist(w, flags, seq)
+			DevAwaitAssistAck(w, flags, seq)
+		}
+	})
+	r.tb.E.Run()
+	if !done.Done() || serviced != 3 {
+		t.Fatalf("assist protocol incomplete: serviced=%d", serviced)
+	}
+	if r.tb.A.Extoll.Stats().PutsSent != 3 {
+		t.Fatalf("puts sent = %d, want 3", r.tb.A.Extoll.Stats().PutsSent)
+	}
+}
+
+func TestHostPutImmAndFetchAdd(t *testing.T) {
+	r := newExtollRig(t)
+	ctr := r.tb.B.AllocDev(8)
+	ctrNLA := r.rb.Register(ctr, 8)
+	var old1, old2 uint64
+	r.tb.E.Spawn("cpuA", func(p *sim.Proc) {
+		// Immediate put seeds the counter, then two fetch-adds.
+		r.ra.HostPutImm(p, 0, 1000, ctrNLA, 8, 0)
+		p.Sleep(10 * sim.Microsecond)
+		old1 = r.ra.HostFetchAdd(p, 0, 5, ctrNLA)
+		old2 = r.ra.HostFetchAdd(p, 0, 5, ctrNLA)
+	})
+	r.tb.E.Run()
+	if old1 != 1000 || old2 != 1005 {
+		t.Fatalf("fetch-add olds = %d, %d; want 1000, 1005", old1, old2)
+	}
+	v, _ := r.tb.B.GPU.HostReadU64(ctr)
+	if v != 1010 {
+		t.Fatalf("counter = %d, want 1010", v)
+	}
+}
+
+func TestDevPutImmEndToEnd(t *testing.T) {
+	r := newExtollRig(t)
+	var seen uint64
+	doneA := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		r.ra.DevPutImm(w, 0, 0x5ca1ab1e, r.dstNLA, 8, extoll.FlagReqNotif)
+		r.ra.DevWaitNotif(w, 0, extoll.ClassRequester)
+	})
+	doneB := r.tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		seen = w.PollGlobalU64(r.dstAddr, 0x5ca1ab1e)
+	})
+	r.tb.E.Run()
+	if !doneA.Done() || !doneB.Done() {
+		t.Fatal("immediate put deadlocked")
+	}
+	if seen != 0x5ca1ab1e {
+		t.Fatalf("seen %#x", seen)
+	}
+	// An immediate put posts exactly 3 MMIO words and reads no memory.
+	if r.tb.A.Extoll.Stats().ImmPutsSent != 1 {
+		t.Fatal("immediate put not counted")
+	}
+}

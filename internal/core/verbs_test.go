@@ -1,0 +1,347 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"putget/internal/cluster"
+	"putget/internal/gpusim"
+	"putget/internal/ibsim"
+	"putget/internal/memspace"
+	"putget/internal/sim"
+)
+
+type ibRig struct {
+	tb     *cluster.Testbed
+	va, vb *Verbs
+	qa, qb *VQP
+	srcMR  *ibsim.MR
+	dstMR  *ibsim.MR
+	src    memspace.Addr
+	dst    memspace.Addr
+}
+
+func newIBRig(t *testing.T, onGPU bool) *ibRig {
+	t.Helper()
+	tb := cluster.NewIBPair(cluster.Default())
+	va, vb := NewVerbs(tb.A), NewVerbs(tb.B)
+	qa := va.CreateQP(256, 256, 256, onGPU)
+	qb := vb.CreateQP(256, 256, 256, onGPU)
+	ConnectVQPs(qa, qb)
+	const size = 1 << 20
+	src := tb.A.AllocDev(size)
+	dst := tb.B.AllocDev(size)
+	return &ibRig{
+		tb: tb, va: va, vb: vb, qa: qa, qb: qb,
+		srcMR: va.RegMR(src, size), dstMR: vb.RegMR(dst, size),
+		src: src, dst: dst,
+	}
+}
+
+func TestDevPostSendMovesData(t *testing.T) {
+	for _, onGPU := range []bool{false, true} {
+		r := newIBRig(t, onGPU)
+		payload := make([]byte, 1024)
+		for i := range payload {
+			payload[i] = byte(i * 11)
+		}
+		if err := r.tb.A.GPU.HostWrite(r.src, payload); err != nil {
+			t.Fatal(err)
+		}
+		done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+			r.va.DevPostSend(w, r.qa, ibsim.WQE{
+				Opcode: ibsim.OpRDMAWrite, Flags: ibsim.FlagSignaled, WRID: 1,
+				LAddr: uint64(r.src), LKey: r.srcMR.LKey, Length: len(payload),
+				RAddr: uint64(r.dst), RKey: r.dstMR.RKey,
+			})
+			cqe := r.va.DevPollCQ(w, r.qa.SendCQ)
+			if cqe.Status != ibsim.StatusOK || cqe.WRID != 1 {
+				t.Errorf("onGPU=%v: bad CQE %+v", onGPU, cqe)
+			}
+		})
+		r.tb.E.Run()
+		if !done.Done() {
+			t.Fatalf("onGPU=%v: kernel stuck", onGPU)
+		}
+		got := make([]byte, len(payload))
+		if err := r.tb.B.GPU.HostRead(r.dst, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("onGPU=%v: payload corrupted", onGPU)
+		}
+	}
+}
+
+func TestDevPostSendInstructionBudget(t *testing.T) {
+	// The paper measures 442 instructions per ibv_post_send on the GPU.
+	r := newIBRig(t, false)
+	r.tb.A.GPU.ResetCounters()
+	done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		r.va.DevPostSend(w, r.qa, ibsim.WQE{
+			Opcode: ibsim.OpRDMAWrite, WRID: 1,
+			LAddr: uint64(r.src), LKey: r.srcMR.LKey, Length: 64,
+			RAddr: uint64(r.dst), RKey: r.dstMR.RKey,
+		})
+	})
+	r.tb.E.Run()
+	if !done.Done() {
+		t.Fatal("kernel stuck")
+	}
+	instr := r.tb.A.GPU.Counters().InstrExecuted
+	if instr < 420 || instr > 460 {
+		t.Fatalf("DevPostSend = %d instructions, want ≈442", instr)
+	}
+}
+
+func TestDevPollCQInstructionBudget(t *testing.T) {
+	// The paper measures 283 instructions per successful ibv_poll_cq.
+	r := newIBRig(t, false)
+	done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		r.va.DevPostSend(w, r.qa, ibsim.WQE{
+			Opcode: ibsim.OpRDMAWrite, Flags: ibsim.FlagSignaled, WRID: 1,
+			LAddr: uint64(r.src), LKey: r.srcMR.LKey, Length: 64,
+			RAddr: uint64(r.dst), RKey: r.dstMR.RKey,
+		})
+		// Let the completion land so the next poll succeeds first try.
+		w.Proc().Sleep(50 * sim.Microsecond)
+		r.tb.A.GPU.ResetCounters()
+		if _, ok := r.va.DevTryPollCQ(w, r.qa.SendCQ); !ok {
+			t.Error("completion not ready after 50us")
+		}
+	})
+	r.tb.E.Run()
+	if !done.Done() {
+		t.Fatal("kernel stuck")
+	}
+	instr := r.tb.A.GPU.Counters().InstrExecuted
+	if instr < 260 || instr > 300 {
+		t.Fatalf("DevPollCQ success = %d instructions, want ≈283", instr)
+	}
+}
+
+func TestStaticFieldOptAblation(t *testing.T) {
+	cost := func(static bool) uint64 {
+		r := newIBRig(t, false)
+		r.va.StaticFieldOpt = static
+		r.tb.A.GPU.ResetCounters()
+		done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+			r.va.DevPostSend(w, r.qa, ibsim.WQE{
+				Opcode: ibsim.OpRDMAWrite, WRID: 1,
+				LAddr: uint64(r.src), LKey: r.srcMR.LKey, Length: 64,
+				RAddr: uint64(r.dst), RKey: r.dstMR.RKey,
+			})
+		})
+		r.tb.E.Run()
+		if !done.Done() {
+			t.Fatal("kernel stuck")
+		}
+		return r.tb.A.GPU.Counters().InstrExecuted
+	}
+	withOpt, without := cost(true), cost(false)
+	if without <= withOpt {
+		t.Fatalf("static-field opt not saving instructions: %d vs %d", withOpt, without)
+	}
+	if without-withOpt < 100 {
+		t.Fatalf("endianness ablation too small: %d vs %d", withOpt, without)
+	}
+}
+
+func TestCollectivePostCheaper(t *testing.T) {
+	single := func() (uint64, uint64) {
+		r := newIBRig(t, false)
+		r.tb.A.GPU.ResetCounters()
+		done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+			r.va.DevPostSend(w, r.qa, ibsim.WQE{
+				Opcode: ibsim.OpRDMAWrite, WRID: 1,
+				LAddr: uint64(r.src), LKey: r.srcMR.LKey, Length: 64,
+				RAddr: uint64(r.dst), RKey: r.dstMR.RKey,
+			})
+		})
+		r.tb.E.Run()
+		if !done.Done() {
+			t.Fatal("kernel stuck")
+		}
+		c := r.tb.A.GPU.Counters()
+		return c.InstrExecuted, c.SysmemWrites32B
+	}
+	collective := func() (uint64, uint64) {
+		r := newIBRig(t, false)
+		r.tb.A.GPU.ResetCounters()
+		done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1, ThreadsPerBlock: 8}, func(w *gpusim.Warp) {
+			r.va.DevPostSendCollective(w, r.qa, ibsim.WQE{
+				Opcode: ibsim.OpRDMAWrite, WRID: 1,
+				LAddr: uint64(r.src), LKey: r.srcMR.LKey, Length: 64,
+				RAddr: uint64(r.dst), RKey: r.dstMR.RKey,
+			})
+		})
+		r.tb.E.Run()
+		if !done.Done() {
+			t.Fatal("kernel stuck")
+		}
+		c := r.tb.A.GPU.Counters()
+		return c.InstrExecuted, c.SysmemWrites32B
+	}
+	si, sw := single()
+	ci, cw := collective()
+	if ci >= si/2 {
+		t.Fatalf("collective post not ≥2x cheaper in instructions: %d vs %d", ci, si)
+	}
+	if cw >= sw {
+		t.Fatalf("collective post not cheaper in transactions: %d vs %d", cw, sw)
+	}
+}
+
+func TestDevPingPongPollLastElement(t *testing.T) {
+	r := newIBRig(t, false)
+	// Mutual buffers: A writes to B's dst, B writes back into A's src+8.
+	backMR := r.va.RegMR(r.src+4096, 4096)
+	srcOnB := r.vb.RegMR(r.dst, 1<<20) // B reads its own landing buffer
+	const iters = 5
+	doneA := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		for i := 1; i <= iters; i++ {
+			w.StGlobalU64(r.src, uint64(i)) // payload = seq
+			r.va.DevPostSend(w, r.qa, ibsim.WQE{
+				Opcode: ibsim.OpRDMAWrite, WRID: uint64(i),
+				LAddr: uint64(r.src), LKey: r.srcMR.LKey, Length: 8,
+				RAddr: uint64(r.dst), RKey: r.dstMR.RKey,
+			})
+			// Wait for the pong: poll last received element in devmem.
+			for w.LdGlobalU64(r.src+4096) != uint64(i) {
+				w.Exec(2)
+			}
+		}
+	})
+	doneB := r.tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		for i := 1; i <= iters; i++ {
+			// Wait for ping i.
+			for w.LdGlobalU64(r.dst) != uint64(i) {
+				w.Exec(2)
+			}
+			r.vb.DevPostSend(w, r.qb, ibsim.WQE{
+				Opcode: ibsim.OpRDMAWrite, WRID: uint64(i),
+				LAddr: uint64(r.dst), LKey: srcOnB.LKey, Length: 8,
+				RAddr: uint64(r.src + 4096), RKey: backMR.RKey,
+			})
+		}
+	})
+	r.tb.E.Run()
+	if !doneA.Done() || !doneB.Done() {
+		t.Fatal("ping-pong deadlocked")
+	}
+}
+
+func TestHostPostSendAndPoll(t *testing.T) {
+	r := newIBRig(t, false)
+	payload := []byte("host verbs path")
+	if err := r.tb.A.GPU.HostWrite(r.src, payload); err != nil {
+		t.Fatal(err)
+	}
+	var cqe ibsim.CQE
+	r.tb.E.Spawn("cpuA", func(p *sim.Proc) {
+		r.va.HostPostSend(p, r.qa, ibsim.WQE{
+			Opcode: ibsim.OpRDMAWrite, Flags: ibsim.FlagSignaled, WRID: 7,
+			LAddr: uint64(r.src), LKey: r.srcMR.LKey, Length: len(payload),
+			RAddr: uint64(r.dst), RKey: r.dstMR.RKey,
+		})
+		cqe = r.va.HostPollCQ(p, r.qa.SendCQ)
+	})
+	r.tb.E.Run()
+	if cqe.WRID != 7 || cqe.Status != ibsim.StatusOK {
+		t.Fatalf("CQE = %+v", cqe)
+	}
+	got := make([]byte, len(payload))
+	if err := r.tb.B.GPU.HostRead(r.dst, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestHostWriteWithImmediate(t *testing.T) {
+	r := newIBRig(t, false)
+	var recvCQE ibsim.CQE
+	r.tb.E.Spawn("cpuB", func(p *sim.Proc) {
+		r.vb.HostPostRecv(p, r.qb, ibsim.RecvWQE{WRID: 100})
+		recvCQE = r.vb.HostPollCQ(p, r.qb.RecvCQ)
+	})
+	r.tb.E.SpawnAt(sim.Time(5*sim.Microsecond), "cpuA", func(p *sim.Proc) {
+		r.va.HostPostSend(p, r.qa, ibsim.WQE{
+			Opcode: ibsim.OpRDMAWriteImm, WRID: 8, Imm: 0x1234,
+			LAddr: uint64(r.src), LKey: r.srcMR.LKey, Length: 128,
+			RAddr: uint64(r.dst), RKey: r.dstMR.RKey,
+		})
+	})
+	r.tb.E.Run()
+	if recvCQE.WRID != 100 || recvCQE.Imm != 0x1234 || recvCQE.ByteLen != 128 {
+		t.Fatalf("recv CQE = %+v", recvCQE)
+	}
+}
+
+func TestQueuePlacementSysmemTrafficDiffers(t *testing.T) {
+	// The structural claim behind Table II: host-resident queues make the
+	// GPU touch system memory on every post/poll; GPU-resident queues
+	// keep that traffic in device memory (only the doorbell remains).
+	traffic := func(onGPU bool) (reads, writes uint64) {
+		r := newIBRig(t, onGPU)
+		r.tb.A.GPU.ResetCounters()
+		done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+			r.va.DevPostSend(w, r.qa, ibsim.WQE{
+				Opcode: ibsim.OpRDMAWrite, Flags: ibsim.FlagSignaled, WRID: 1,
+				LAddr: uint64(r.src), LKey: r.srcMR.LKey, Length: 64,
+				RAddr: uint64(r.dst), RKey: r.dstMR.RKey,
+			})
+			r.va.DevPollCQ(w, r.qa.SendCQ)
+		})
+		r.tb.E.Run()
+		if !done.Done() {
+			t.Fatal("kernel stuck")
+		}
+		c := r.tb.A.GPU.Counters()
+		return c.SysmemReads32B, c.SysmemWrites32B
+	}
+	hostR, hostW := traffic(false)
+	gpuR, gpuW := traffic(true)
+	if gpuR >= hostR {
+		t.Fatalf("GPU queues should cut sysmem reads: %d vs %d", gpuR, hostR)
+	}
+	if gpuW >= hostW {
+		t.Fatalf("GPU queues should cut sysmem writes: %d vs %d", gpuW, hostW)
+	}
+	if gpuW == 0 {
+		t.Fatal("doorbell must still be a sysmem write")
+	}
+}
+
+func TestDevPostRecvAndDeviceSendRecv(t *testing.T) {
+	// GPU posts its own receive WQEs; a two-sided send from the peer GPU
+	// lands at the posted address and completes into the recv CQ.
+	r := newIBRig(t, false)
+	payload := uint64(0xabcdef99)
+	doneB := r.tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		r.vb.DevPostRecv(w, r.qb, ibsim.RecvWQE{
+			WRID: 55, Addr: uint64(r.dst), LKey: r.dstMR.LKey,
+		})
+		cqe := r.vb.DevPollCQ(w, r.qb.RecvCQ)
+		if cqe.WRID != 55 || cqe.Status != ibsim.StatusOK {
+			t.Errorf("recv CQE = %+v", cqe)
+		}
+		if got := w.LdGlobalU64(r.dst); got != payload {
+			t.Errorf("send payload = %#x", got)
+		}
+	})
+	doneA := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		w.Proc().Sleep(20 * sim.Microsecond) // let B post its recv
+		w.StGlobalU64(r.src, payload)
+		r.va.DevPostSend(w, r.qa, ibsim.WQE{
+			Opcode: ibsim.OpSend, Flags: ibsim.FlagSignaled, WRID: 1,
+			LAddr: uint64(r.src), LKey: r.srcMR.LKey, Length: 8,
+		})
+		r.va.DevPollCQ(w, r.qa.SendCQ)
+	})
+	r.tb.E.Run()
+	if !doneA.Done() || !doneB.Done() {
+		t.Fatal("device send/recv deadlocked")
+	}
+}

@@ -1,0 +1,60 @@
+package extoll
+
+import (
+	"fmt"
+
+	"putget/internal/memspace"
+)
+
+// NLA is a Network Logical Address: the EXTOLL fabric's global handle for
+// registered memory. The top bits select a registration, the low 40 bits
+// are a byte offset, so NLA+offset arithmetic works as on hardware.
+type NLA uint64
+
+const nlaOffsetBits = 40
+const nlaOffsetMask = (1 << nlaOffsetBits) - 1
+
+// ATU is the NIC's address translation unit: it turns registered physical
+// ranges into NLAs and translates NLAs back on access. With the GPUDirect
+// patch applied (always on in this model), GPU device-memory addresses
+// register exactly like host addresses — that is the API extension the
+// paper describes in §III-C.
+type ATU struct {
+	entries []atuEntry
+}
+
+type atuEntry struct {
+	base memspace.Addr
+	size uint64
+}
+
+// NewATU returns an empty translation unit.
+func NewATU() *ATU { return &ATU{} }
+
+// Register maps [base, base+size) and returns its NLA handle.
+func (a *ATU) Register(base memspace.Addr, size uint64) (NLA, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("extoll: cannot register empty region")
+	}
+	if size > nlaOffsetMask {
+		return 0, fmt.Errorf("extoll: registration of %d bytes exceeds NLA offset space", size)
+	}
+	a.entries = append(a.entries, atuEntry{base: base, size: size})
+	return NLA(uint64(len(a.entries)) << nlaOffsetBits), nil
+}
+
+// Translate resolves an NLA (plus embedded offset) to a physical address,
+// checking that [nla, nla+n) stays inside the registration.
+func (a *ATU) Translate(nla NLA, n int) (memspace.Addr, error) {
+	idx := uint64(nla) >> nlaOffsetBits
+	off := uint64(nla) & nlaOffsetMask
+	if idx == 0 || idx > uint64(len(a.entries)) {
+		return 0, fmt.Errorf("extoll: NLA %#x not registered", uint64(nla))
+	}
+	e := a.entries[idx-1]
+	if n < 0 || off+uint64(n) > e.size {
+		return 0, fmt.Errorf("extoll: NLA %#x access [%d,%d) outside registration of %d bytes",
+			uint64(nla), off, off+uint64(n), e.size)
+	}
+	return e.base + memspace.Addr(off), nil
+}

@@ -1,0 +1,82 @@
+package extoll
+
+import (
+	"testing"
+	"testing/quick"
+
+	"putget/internal/memspace"
+)
+
+// Property: WR word encoding round-trips every field combination.
+func TestWRRoundTripProperty(t *testing.T) {
+	f := func(cmd uint8, flags uint8, size uint32, src, dst uint64) bool {
+		in := WR{
+			Cmd:    int(cmd % 4),
+			Flags:  int(flags) & 0xf0,
+			Size:   int(size),
+			SrcNLA: src,
+			DstNLA: dst,
+		}
+		out := DecodeWR(EncodeWR(in))
+		return out.Cmd == in.Cmd && out.Flags == in.Flags && out.Size == in.Size &&
+			out.SrcNLA == in.SrcNLA && out.DstNLA == in.DstNLA
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a registered range translates correctly at every in-bounds
+// offset and rejects every out-of-bounds access.
+func TestATUTranslationProperty(t *testing.T) {
+	atu := NewATU()
+	const base, size = 0x1_0000, 4096
+	nla, err := atu.Register(base, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, n uint8) bool {
+		length := int(n) + 1
+		inBounds := int(off)+length <= size
+		addr, err := atu.Translate(nla+NLA(off), length)
+		if inBounds {
+			return err == nil && addr == base+memspace.Addr(off)
+		}
+		return err != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: notification word encoding preserves class and size, and the
+// valid bit is always set.
+func TestNotifEncodingProperty(t *testing.T) {
+	f := func(class uint8, size uint32) bool {
+		c := int(class % 3)
+		w0 := EncodeNotif(c, int(size))
+		return NotifValid(w0) && NotifSize(w0) == int(size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distinct registrations never produce NLAs whose translated
+// ranges alias (registration isolation).
+func TestATURegistrationIsolation(t *testing.T) {
+	atu := NewATU()
+	n1, _ := atu.Register(0x1000, 256)
+	n2, _ := atu.Register(0x5000, 256)
+	f := func(off1, off2 uint8) bool {
+		a1, err1 := atu.Translate(n1+NLA(off1), 1)
+		a2, err2 := atu.Translate(n2+NLA(off2), 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a1 != a2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package extoll models the EXTOLL RMA unit of the Galibier NIC: BAR
+// requester pages that accept 192-bit work requests, an address
+// translation unit (ATU) mapping Network Logical Addresses to node
+// physical memory, the requester/completer/responder engines, and 128-bit
+// notifications written to kernel-allocated rings in host memory — the
+// placement constraint at the heart of the paper's EXTOLL analysis.
+package extoll
+
+import "fmt"
+
+// Command codes carried in WR word 0.
+const (
+	CmdPut = 1
+	CmdGet = 2
+	// CmdImmPut is an immediate put: up to 8 bytes of payload travel in
+	// WR word 1 instead of a source NLA, so the requester skips the
+	// source DMA read entirely — the EXTOLL analogue of inline sends.
+	CmdImmPut = 3
+	// CmdFetchAdd is a remote atomic fetch-and-add on a 64-bit word; the
+	// previous value returns in the origin's completer notification.
+	CmdFetchAdd = 4
+)
+
+// Notification-request flags in WR word 0.
+const (
+	FlagReqNotif  = 1 << 4 // requester notification at the origin
+	FlagCompNotif = 1 << 5 // completer notification at the data sink
+	FlagRespNotif = 1 << 6 // responder notification at the data source (get)
+)
+
+// WRWords is the number of 64-bit words in a work request (192 bits).
+const WRWords = 3
+
+// WRBytes is the work-request size in bytes.
+const WRBytes = WRWords * 8
+
+// WR is a decoded work request.
+type WR struct {
+	Cmd    int
+	Flags  int
+	Size   int
+	SrcNLA uint64
+	DstNLA uint64
+	Port   int // filled from the BAR page the WR arrived on
+}
+
+// EncodeWord0 packs command, flags and size into WR word 0.
+func EncodeWord0(cmd, flags, size int) uint64 {
+	return uint64(cmd&0xf) | uint64(flags&0xff0) | uint64(size)<<16
+}
+
+// DecodeWord0 unpacks WR word 0.
+func DecodeWord0(w uint64) (cmd, flags, size int) {
+	return int(w & 0xf), int(w & 0xff0), int(w >> 16)
+}
+
+// EncodeWR packs a WR into its three 64-bit words.
+func EncodeWR(wr WR) [WRWords]uint64 {
+	return [WRWords]uint64{EncodeWord0(wr.Cmd, wr.Flags, wr.Size), wr.SrcNLA, wr.DstNLA}
+}
+
+// DecodeWR unpacks three words into a WR (Port is not encoded).
+func DecodeWR(words [WRWords]uint64) WR {
+	cmd, flags, size := DecodeWord0(words[0])
+	return WR{Cmd: cmd, Flags: flags, Size: size, SrcNLA: words[1], DstNLA: words[2]}
+}
+
+// Validate checks a decoded WR for structural sanity.
+func (w WR) Validate() error {
+	switch w.Cmd {
+	case CmdPut, CmdGet:
+		if w.Size <= 0 {
+			return fmt.Errorf("extoll: invalid WR size %d", w.Size)
+		}
+	case CmdImmPut:
+		if w.Size <= 0 || w.Size > 8 {
+			return fmt.Errorf("extoll: immediate put size %d exceeds 8 bytes", w.Size)
+		}
+	case CmdFetchAdd:
+		if w.Size != 8 {
+			return fmt.Errorf("extoll: fetch-add requires size 8, got %d", w.Size)
+		}
+	default:
+		return fmt.Errorf("extoll: invalid WR command %d", w.Cmd)
+	}
+	return nil
+}

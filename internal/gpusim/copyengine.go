@@ -1,0 +1,95 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"putget/internal/memspace"
+	"putget/internal/sim"
+)
+
+// The GPU's copy engines implement cudaMemcpyAsync: DMA between device
+// and host memory over the GPU's own PCIe port. Real parts have separate
+// H2D and D2H engines, so the two directions overlap; copies in the same
+// direction serialize FIFO.
+//
+// Host-staged communication — the pre-GPUDirect hybrid model the paper's
+// background contrasts — is built from these: D2H copy, host-side network
+// transfer, H2D copy.
+
+type copyReq struct {
+	dst, src memspace.Addr
+	n        int
+	done     *sim.Completion
+}
+
+// copyEngines lazily starts the two DMA engine processes.
+func (g *GPU) copyEngines() {
+	if g.h2dQ != nil {
+		return
+	}
+	g.h2dQ = sim.NewChan[copyReq](g.e)
+	g.d2hQ = sim.NewChan[copyReq](g.e)
+	g.e.Spawn(g.cfg.Name+".ce.h2d", func(p *sim.Proc) {
+		for {
+			g.serveCopy(p, g.h2dQ.Recv(p))
+		}
+	})
+	g.e.Spawn(g.cfg.Name+".ce.d2h", func(p *sim.Proc) {
+		for {
+			g.serveCopy(p, g.d2hQ.Recv(p))
+		}
+	})
+}
+
+// CopyAsync enqueues a DMA copy between host and device memory (either
+// direction, inferred from the addresses) and returns its completion —
+// the cudaMemcpyAsync analogue. Device-to-device and host-to-host copies
+// are rejected: use kernels or the CPU for those.
+func (g *GPU) CopyAsync(dst, src memspace.Addr, n int) *sim.Completion {
+	g.copyEngines()
+	d2h := g.isDevice(src) && !g.isDevice(dst)
+	h2d := !g.isDevice(src) && g.isDevice(dst)
+	if !d2h && !h2d {
+		panic(fmt.Sprintf("gpusim: %s: CopyAsync needs one device and one host address (src %#x dst %#x)",
+			g.cfg.Name, uint64(src), uint64(dst)))
+	}
+	done := sim.NewCompletion(g.e)
+	req := copyReq{dst: dst, src: src, n: n, done: done}
+	if d2h {
+		g.d2hQ.Send(req)
+	} else {
+		g.h2dQ.Send(req)
+	}
+	return done
+}
+
+// serveCopy executes one DMA job on a copy engine.
+func (g *GPU) serveCopy(p *sim.Proc, req copyReq) {
+	const launch = 1500 * sim.Nanosecond // driver + engine kickoff
+	p.Sleep(launch)
+	buf := make([]byte, req.n)
+	if g.isDevice(req.src) {
+		// D2H: read device memory locally, stream posted writes to host.
+		if err := g.f.Space().Read(req.src, buf); err != nil {
+			panic(fmt.Sprintf("gpusim: %s: %v", g.cfg.Name, err))
+		}
+		deliver := g.f.WriteBulk(p, g.ep, req.dst, buf)
+		p.SleepUntil(deliver)
+	} else {
+		// H2D: DMA-read host memory, land it in device memory.
+		g.f.ReadBulk(p, g.ep, req.src, buf)
+		if err := g.f.Space().Write(req.dst, buf); err != nil {
+			panic(fmt.Sprintf("gpusim: %s: %v", g.cfg.Name, err))
+		}
+		g.l2.InvalidateRange(uint64(req.dst), req.n)
+		g.inboundEpoch++
+		g.inboundSig.Broadcast()
+	}
+	req.done.Complete()
+}
+
+// Copy runs CopyAsync and blocks the calling process until it completes —
+// the synchronous cudaMemcpy analogue for host-side code.
+func (g *GPU) Copy(p *sim.Proc, dst, src memspace.Addr, n int) {
+	g.CopyAsync(dst, src, n).Wait(p)
+}

@@ -1,0 +1,44 @@
+package gpusim
+
+import "fmt"
+
+// Counters mirrors the nvprof-style metrics the paper reads in Tables I
+// and II. Granularities follow the paper: system-memory traffic is counted
+// in 32-byte transactions, global-memory traffic in accesses, instructions
+// in issued (warp-uniform) instructions.
+type Counters struct {
+	SysmemReads32B  uint64 // system-memory (PCIe) read transactions
+	SysmemWrites32B uint64 // system-memory/MMIO write transactions
+	Globmem64Reads  uint64 // 64-bit global (device) memory loads
+	Globmem64Writes uint64 // 64-bit global (device) memory stores
+	L2ReadHits      uint64
+	L2ReadMisses    uint64
+	L2ReadRequests  uint64
+	L2WriteRequests uint64
+	MemAccesses     uint64 // all memory instructions (read + write)
+	InstrExecuted   uint64 // all issued instructions
+}
+
+// Sub returns c - o, for measuring a benchmark window.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		SysmemReads32B:  c.SysmemReads32B - o.SysmemReads32B,
+		SysmemWrites32B: c.SysmemWrites32B - o.SysmemWrites32B,
+		Globmem64Reads:  c.Globmem64Reads - o.Globmem64Reads,
+		Globmem64Writes: c.Globmem64Writes - o.Globmem64Writes,
+		L2ReadHits:      c.L2ReadHits - o.L2ReadHits,
+		L2ReadMisses:    c.L2ReadMisses - o.L2ReadMisses,
+		L2ReadRequests:  c.L2ReadRequests - o.L2ReadRequests,
+		L2WriteRequests: c.L2WriteRequests - o.L2WriteRequests,
+		MemAccesses:     c.MemAccesses - o.MemAccesses,
+		InstrExecuted:   c.InstrExecuted - o.InstrExecuted,
+	}
+}
+
+// String renders the counters one metric per line, paper-style.
+func (c Counters) String() string {
+	return fmt.Sprintf(
+		"sysmem reads (32B): %d\nsysmem writes (32B): %d\nglobmem64 reads: %d\nglobmem64 writes: %d\nl2 read hits: %d\nl2 read requests: %d\nl2 write requests: %d\nmemory accesses (r/w): %d\ninstructions executed: %d",
+		c.SysmemReads32B, c.SysmemWrites32B, c.Globmem64Reads, c.Globmem64Writes,
+		c.L2ReadHits, c.L2ReadRequests, c.L2WriteRequests, c.MemAccesses, c.InstrExecuted)
+}

@@ -1,0 +1,115 @@
+package gpusim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// runWarp executes body on a single warp with the given lane count.
+func runWarp(t *testing.T, lanes int, body func(w *Warp)) {
+	t.Helper()
+	r := newRig(t)
+	done := r.g.Launch(KernelConfig{Blocks: 1, ThreadsPerBlock: lanes}, body)
+	r.e.Run()
+	if !done.Done() {
+		t.Fatal("warp stuck")
+	}
+}
+
+func TestShflDown(t *testing.T) {
+	runWarp(t, 8, func(w *Warp) {
+		vals := []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+		out := w.ShflDownU64(vals, 2)
+		want := []uint64{2, 3, 4, 5, 6, 7, 6, 7}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Errorf("lane %d = %d, want %d", i, out[i], want[i])
+			}
+		}
+	})
+}
+
+func TestWarpReduceAdd(t *testing.T) {
+	runWarp(t, 32, func(w *Warp) {
+		vals := make([]uint64, 32)
+		var want uint64
+		for i := range vals {
+			vals[i] = uint64(i * 3)
+			want += vals[i]
+		}
+		if got := w.WarpReduceAddU64(vals); got != want {
+			t.Errorf("reduce = %d, want %d", got, want)
+		}
+	})
+}
+
+// Property: warp reduction equals the straight sum for any lane count and
+// values.
+func TestWarpReduceProperty(t *testing.T) {
+	r := newRig(t)
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 32 {
+			return true
+		}
+		vals := make([]uint64, len(raw))
+		var want uint64
+		for i, v := range raw {
+			vals[i] = uint64(v)
+			want += uint64(v)
+		}
+		got := ^uint64(0)
+		done := r.g.Launch(KernelConfig{Blocks: 1, ThreadsPerBlock: len(raw)}, func(w *Warp) {
+			got = w.WarpReduceAddU64(vals)
+		})
+		r.e.Run()
+		return done.Done() && got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBallotAnyAllPopc(t *testing.T) {
+	runWarp(t, 4, func(w *Warp) {
+		pred := []bool{true, false, true, false}
+		if m := w.Ballot(pred); m != 0b0101 {
+			t.Errorf("ballot = %#b", m)
+		}
+		if !w.Any(pred) {
+			t.Error("Any false")
+		}
+		if w.All(pred) {
+			t.Error("All true")
+		}
+		if n := w.PopcLanes(pred); n != 2 {
+			t.Errorf("popc = %d", n)
+		}
+		all := []bool{true, true, true, true}
+		if !w.All(all) {
+			t.Error("All(all) false")
+		}
+		none := []bool{false, false, false, false}
+		if w.Any(none) {
+			t.Error("Any(none) true")
+		}
+	})
+}
+
+func TestReduceCostLogarithmic(t *testing.T) {
+	// The shuffle ladder costs ~2*log2(width) instructions, far below a
+	// 32-step serial sum.
+	r := newRig(t)
+	vals := make([]uint64, 32)
+	done := r.g.Launch(KernelConfig{Blocks: 1, ThreadsPerBlock: 32}, func(w *Warp) {
+		r.g.ResetCounters()
+		w.WarpReduceAddU64(vals)
+	})
+	r.e.Run()
+	if !done.Done() {
+		t.Fatal("stuck")
+	}
+	instr := r.g.Counters().InstrExecuted
+	if instr < 8 || instr > 16 {
+		t.Fatalf("warp reduce = %d instructions, want ~10 (2*log2(32))", instr)
+	}
+}

@@ -1,0 +1,430 @@
+package gpusim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"putget/internal/memspace"
+	"putget/internal/sim"
+)
+
+// Warp is the execution context device code runs against: one warp
+// (≤32 threads executing in lockstep) pinned to an SM. Every method
+// charges issue time on the SM, adds memory latency where due, and bumps
+// the GPU performance counters at the granularities nvprof reports.
+//
+// Methods must only be called from the warp's own process (inside the
+// kernel body passed to Launch).
+type Warp struct {
+	g      *GPU
+	p      *sim.Proc
+	sm     int
+	Block  int // block index within the grid
+	WarpID int // warp index within the block
+	Lanes  int // active threads (1 for the paper's single-thread blocks)
+	block  *Block
+}
+
+// BlockState returns the warp's block (barrier, shared memory); nil only
+// for warps constructed outside Launch.
+func (w *Warp) BlockState() *Block { return w.block }
+
+// GPU returns the device this warp runs on.
+func (w *Warp) GPU() *GPU { return w.g }
+
+// Proc exposes the underlying process (for integrating with sim waits).
+func (w *Warp) Proc() *sim.Proc { return w.p }
+
+// Now returns current virtual time.
+func (w *Warp) Now() sim.Time { return w.p.Now() }
+
+// issue books n instructions of issue time on this warp's SM and counts
+// them. Co-resident warps serialize on the SM's issue port, which is the
+// first-order effect of warp scheduling for our small grids.
+func (w *Warp) issue(n int) {
+	if n <= 0 {
+		return
+	}
+	w.g.ctr.InstrExecuted += uint64(n)
+	share := w.g.cfg.IssueShare
+	if share <= 0 {
+		share = 8
+	}
+	// The warp's own progress is bounded by its dependent-chain latency;
+	// the SM issue port is only occupied for 1/share of that, so up to
+	// `share` co-resident warps overlap in each other's pipeline bubbles.
+	latency := sim.Duration(n) * w.g.cfg.IssueCost
+	occDone := w.g.smIssue[w.sm].ReserveDuration(latency / sim.Duration(share))
+	target := w.p.Now().Add(latency)
+	if occDone > target {
+		target = occDone
+	}
+	w.p.SleepUntil(target)
+}
+
+// Exec executes n dependent ALU/control instructions.
+func (w *Warp) Exec(n int) { w.issue(n) }
+
+// SyncWarp is a warp-level barrier; with lockstep lanes it costs one
+// instruction.
+func (w *Warp) SyncWarp() { w.issue(1) }
+
+// acquirePCIe claims one of the GPU's outstanding-PCIe-operation slots;
+// returns a release func (no-op when unlimited).
+func (w *Warp) acquirePCIe() func() {
+	if w.g.pcieSlots == nil {
+		return func() {}
+	}
+	w.g.pcieSlots.Acquire(w.p)
+	return w.g.pcieSlots.Release
+}
+
+// sectors returns the number of 32-byte transactions for n contiguous
+// bytes.
+func sectors(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return uint64((n + 31) / 32)
+}
+
+// ---- device (global) memory: through L2 ----
+
+// ldGlobal performs a coalesced warp load of n contiguous bytes.
+func (w *Warp) ldGlobal(addr memspace.Addr, buf []byte) {
+	w.g.ctr.MemAccesses++
+	w.g.ctr.L2ReadRequests += sectors(len(buf))
+	w.issue(1)
+	hit := true
+	base := uint64(addr) &^ 31
+	end := uint64(addr) + uint64(len(buf))
+	for s := base; s < end; s += 32 {
+		if !w.g.l2.Access(s, false) {
+			hit = false
+			w.g.ctr.L2ReadMisses++
+		} else {
+			w.g.ctr.L2ReadHits++
+		}
+	}
+	// Snapshot the data at probe time: a hit returns the cached epoch's
+	// value even if a DMA write lands during the access latency. (The
+	// write invalidates the sector, so the next access misses and reads
+	// fresh data — exactly how device-memory polling behaves on hardware.)
+	if err := w.g.f.Space().Read(addr, buf); err != nil {
+		panic(fmt.Sprintf("gpusim: %s: %v", w.g.cfg.Name, err))
+	}
+	lat := w.g.cfg.L2HitLatency
+	if !hit {
+		lat += w.g.cfg.DevMemLatency
+	}
+	w.p.Sleep(lat)
+}
+
+// stGlobal performs a coalesced warp store of n contiguous bytes
+// (write-through functionally; fire-and-forget timing beyond issue).
+func (w *Warp) stGlobal(addr memspace.Addr, data []byte) {
+	w.g.ctr.MemAccesses++
+	w.g.ctr.L2WriteRequests += sectors(len(data))
+	w.issue(1)
+	base := uint64(addr) &^ 31
+	end := uint64(addr) + uint64(len(data))
+	for s := base; s < end; s += 32 {
+		w.g.l2.Access(s, true)
+	}
+	if err := w.g.f.Space().Write(addr, data); err != nil {
+		panic(fmt.Sprintf("gpusim: %s: %v", w.g.cfg.Name, err))
+	}
+}
+
+// LdGlobalU64 loads a 64-bit word from device memory.
+func (w *Warp) LdGlobalU64(addr memspace.Addr) uint64 {
+	w.mustDevice(addr, "LdGlobalU64")
+	w.g.ctr.Globmem64Reads++
+	var b [8]byte
+	w.ldGlobal(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// StGlobalU64 stores a 64-bit word to device memory.
+func (w *Warp) StGlobalU64(addr memspace.Addr, v uint64) {
+	w.mustDevice(addr, "StGlobalU64")
+	w.g.ctr.Globmem64Writes++
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.stGlobal(addr, b[:])
+}
+
+// LdGlobalU64Coalesced loads Lanes consecutive 64-bit words starting at
+// addr as one warp instruction (each lane one word).
+func (w *Warp) LdGlobalU64Coalesced(addr memspace.Addr) []uint64 {
+	w.mustDevice(addr, "LdGlobalU64Coalesced")
+	w.g.ctr.Globmem64Reads += uint64(w.Lanes)
+	buf := make([]byte, 8*w.Lanes)
+	w.ldGlobal(addr, buf)
+	out := make([]uint64, w.Lanes)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return out
+}
+
+// StGlobalU64Coalesced stores vals (one per lane, len ≤ Lanes) to
+// consecutive words starting at addr as one warp instruction.
+func (w *Warp) StGlobalU64Coalesced(addr memspace.Addr, vals []uint64) {
+	w.mustDevice(addr, "StGlobalU64Coalesced")
+	if len(vals) > w.Lanes {
+		panic("gpusim: more values than lanes")
+	}
+	w.g.ctr.Globmem64Writes += uint64(len(vals))
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], v)
+	}
+	w.stGlobal(addr, buf)
+}
+
+// FillGlobal writes n bytes of payload into device memory, modelling a
+// coalesced warp copy loop (used by examples to produce data in-kernel).
+func (w *Warp) FillGlobal(addr memspace.Addr, data []byte) {
+	w.mustDevice(addr, "FillGlobal")
+	per := 8 * w.Lanes
+	for off := 0; off < len(data); off += per {
+		end := off + per
+		if end > len(data) {
+			end = len(data)
+		}
+		w.g.ctr.Globmem64Writes += uint64((end - off + 7) / 8)
+		w.stGlobal(addr+memspace.Addr(off), data[off:end])
+	}
+}
+
+// ---- system memory and MMIO: across PCIe, uncached ----
+
+// LdSysU64 loads a 64-bit word from host system memory (or a BAR). The
+// warp stalls for the full PCIe round trip; the transaction also occupies
+// the GPU's egress link, which is how notification polling pressures the
+// fabric in the paper's analysis.
+func (w *Warp) LdSysU64(addr memspace.Addr) uint64 {
+	w.mustNotDevice(addr, "LdSysU64")
+	w.g.ctr.MemAccesses++
+	w.g.ctr.SysmemReads32B++
+	w.g.ctr.L2ReadRequests++ // traverses L2, never hits (uncached)
+	w.g.ctr.L2ReadMisses++
+	w.issue(1)
+	release := w.acquirePCIe()
+	w.p.Sleep(w.g.cfg.PCIeOpOverhead)
+	var b [8]byte
+	w.g.f.Read(w.p, w.g.ep, addr, b[:])
+	release()
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// LdSysU32 loads a 32-bit word from system memory.
+func (w *Warp) LdSysU32(addr memspace.Addr) uint32 {
+	w.mustNotDevice(addr, "LdSysU32")
+	w.g.ctr.MemAccesses++
+	w.g.ctr.SysmemReads32B++
+	w.g.ctr.L2ReadRequests++
+	w.g.ctr.L2ReadMisses++
+	w.issue(1)
+	release := w.acquirePCIe()
+	w.p.Sleep(w.g.cfg.PCIeOpOverhead)
+	var b [4]byte
+	w.g.f.Read(w.p, w.g.ep, addr, b[:])
+	release()
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// StSysU64 posts a 64-bit store to system memory or MMIO. The warp pays
+// issue plus LSU overhead; delivery is asynchronous (posted write).
+func (w *Warp) StSysU64(addr memspace.Addr, v uint64) {
+	w.mustNotDevice(addr, "StSysU64")
+	w.g.ctr.MemAccesses++
+	w.g.ctr.SysmemWrites32B++
+	w.g.ctr.L2WriteRequests++
+	w.issue(1)
+	release := w.acquirePCIe()
+	w.p.Sleep(w.g.cfg.PCIeOpOverhead)
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	w.g.f.PostedWrite(w.g.ep, addr, b)
+	release()
+}
+
+// StSysU32 posts a 32-bit store to system memory or MMIO.
+func (w *Warp) StSysU32(addr memspace.Addr, v uint32) {
+	w.mustNotDevice(addr, "StSysU32")
+	w.g.ctr.MemAccesses++
+	w.g.ctr.SysmemWrites32B++
+	w.g.ctr.L2WriteRequests++
+	w.issue(1)
+	release := w.acquirePCIe()
+	w.p.Sleep(w.g.cfg.PCIeOpOverhead)
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	w.g.f.PostedWrite(w.g.ep, addr, b)
+	release()
+}
+
+// StSysCoalesced posts data (multiple of 8 bytes, ≤ Lanes words) as one
+// warp store instruction — the thread-collective descriptor-write
+// optimization the paper's claims call for. Transactions are counted per
+// 32-byte sector instead of per word.
+func (w *Warp) StSysCoalesced(addr memspace.Addr, data []byte) {
+	w.mustNotDevice(addr, "StSysCoalesced")
+	if len(data) > 8*w.Lanes {
+		panic("gpusim: StSysCoalesced wider than warp")
+	}
+	w.g.ctr.MemAccesses++
+	w.g.ctr.SysmemWrites32B += sectors(len(data))
+	w.g.ctr.L2WriteRequests += sectors(len(data))
+	w.issue(1)
+	release := w.acquirePCIe()
+	w.p.Sleep(w.g.cfg.PCIeOpOverhead)
+	cp := append([]byte(nil), data...)
+	w.g.f.PostedWrite(w.g.ep, addr, cp)
+	release()
+}
+
+// ThreadfenceSystem orders this warp's prior stores against all observers
+// (__threadfence_system): it blocks until posted writes have drained.
+func (w *Warp) ThreadfenceSystem() {
+	w.issue(1)
+	w.g.f.FlushWrites(w.p, w.g.ep)
+}
+
+// ---- guards ----
+
+func (w *Warp) mustDevice(addr memspace.Addr, op string) {
+	if !w.g.isDevice(addr) {
+		panic(fmt.Sprintf("gpusim: %s: %s at %#x is not device memory", w.g.cfg.Name, op, uint64(addr)))
+	}
+}
+
+func (w *Warp) mustNotDevice(addr memspace.Addr, op string) {
+	if w.g.isDevice(addr) {
+		panic(fmt.Sprintf("gpusim: %s: %s at %#x targets device memory; use the global-memory ops", w.g.cfg.Name, op, uint64(addr)))
+	}
+}
+
+// PollGlobalU64Masked spins on a device-memory word until (value & mask)
+// == want, returning the full word that satisfied the condition. It is
+// semantically identical to a LdGlobalU64 spin loop — same instruction,
+// L2 and access counters, same observation times — but between inbound
+// writes it parks on the GPU's inbound-write signal and bulk-accounts the
+// probes that would have happened, keeping simulation cost independent of
+// how long the wait is.
+//
+// The per-probe cost model is one load instruction plus four address/
+// compare/branch instructions, one L2 hit, and the configured spin-loop
+// stall. (While spinning, the polled sector is L2 resident by
+// construction; only the probes after an invalidation miss.)
+func (w *Warp) PollGlobalU64Masked(addr memspace.Addr, want, mask uint64) uint64 {
+	w.mustDevice(addr, "PollGlobalU64Masked")
+	probe := 5*w.g.cfg.IssueCost + w.g.cfg.L2HitLatency + w.g.cfg.PollLoopStall
+	for {
+		epoch := w.g.inboundEpoch
+		v := w.LdGlobalU64(addr)
+		w.Exec(4)
+		if v&mask == want {
+			return v
+		}
+		w.p.Sleep(w.g.cfg.PollLoopStall)
+		if w.g.inboundEpoch != epoch {
+			// A write landed while we were probing; re-probe immediately.
+			continue
+		}
+		start := w.p.Now()
+		w.g.inboundSig.Wait(w.p)
+		// Account the probes that would have run during the wait.
+		skipped := uint64(w.p.Now().Sub(start) / probe)
+		w.g.ctr.InstrExecuted += 5 * skipped
+		w.g.ctr.MemAccesses += skipped
+		w.g.ctr.Globmem64Reads += skipped
+		w.g.ctr.L2ReadRequests += skipped
+		w.g.ctr.L2ReadHits += skipped
+	}
+}
+
+// PollGlobalU64 spins until the device-memory word equals want.
+func (w *Warp) PollGlobalU64(addr memspace.Addr, want uint64) uint64 {
+	return w.PollGlobalU64Masked(addr, want, ^uint64(0))
+}
+
+// LdSysBytes reads n contiguous bytes from system memory as independent
+// loads issued back-to-back: one instruction and one 32-byte transaction
+// per sector, but a single PCIe round trip (memory-level parallelism).
+func (w *Warp) LdSysBytes(addr memspace.Addr, buf []byte) {
+	w.mustNotDevice(addr, "LdSysBytes")
+	n := sectors(len(buf))
+	w.g.ctr.MemAccesses++
+	w.g.ctr.SysmemReads32B += n
+	w.g.ctr.L2ReadRequests += n
+	w.g.ctr.L2ReadMisses += n
+	w.issue(1)
+	release := w.acquirePCIe()
+	w.p.Sleep(w.g.cfg.PCIeOpOverhead)
+	w.g.f.Read(w.p, w.g.ep, addr, buf)
+	release()
+}
+
+// LdGlobalBytes reads n contiguous bytes from device memory as one
+// coalesced access.
+func (w *Warp) LdGlobalBytes(addr memspace.Addr, buf []byte) {
+	w.mustDevice(addr, "LdGlobalBytes")
+	w.g.ctr.Globmem64Reads += uint64((len(buf) + 7) / 8)
+	w.ldGlobal(addr, buf)
+}
+
+// AtomicAddGlobalU64 performs an atomic fetch-and-add on a device-memory
+// word. Atomics execute at the L2 (they bypass the SM caches), so the
+// cost is one instruction plus an L2 round trip regardless of hit state.
+func (w *Warp) AtomicAddGlobalU64(addr memspace.Addr, delta uint64) uint64 {
+	w.mustDevice(addr, "AtomicAddGlobalU64")
+	w.g.ctr.MemAccesses++
+	w.g.ctr.Globmem64Reads++
+	w.g.ctr.Globmem64Writes++
+	w.g.ctr.L2ReadRequests++
+	w.g.ctr.L2WriteRequests++
+	w.g.l2.Access(uint64(addr), true)
+	w.issue(1)
+	var b [8]byte
+	if err := w.g.f.Space().Read(addr, b[:]); err != nil {
+		panic(fmt.Sprintf("gpusim: %s: %v", w.g.cfg.Name, err))
+	}
+	old := binary.LittleEndian.Uint64(b[:])
+	binary.LittleEndian.PutUint64(b[:], old+delta)
+	if err := w.g.f.Space().Write(addr, b[:]); err != nil {
+		panic(fmt.Sprintf("gpusim: %s: %v", w.g.cfg.Name, err))
+	}
+	// The L2 atomic unit serializes same-address atomics; approximate
+	// with the hit latency plus a fixed atomic-unit occupancy.
+	w.p.Sleep(w.g.cfg.L2HitLatency + 4*w.g.cfg.IssueCost)
+	return old
+}
+
+// CASGlobalU64 performs an atomic compare-and-swap on a device-memory
+// word, returning the previous value.
+func (w *Warp) CASGlobalU64(addr memspace.Addr, expect, desired uint64) uint64 {
+	w.mustDevice(addr, "CASGlobalU64")
+	w.g.ctr.MemAccesses++
+	w.g.ctr.Globmem64Reads++
+	w.g.ctr.L2ReadRequests++
+	w.g.l2.Access(uint64(addr), true)
+	w.issue(1)
+	var b [8]byte
+	if err := w.g.f.Space().Read(addr, b[:]); err != nil {
+		panic(fmt.Sprintf("gpusim: %s: %v", w.g.cfg.Name, err))
+	}
+	old := binary.LittleEndian.Uint64(b[:])
+	if old == expect {
+		w.g.ctr.Globmem64Writes++
+		w.g.ctr.L2WriteRequests++
+		binary.LittleEndian.PutUint64(b[:], desired)
+		if err := w.g.f.Space().Write(addr, b[:]); err != nil {
+			panic(fmt.Sprintf("gpusim: %s: %v", w.g.cfg.Name, err))
+		}
+	}
+	w.p.Sleep(w.g.cfg.L2HitLatency + 4*w.g.cfg.IssueCost)
+	return old
+}

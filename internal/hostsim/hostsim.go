@@ -1,0 +1,153 @@
+// Package hostsim models the host CPU side of the testbed: a fast
+// single-thread processor with cache-speed access to its own RAM, MMIO
+// over the PCIe fabric, and helper loops for the polling and host-assisted
+// protocols the paper measures.
+//
+// The model is intentionally coarse — the paper's point is precisely that
+// CPU-side work-request generation and notification polling are cheap, so
+// only a handful of cost parameters matter.
+package hostsim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"putget/internal/memspace"
+	"putget/internal/pcie"
+	"putget/internal/sim"
+)
+
+// Config fixes the CPU cost model.
+type Config struct {
+	Name string
+	// MemLatency is one cached host-RAM access (also the polling cadence).
+	MemLatency sim.Duration
+	// MMIOWriteCost is the core-side cost to retire one posted MMIO store
+	// (the fabric adds serialization and flight time).
+	MMIOWriteCost sim.Duration
+	// WRGenCost is the host-side cost to build one work request.
+	WRGenCost sim.Duration
+	// HostRAM is the region served without crossing PCIe.
+	HostRAM memspace.Region
+	// PCIe configures the CPU's fabric port.
+	PCIe pcie.EndpointConfig
+}
+
+// CPU is one host processor attached to a node fabric. Its methods charge
+// virtual time on the calling process, which plays the role of a pinned
+// host thread.
+type CPU struct {
+	cfg Config
+	e   *sim.Engine
+	f   *pcie.Fabric
+	ep  *pcie.Endpoint
+
+	// inboundSig/inboundEpoch let PollU64 park between DMA writes into
+	// host RAM instead of simulating every cache-speed probe.
+	inboundSig   *sim.Signal
+	inboundEpoch uint64
+}
+
+// New attaches a CPU endpoint to the fabric.
+func New(e *sim.Engine, f *pcie.Fabric, cfg Config) *CPU {
+	c := &CPU{cfg: cfg, e: e, f: f}
+	c.ep = f.AddEndpoint(cfg.Name, cfg.PCIe)
+	c.inboundSig = sim.NewSignal(e)
+	return c
+}
+
+// Endpoint returns the CPU's fabric port.
+func (c *CPU) Endpoint() *pcie.Endpoint { return c.ep }
+
+// Name returns the configured name.
+func (c *CPU) Name() string { return c.cfg.Name }
+
+func (c *CPU) isLocal(addr memspace.Addr) bool { return c.cfg.HostRAM.Contains(addr) }
+
+// Compute charges d of pure CPU time.
+func (c *CPU) Compute(p *sim.Proc, d sim.Duration) { p.Sleep(d) }
+
+// GenWR charges the host-side cost of building one work request.
+func (c *CPU) GenWR(p *sim.Proc) { p.Sleep(c.cfg.WRGenCost) }
+
+// ReadU64 loads a 64-bit word: cache-speed from host RAM, a full PCIe
+// round trip otherwise.
+func (c *CPU) ReadU64(p *sim.Proc, addr memspace.Addr) uint64 {
+	var b [8]byte
+	c.Read(p, addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Read loads len(b) bytes.
+func (c *CPU) Read(p *sim.Proc, addr memspace.Addr, b []byte) {
+	if c.isLocal(addr) {
+		p.Sleep(c.cfg.MemLatency)
+		if err := c.f.Space().Read(addr, b); err != nil {
+			panic(fmt.Sprintf("hostsim: %s: %v", c.cfg.Name, err))
+		}
+		return
+	}
+	c.f.Read(p, c.ep, addr, b)
+}
+
+// WriteU64 stores a 64-bit word: host RAM at cache speed, posted MMIO
+// otherwise.
+func (c *CPU) WriteU64(p *sim.Proc, addr memspace.Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	c.Write(p, addr, b[:])
+}
+
+// Write stores b at addr.
+func (c *CPU) Write(p *sim.Proc, addr memspace.Addr, b []byte) {
+	if c.isLocal(addr) {
+		p.Sleep(c.cfg.MemLatency)
+		if err := c.f.Space().Write(addr, b); err != nil {
+			panic(fmt.Sprintf("hostsim: %s: %v", c.cfg.Name, err))
+		}
+		return
+	}
+	p.Sleep(c.cfg.MMIOWriteCost)
+	cp := append([]byte(nil), b...)
+	c.f.PostedWrite(c.ep, addr, cp)
+}
+
+// MMIOWriteBurst posts data as one write-combined MMIO store burst (the
+// x86 WC path hosts use to hand descriptors to a BAR in few TLPs).
+func (c *CPU) MMIOWriteBurst(p *sim.Proc, addr memspace.Addr, data []byte) {
+	p.Sleep(c.cfg.MMIOWriteCost)
+	cp := append([]byte(nil), data...)
+	c.f.PostedWrite(c.ep, addr, cp)
+}
+
+// NotifyInboundWrite wakes pollers after a DMA write into host RAM; the
+// cluster wires it to the host-memory endpoint's inbound-write hook.
+func (c *CPU) NotifyInboundWrite() {
+	c.inboundEpoch++
+	c.inboundSig.Broadcast()
+}
+
+// PollU64 re-reads addr until pred is satisfied, returning the value that
+// satisfied it. Polling host RAM runs at cache cadence but parks between
+// inbound DMA writes (the only way the value can change under the single-
+// writer protocols this repository models); polling across PCIe pays a
+// full round trip per probe.
+func (c *CPU) PollU64(p *sim.Proc, addr memspace.Addr, pred func(uint64) bool) uint64 {
+	local := c.isLocal(addr)
+	for {
+		epoch := c.inboundEpoch
+		v := c.ReadU64(p, addr)
+		if pred(v) {
+			return v
+		}
+		if !local || c.inboundEpoch != epoch {
+			continue
+		}
+		c.inboundSig.Wait(p)
+	}
+}
+
+// WaitFlag polls addr until it holds exactly want, then returns.
+func (c *CPU) WaitFlag(p *sim.Proc, addr memspace.Addr, want uint64) {
+	c.PollU64(p, addr, func(v uint64) bool { return v == want })
+}

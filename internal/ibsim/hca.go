@@ -1,0 +1,612 @@
+package ibsim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"putget/internal/memspace"
+	"putget/internal/pcie"
+	"putget/internal/sim"
+	"putget/internal/wire"
+)
+
+// Config fixes the HCA's processing model.
+type Config struct {
+	Name    string
+	BARBase memspace.Addr
+	// WQEFetchBatch bounds how many SQ WQEs one DMA burst fetches after a
+	// doorbell (hardware prefetches several descriptors per read).
+	WQEFetchBatch int
+	// ProcessTime is the engine occupancy per send WQE.
+	ProcessTime sim.Duration
+	// RxProcessTime is the engine occupancy per received packet.
+	RxProcessTime sim.Duration
+	// DMAContexts bounds outstanding DMA jobs.
+	DMAContexts int
+	// MTU is the path maximum transfer unit; the wire carries one header
+	// per MTU segment. 0 defaults to 2048.
+	MTU int
+	// PCIe configures the HCA's fabric port.
+	PCIe pcie.EndpointConfig
+}
+
+// Stats counts HCA activity.
+type Stats struct {
+	WQEsExecuted   uint64
+	PacketsRx      uint64
+	CQEsWritten    uint64
+	CQOverflows    uint64
+	RNRDrops       uint64 // sends/write-imms arriving with an empty RQ
+	ProtectionErrs uint64
+	ReadsServed    uint64 // RDMA READ requests answered
+	FlushedWQEs    uint64 // WQEs completed with flush error on an ERR QP
+	DroppedOnErrQP uint64 // packets dropped because the QP was in ERR
+}
+
+// Packet is one RC transport packet between the two HCAs.
+type Packet struct {
+	Opcode int
+	Flags  int
+	SrcQPN uint32
+	DstQPN uint32
+	RAddr  uint64
+	RKey   uint32
+	Imm    uint32
+	WRID   uint64
+	// LAddr echoes the requester's landing address on RDMA READ requests
+	// so the response can be scattered without extra origin state.
+	LAddr uint64
+	Data  []byte
+}
+
+// opReadResp is the internal opcode of an RDMA READ response packet.
+const opReadResp = 100
+
+// PktHeader is the wire overhead per packet (LRH+BTH+RETH+ICRC ≈ 30-58 B).
+const PktHeader = 48
+
+// mtu returns the configured path MTU.
+func (h *HCA) mtu() int {
+	if h.cfg.MTU > 0 {
+		return h.cfg.MTU
+	}
+	return 2048
+}
+
+// wireBytes is the on-cable size of a payload: one header per MTU segment.
+func (h *HCA) wireBytes(payload int) int {
+	segs := (payload + h.mtu() - 1) / h.mtu()
+	if segs < 1 {
+		segs = 1
+	}
+	return payload + segs*PktHeader
+}
+
+// DoorbellSQ and DoorbellRQ are register offsets in the HCA BAR page.
+const (
+	DoorbellSQ = 0x00
+	DoorbellRQ = 0x08
+)
+
+// MR is a registered memory region. InfiniBand identifies memory by
+// virtual address + key pair, unlike EXTOLL's NLAs.
+type MR struct {
+	Base memspace.Addr
+	Size uint64
+	LKey uint32
+	RKey uint32
+}
+
+// Contains checks [addr, addr+n) against the registration.
+func (m *MR) Contains(addr uint64, n int) bool {
+	return addr >= uint64(m.Base) && addr+uint64(n) <= uint64(m.Base)+m.Size
+}
+
+// CQ is a completion queue whose ring lives wherever software allocated
+// it — host memory or GPU device memory; the paper's Table II compares
+// exactly these two placements.
+type CQ struct {
+	hca     *HCA
+	Ring    memspace.Addr
+	Entries int
+	wp      int
+}
+
+// EntryAddr returns the address of CQE slot idx (mod ring size).
+func (c *CQ) EntryAddr(idx int) memspace.Addr {
+	return c.Ring + memspace.Addr((idx%c.Entries)*CQEBytes)
+}
+
+// push writes a CQE into the next slot (posted DMA write); software frees
+// slots by zeroing them after polling.
+func (c *CQ) push(cqe CQE) {
+	addr := c.EntryAddr(c.wp)
+	if w0, err := c.hca.f.Space().ReadU64(addr); err == nil && CQEValidWord(w0) {
+		c.hca.stats.CQOverflows++
+		return
+	}
+	cqe.Valid = true
+	buf := make([]byte, CQEBytes)
+	EncodeCQE(cqe, buf)
+	c.hca.f.PostedWrite(c.hca.ep, addr, buf)
+	c.wp++
+	c.hca.stats.CQEsWritten++
+}
+
+// QP states, following the Verbs state machine (simplified: no SQD).
+type QPState int
+
+// Valid states.
+const (
+	StateReset QPState = iota
+	StateInit
+	StateRTR
+	StateRTS
+	StateErr
+)
+
+// String implements fmt.Stringer.
+func (s QPState) String() string {
+	switch s {
+	case StateReset:
+		return "RESET"
+	case StateInit:
+		return "INIT"
+	case StateRTR:
+		return "RTR"
+	case StateRTS:
+		return "RTS"
+	case StateErr:
+		return "ERR"
+	}
+	return "?"
+}
+
+// QP is a queue pair. The send and receive rings live wherever software
+// allocated them (host or GPU memory).
+type QP struct {
+	hca       *HCA
+	QPN       uint32
+	SQ        memspace.Addr
+	SQEntries int
+	RQ        memspace.Addr
+	RQEntries int
+	SendCQ    *CQ
+	RecvCQ    *CQ
+
+	remoteQPN uint32
+	state     QPState
+
+	sqHeadHW int // next WQE the hardware will fetch
+	sqTailHW int // producer index last doorbelled
+	rqHeadHW int
+	rqTailHW int
+
+	doorbell *sim.Signal
+	lastSent *sim.Completion // chains senders to keep RC ordering
+}
+
+// SQSlotAddr returns the address of send-WQE slot idx (mod ring).
+func (q *QP) SQSlotAddr(idx int) memspace.Addr {
+	return q.SQ + memspace.Addr((idx%q.SQEntries)*WQEBytes)
+}
+
+// RQSlotAddr returns the address of recv-WQE slot idx (mod ring).
+func (q *QP) RQSlotAddr(idx int) memspace.Addr {
+	return q.RQ + memspace.Addr((idx%q.RQEntries)*RecvWQEBytes)
+}
+
+// HCA is one InfiniBand adapter on a node fabric.
+type HCA struct {
+	cfg Config
+	e   *sim.Engine
+	f   *pcie.Fabric
+	ep  *pcie.Endpoint
+	bar memspace.Region
+
+	mrs      []*MR
+	nextKey  uint32
+	qps      map[uint32]*QP
+	nextQPN  uint32
+	dmaSlots *sim.Resource
+	tx       *wire.Link[Packet]
+	stats    Stats
+}
+
+// New creates an HCA and claims its doorbell BAR.
+func New(e *sim.Engine, f *pcie.Fabric, cfg Config) *HCA {
+	if cfg.WQEFetchBatch <= 0 || cfg.DMAContexts <= 0 {
+		panic("ibsim: invalid config")
+	}
+	h := &HCA{cfg: cfg, e: e, f: f, qps: map[uint32]*QP{}, nextKey: 1000, nextQPN: 1}
+	h.ep = f.AddEndpoint(cfg.Name, cfg.PCIe)
+	h.bar = memspace.Region{Base: cfg.BARBase, Size: 4096}
+	f.ClaimMMIO(h.ep, h.bar, (*dbTarget)(h))
+	h.dmaSlots = sim.NewResource(e, cfg.DMAContexts)
+	return h
+}
+
+// Endpoint returns the HCA's fabric port.
+func (h *HCA) Endpoint() *pcie.Endpoint { return h.ep }
+
+// BAR returns the doorbell page region.
+func (h *HCA) BAR() memspace.Region { return h.bar }
+
+// DoorbellSQAddr returns the SQ doorbell register address.
+func (h *HCA) DoorbellSQAddr() memspace.Addr { return h.bar.Base + DoorbellSQ }
+
+// DoorbellRQAddr returns the RQ doorbell register address.
+func (h *HCA) DoorbellRQAddr() memspace.Addr { return h.bar.Base + DoorbellRQ }
+
+// Stats returns a snapshot of activity counters.
+func (h *HCA) Stats() Stats { return h.stats }
+
+// AttachWire sets the transmit link and starts the receive engine.
+func (h *HCA) AttachWire(tx, rx *wire.Link[Packet]) {
+	h.tx = tx
+	h.e.Spawn(h.cfg.Name+".rx", func(p *sim.Proc) {
+		for {
+			pkt := rx.Recv(p)
+			h.receive(p, pkt)
+		}
+	})
+}
+
+// RegMR registers [base, base+size) and returns its keys. With the
+// GPUDirect patch (always applied here) GPU device memory registers the
+// same way as host memory.
+func (h *HCA) RegMR(base memspace.Addr, size uint64) *MR {
+	mr := &MR{Base: base, Size: size, LKey: h.nextKey, RKey: h.nextKey + 1}
+	h.nextKey += 2
+	h.mrs = append(h.mrs, mr)
+	return mr
+}
+
+func (h *HCA) lookupLKey(key uint32, addr uint64, n int) (*MR, bool) {
+	for _, mr := range h.mrs {
+		if mr.LKey == key && mr.Contains(addr, n) {
+			return mr, true
+		}
+	}
+	return nil, false
+}
+
+func (h *HCA) lookupRKey(key uint32, addr uint64, n int) (*MR, bool) {
+	for _, mr := range h.mrs {
+		if mr.RKey == key && mr.Contains(addr, n) {
+			return mr, true
+		}
+	}
+	return nil, false
+}
+
+// CreateCQ wraps a software-allocated ring as a completion queue.
+func (h *HCA) CreateCQ(ring memspace.Addr, entries int) *CQ {
+	if entries <= 0 {
+		panic("ibsim: CQ needs entries")
+	}
+	return &CQ{hca: h, Ring: ring, Entries: entries}
+}
+
+// CreateQP wraps software-allocated SQ/RQ rings as a queue pair.
+func (h *HCA) CreateQP(sq memspace.Addr, sqEntries int, rq memspace.Addr, rqEntries int, sendCQ, recvCQ *CQ) *QP {
+	if sqEntries <= 0 || rqEntries <= 0 {
+		panic("ibsim: QP needs ring entries")
+	}
+	qp := &QP{
+		hca: h, QPN: h.nextQPN, SQ: sq, SQEntries: sqEntries,
+		RQ: rq, RQEntries: rqEntries, SendCQ: sendCQ, RecvCQ: recvCQ,
+		doorbell: sim.NewSignal(h.e),
+	}
+	h.nextQPN++
+	h.qps[qp.QPN] = qp
+	return qp
+}
+
+// State returns the QP's current state.
+func (q *QP) State() QPState { return q.state }
+
+// ModifyQP drives the Verbs state machine. Legal forward transitions are
+// RESET→INIT→RTR→RTS; any state may move to ERR; ERR or any state may be
+// reset to RESET (which also clears the hardware indices).
+func (q *QP) ModifyQP(next QPState) error {
+	legal := next == StateErr || next == StateReset ||
+		(q.state == StateReset && next == StateInit) ||
+		(q.state == StateInit && next == StateRTR) ||
+		(q.state == StateRTR && next == StateRTS)
+	if !legal {
+		return fmt.Errorf("ibsim: illegal QP transition %v -> %v", q.state, next)
+	}
+	if next == StateReset {
+		q.sqHeadHW, q.sqTailHW, q.rqHeadHW, q.rqTailHW = 0, 0, 0, 0
+	}
+	q.state = next
+	return nil
+}
+
+// ConnectQPs walks both QPs of an RC connection through INIT/RTR to RTS
+// and starts their send engines.
+func ConnectQPs(a, b *QP) {
+	if a.state != StateReset || b.state != StateReset {
+		panic("ibsim: QP already connected")
+	}
+	a.remoteQPN, b.remoteQPN = b.QPN, a.QPN
+	for _, q := range []*QP{a, b} {
+		mustModify(q, StateInit)
+		mustModify(q, StateRTR)
+		mustModify(q, StateRTS)
+	}
+	a.hca.e.Spawn(fmt.Sprintf("%s.qp%d.send", a.hca.cfg.Name, a.QPN), func(p *sim.Proc) { a.hca.sendEngine(p, a) })
+	b.hca.e.Spawn(fmt.Sprintf("%s.qp%d.send", b.hca.cfg.Name, b.QPN), func(p *sim.Proc) { b.hca.sendEngine(p, b) })
+}
+
+func mustModify(q *QP, s QPState) {
+	if err := q.ModifyQP(s); err != nil {
+		panic(err)
+	}
+}
+
+// ---- doorbell MMIO ----
+
+type dbTarget HCA
+
+func (dt *dbTarget) MMIOWrite(addr memspace.Addr, data []byte) {
+	h := (*HCA)(dt)
+	if len(data) < 8 {
+		panic(fmt.Sprintf("ibsim: %s: short doorbell write", h.cfg.Name))
+	}
+	v := binary.LittleEndian.Uint64(data)
+	qpn := uint32(v >> 32)
+	idx := int(uint32(v))
+	qp, ok := h.qps[qpn]
+	if !ok {
+		panic(fmt.Sprintf("ibsim: %s: doorbell for unknown QP %d", h.cfg.Name, qpn))
+	}
+	switch uint64(addr - h.bar.Base) {
+	case DoorbellSQ:
+		if idx > qp.sqTailHW {
+			qp.sqTailHW = idx
+			qp.doorbell.Broadcast()
+		}
+	case DoorbellRQ:
+		if idx > qp.rqTailHW {
+			qp.rqTailHW = idx
+		}
+	default:
+		panic(fmt.Sprintf("ibsim: %s: write to unknown register +%#x", h.cfg.Name, uint64(addr-h.bar.Base)))
+	}
+}
+
+func (dt *dbTarget) MMIORead(addr memspace.Addr, data []byte) {
+	for i := range data {
+		data[i] = 0
+	}
+}
+
+// ---- send engine ----
+
+// sendEngine fetches and executes this QP's WQEs: batch DMA reads of
+// descriptors (from host or GPU memory — the location drives the paper's
+// Table II comparison), then per-WQE payload DMA and transmission.
+func (h *HCA) sendEngine(p *sim.Proc, qp *QP) {
+	for {
+		for qp.sqHeadHW >= qp.sqTailHW {
+			qp.doorbell.Wait(p)
+		}
+		batch := qp.sqTailHW - qp.sqHeadHW
+		if batch > h.cfg.WQEFetchBatch {
+			batch = h.cfg.WQEFetchBatch
+		}
+		// Never read across the ring wrap in one burst.
+		slot := qp.sqHeadHW % qp.SQEntries
+		if slot+batch > qp.SQEntries {
+			batch = qp.SQEntries - slot
+		}
+		buf := make([]byte, batch*WQEBytes)
+		h.dmaSlots.Acquire(p)
+		h.f.ReadBulk(p, h.ep, qp.SQSlotAddr(qp.sqHeadHW), buf)
+		h.dmaSlots.Release()
+		if h.e.Trace != nil {
+			h.e.Tracef("%s: qp%d fetched %d WQE(s)", h.cfg.Name, qp.QPN, batch)
+		}
+		for i := 0; i < batch; i++ {
+			wqe, err := DecodeWQE(buf[i*WQEBytes:])
+			if err != nil {
+				panic(fmt.Sprintf("ibsim: %s qp%d: %v", h.cfg.Name, qp.QPN, err))
+			}
+			p.Sleep(h.cfg.ProcessTime)
+			h.execute(qp, wqe)
+		}
+		qp.sqHeadHW += batch
+	}
+}
+
+// execute launches one WQE's payload DMA + transmit, chained to preserve
+// RC in-order delivery. On an ERR queue pair the WQE is flushed with an
+// error completion instead.
+func (h *HCA) execute(qp *QP, wqe WQE) {
+	if qp.state != StateRTS {
+		h.stats.FlushedWQEs++
+		qp.SendCQ.push(CQE{
+			Opcode: wqe.Opcode, WRID: wqe.WRID, QPN: qp.QPN, Status: StatusErr,
+		})
+		return
+	}
+	prev := qp.lastSent
+	sent := sim.NewCompletion(h.e)
+	qp.lastSent = sent
+	h.stats.WQEsExecuted++
+	h.e.Spawn(fmt.Sprintf("%s.qp%d.tx", h.cfg.Name, qp.QPN), func(p *sim.Proc) {
+		var data []byte
+		status := StatusOK
+		switch {
+		case wqe.Flags&FlagInline != 0:
+			// Inline payload travels in the descriptor itself: no DMA.
+			data = wqe.Inline
+		case wqe.Opcode == OpRDMARead:
+			// Reads carry no payload; validate the landing buffer now.
+			if _, ok := h.lookupLKey(wqe.LKey, wqe.LAddr, wqe.Length); !ok {
+				h.stats.ProtectionErrs++
+				status = StatusErr
+			}
+		case wqe.Length > 0:
+			if _, ok := h.lookupLKey(wqe.LKey, wqe.LAddr, wqe.Length); !ok {
+				h.stats.ProtectionErrs++
+				status = StatusErr
+			} else {
+				data = make([]byte, wqe.Length)
+				h.dmaSlots.Acquire(p)
+				h.f.ReadBulk(p, h.ep, memspace.Addr(wqe.LAddr), data)
+				h.dmaSlots.Release()
+			}
+		}
+		if prev != nil {
+			prev.Wait(p)
+		}
+		if status == StatusOK {
+			pkt := Packet{
+				Opcode: wqe.Opcode, Flags: wqe.Flags, SrcQPN: qp.QPN, DstQPN: qp.remoteQPN,
+				RAddr: wqe.RAddr, RKey: wqe.RKey, Imm: wqe.Imm, WRID: wqe.WRID, Data: data,
+			}
+			if wqe.Opcode == OpRDMARead {
+				pkt.LAddr = wqe.LAddr
+				pkt.Data = nil
+				// A read request is header-only; record the expected
+				// length in RAddr-relative terms via the packet length.
+				pkt.Imm = uint32(wqe.Length)
+				h.tx.Send(pkt, PktHeader)
+			} else {
+				h.tx.Send(pkt, h.wireBytes(len(data)))
+			}
+		}
+		sent.Complete()
+		// A protection error moves the QP to ERR; later WQEs flush.
+		if status != StatusOK {
+			qp.state = StateErr
+		}
+		// RDMA READ completes only when the response lands (see
+		// completeReadResp); everything else completes locally.
+		if wqe.Opcode != OpRDMARead || status != StatusOK {
+			if wqe.Flags&FlagSignaled != 0 || status != StatusOK {
+				qp.SendCQ.push(CQE{
+					Opcode: wqe.Opcode, WRID: wqe.WRID, ByteLen: wqe.Length,
+					QPN: qp.QPN, Status: status,
+				})
+			}
+		}
+	})
+}
+
+// ---- receive engine ----
+
+// receive lands one packet: RDMA writes go straight to memory; immediate
+// and send operations additionally consume a receive WQE and complete into
+// the receive CQ. Runs serially per HCA, preserving arrival order.
+func (h *HCA) receive(p *sim.Proc, pkt Packet) {
+	if h.e.Trace != nil {
+		h.e.Tracef("%s: rx opcode %d, %dB for qp%d", h.cfg.Name, pkt.Opcode, len(pkt.Data), pkt.DstQPN)
+	}
+	h.stats.PacketsRx++
+	p.Sleep(h.cfg.RxProcessTime)
+	qp, ok := h.qps[pkt.DstQPN]
+	if !ok {
+		panic(fmt.Sprintf("ibsim: %s: packet for unknown QP %d", h.cfg.Name, pkt.DstQPN))
+	}
+	if qp.state != StateRTS && qp.state != StateRTR {
+		h.stats.DroppedOnErrQP++
+		return
+	}
+	switch pkt.Opcode {
+	case OpRDMAWrite, OpRDMAWriteImm:
+		if _, ok := h.lookupRKey(pkt.RKey, pkt.RAddr, len(pkt.Data)); !ok {
+			h.stats.ProtectionErrs++
+			return
+		}
+		if len(pkt.Data) > 0 {
+			h.f.WriteBulk(p, h.ep, memspace.Addr(pkt.RAddr), pkt.Data)
+		}
+		if pkt.Opcode == OpRDMAWriteImm {
+			h.completeReceive(p, qp, pkt, 0)
+		}
+	case OpSend:
+		h.completeReceive(p, qp, pkt, 1)
+	case OpRDMARead:
+		h.serveRead(p, qp, pkt)
+	case opReadResp:
+		h.completeReadResp(p, qp, pkt)
+	default:
+		panic(fmt.Sprintf("ibsim: %s: bad opcode %d", h.cfg.Name, pkt.Opcode))
+	}
+}
+
+// serveRead answers a remote read: fetch local memory (the responder-side
+// DMA pays the P2P read path when the region is GPU memory) and return
+// the data.
+func (h *HCA) serveRead(p *sim.Proc, qp *QP, pkt Packet) {
+	length := int(pkt.Imm)
+	if _, ok := h.lookupRKey(pkt.RKey, pkt.RAddr, length); !ok {
+		h.stats.ProtectionErrs++
+		return
+	}
+	data := make([]byte, length)
+	h.dmaSlots.Acquire(p)
+	h.f.ReadBulk(p, h.ep, memspace.Addr(pkt.RAddr), data)
+	h.dmaSlots.Release()
+	h.stats.ReadsServed++
+	h.tx.Send(Packet{
+		Opcode: opReadResp, Flags: pkt.Flags, SrcQPN: qp.QPN, DstQPN: pkt.SrcQPN,
+		LAddr: pkt.LAddr, WRID: pkt.WRID, Data: data,
+	}, h.wireBytes(length))
+}
+
+// completeReadResp lands read data at the origin and completes the read
+// WQE into the send CQ.
+func (h *HCA) completeReadResp(p *sim.Proc, qp *QP, pkt Packet) {
+	if len(pkt.Data) > 0 {
+		h.f.WriteBulk(p, h.ep, memspace.Addr(pkt.LAddr), pkt.Data)
+	}
+	if pkt.Flags&FlagSignaled != 0 {
+		qp.SendCQ.push(CQE{
+			Opcode: OpRDMARead, WRID: pkt.WRID, ByteLen: len(pkt.Data),
+			QPN: qp.QPN, Status: StatusOK,
+		})
+	}
+}
+
+// completeReceive consumes one recv WQE. useAddr selects whether the
+// payload lands at the recv WQE's address (send) or was already written
+// via RETH (write-with-immediate, where the recv address may be zero —
+// §IV-A of the paper).
+func (h *HCA) completeReceive(p *sim.Proc, qp *QP, pkt Packet, useAddr int) {
+	if qp.rqHeadHW >= qp.rqTailHW {
+		// No posted receive: the RC transport would RNR-NAK; the paper
+		// says "the communication fails".
+		h.stats.RNRDrops++
+		return
+	}
+	slotAddr := qp.RQSlotAddr(qp.rqHeadHW)
+	qp.rqHeadHW++
+	// Receive WQEs are prefetched into the HCA's descriptor cache ahead
+	// of packet arrival; charge only the cache access, not a PCIe trip.
+	buf := make([]byte, RecvWQEBytes)
+	p.Sleep(100 * sim.Nanosecond)
+	if err := h.f.Space().Read(slotAddr, buf); err != nil {
+		panic(fmt.Sprintf("ibsim: %s: rq fetch: %v", h.cfg.Name, err))
+	}
+	rwqe, err := DecodeRecvWQE(buf)
+	if err != nil {
+		panic(fmt.Sprintf("ibsim: %s qp%d: %v", h.cfg.Name, qp.QPN, err))
+	}
+	if useAddr == 1 && len(pkt.Data) > 0 {
+		if _, ok := h.lookupLKey(rwqe.LKey, rwqe.Addr, len(pkt.Data)); !ok {
+			h.stats.ProtectionErrs++
+			qp.RecvCQ.push(CQE{Opcode: pkt.Opcode, WRID: rwqe.WRID, QPN: qp.QPN, Status: StatusErr})
+			return
+		}
+		h.f.WriteBulk(p, h.ep, memspace.Addr(rwqe.Addr), pkt.Data)
+	}
+	qp.RecvCQ.push(CQE{
+		Opcode: pkt.Opcode, WRID: rwqe.WRID, ByteLen: len(pkt.Data),
+		Imm: pkt.Imm, QPN: qp.QPN, Status: StatusOK,
+	})
+}

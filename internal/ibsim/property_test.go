@@ -1,0 +1,130 @@
+package ibsim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Property: WQE encode/decode round-trips all non-inline field values.
+func TestWQERoundTripProperty(t *testing.T) {
+	f := func(op uint8, flags uint8, wrid, laddr, raddr uint64, lkey, rkey, imm uint32, length uint16) bool {
+		in := WQE{
+			Opcode: int(op%3) + 1,
+			Flags:  int(flags) & FlagSignaled, // keep FlagInline clear
+			WRID:   wrid,
+			LAddr:  laddr,
+			LKey:   lkey,
+			Length: int(length),
+			RAddr:  raddr,
+			RKey:   rkey,
+			Imm:    imm,
+		}
+		buf := make([]byte, WQEBytes)
+		EncodeWQE(in, buf)
+		out, err := DecodeWQE(buf)
+		if err != nil {
+			return false
+		}
+		return out.Opcode == in.Opcode && out.Flags == in.Flags && out.WRID == in.WRID &&
+			out.LAddr == in.LAddr && out.LKey == in.LKey && out.Length == in.Length &&
+			out.RAddr == in.RAddr && out.RKey == in.RKey && out.Imm == in.Imm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inline WQEs carry arbitrary payloads ≤ InlineMax unchanged.
+func TestInlineWQEProperty(t *testing.T) {
+	f := func(payload []byte, raddr uint64, rkey uint32) bool {
+		if len(payload) > InlineMax {
+			payload = payload[:InlineMax]
+		}
+		in := WQE{
+			Opcode: OpRDMAWrite, Flags: FlagInline,
+			Length: len(payload), Inline: payload,
+			RAddr: raddr, RKey: rkey,
+		}
+		buf := make([]byte, WQEBytes)
+		EncodeWQE(in, buf)
+		out, err := DecodeWQE(buf)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out.Inline, payload) && out.RAddr == raddr && out.RKey == rkey
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CQE encode/decode round-trips and the valid-word test agrees
+// with the Valid flag.
+func TestCQERoundTripProperty(t *testing.T) {
+	f := func(op uint8, wrid uint64, length, imm, qpn uint32, status uint8) bool {
+		in := CQE{
+			Valid:   true,
+			Opcode:  int(op%4) + 1,
+			WRID:    wrid,
+			ByteLen: int(length),
+			Imm:     imm,
+			QPN:     qpn,
+			Status:  int(status % 2),
+		}
+		buf := make([]byte, CQEBytes)
+		EncodeCQE(in, buf)
+		out := DecodeCQE(buf)
+		if out != in {
+			return false
+		}
+		// The 64-bit fast-path probe must see a valid entry.
+		var first8 uint64
+		for i := 7; i >= 0; i-- {
+			first8 = first8<<8 | uint64(buf[i])
+		}
+		return CQEValidWord(first8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a zeroed CQE slot never reads as valid.
+func TestZeroCQEInvalid(t *testing.T) {
+	buf := make([]byte, CQEBytes)
+	if DecodeCQE(buf).Valid {
+		t.Fatal("zero CQE decodes valid")
+	}
+	if CQEValidWord(0) {
+		t.Fatal("zero word passes the fast-path probe")
+	}
+}
+
+// Property: MR Contains accepts exactly the registered range.
+func TestMRContainsProperty(t *testing.T) {
+	mr := &MR{Base: 0x1000, Size: 4096, LKey: 1, RKey: 2}
+	f := func(addr uint32, n uint16) bool {
+		a := uint64(addr)
+		length := int(n)
+		want := a >= 0x1000 && a+uint64(length) <= 0x1000+4096
+		return mr.Contains(a, length) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: recv WQE round-trips.
+func TestRecvWQERoundTripProperty(t *testing.T) {
+	f := func(wrid, addr uint64, lkey uint32) bool {
+		in := RecvWQE{WRID: wrid, Addr: addr, LKey: lkey}
+		buf := make([]byte, RecvWQEBytes)
+		EncodeRecvWQE(in, buf)
+		out, err := DecodeRecvWQE(buf)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

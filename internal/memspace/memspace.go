@@ -1,0 +1,181 @@
+// Package memspace provides the functional (data-carrying) view of a
+// node's physical address space: byte-addressable RAM devices mapped at
+// fixed bases, plus routing from addresses to devices.
+//
+// Timing is deliberately absent here — the pcie, gpusim and hostsim
+// packages charge virtual time for accesses; memspace only moves bytes, so
+// put/get experiments can verify end-to-end data correctness.
+package memspace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Addr is a simulated physical address.
+type Addr uint64
+
+// Region is a half-open address range [Base, Base+Size).
+type Region struct {
+	Base Addr
+	Size uint64
+}
+
+// Contains reports whether a falls inside the region.
+func (r Region) Contains(a Addr) bool {
+	return a >= r.Base && uint64(a-r.Base) < r.Size
+}
+
+// End returns the first address past the region.
+func (r Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// Overlaps reports whether two regions share any address.
+func (r Region) Overlaps(o Region) bool {
+	return r.Base < o.End() && o.Base < r.End()
+}
+
+// Memory is anything that stores bytes at region-relative offsets.
+type Memory interface {
+	// Name identifies the device in errors and traces.
+	Name() string
+	// ReadAt copies len(b) bytes starting at offset off into b.
+	ReadAt(off uint64, b []byte) error
+	// WriteAt copies b into the device starting at offset off.
+	WriteAt(off uint64, b []byte) error
+	// Size returns the device capacity in bytes.
+	Size() uint64
+}
+
+// RAM is a plain byte-array memory device.
+type RAM struct {
+	name string
+	data []byte
+}
+
+// NewRAM allocates a RAM device of the given size.
+func NewRAM(name string, size uint64) *RAM {
+	return &RAM{name: name, data: make([]byte, size)}
+}
+
+// Name implements Memory.
+func (r *RAM) Name() string { return r.name }
+
+// Size implements Memory.
+func (r *RAM) Size() uint64 { return uint64(len(r.data)) }
+
+// ReadAt implements Memory.
+func (r *RAM) ReadAt(off uint64, b []byte) error {
+	if off+uint64(len(b)) > uint64(len(r.data)) || off+uint64(len(b)) < off {
+		return fmt.Errorf("memspace: %s: read [%#x,%#x) out of bounds (size %#x)", r.name, off, off+uint64(len(b)), len(r.data))
+	}
+	copy(b, r.data[off:])
+	return nil
+}
+
+// WriteAt implements Memory.
+func (r *RAM) WriteAt(off uint64, b []byte) error {
+	if off+uint64(len(b)) > uint64(len(r.data)) || off+uint64(len(b)) < off {
+		return fmt.Errorf("memspace: %s: write [%#x,%#x) out of bounds (size %#x)", r.name, off, off+uint64(len(b)), len(r.data))
+	}
+	copy(r.data[off:], b)
+	return nil
+}
+
+// mapping binds a region of the space to a memory device.
+type mapping struct {
+	region Region
+	mem    Memory
+}
+
+// Space routes physical addresses to mapped memory devices. One Space
+// exists per node; the two nodes of a testbed have independent spaces.
+type Space struct {
+	maps []mapping
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space { return &Space{} }
+
+// Map binds mem at base. Overlapping mappings are rejected.
+func (s *Space) Map(base Addr, mem Memory) (Region, error) {
+	r := Region{Base: base, Size: mem.Size()}
+	for _, m := range s.maps {
+		if m.region.Overlaps(r) {
+			return Region{}, fmt.Errorf("memspace: mapping %s at %#x overlaps %s at %#x",
+				mem.Name(), base, m.mem.Name(), m.region.Base)
+		}
+	}
+	s.maps = append(s.maps, mapping{region: r, mem: mem})
+	return r, nil
+}
+
+// MustMap is Map that panics on error; for fixed testbed construction.
+func (s *Space) MustMap(base Addr, mem Memory) Region {
+	r, err := s.Map(base, mem)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Lookup returns the device and region containing a.
+func (s *Space) Lookup(a Addr) (Memory, Region, error) {
+	for _, m := range s.maps {
+		if m.region.Contains(a) {
+			return m.mem, m.region, nil
+		}
+	}
+	return nil, Region{}, fmt.Errorf("memspace: address %#x unmapped", a)
+}
+
+// Read copies len(b) bytes from address a. The access must not straddle a
+// mapping boundary — hardware DMA never does, and catching it here turns
+// model bugs into loud failures.
+func (s *Space) Read(a Addr, b []byte) error {
+	mem, region, err := s.Lookup(a)
+	if err != nil {
+		return err
+	}
+	return mem.ReadAt(uint64(a-region.Base), b)
+}
+
+// Write copies b to address a.
+func (s *Space) Write(a Addr, b []byte) error {
+	mem, region, err := s.Lookup(a)
+	if err != nil {
+		return err
+	}
+	return mem.WriteAt(uint64(a-region.Base), b)
+}
+
+// ReadU64 reads a little-endian 64-bit word at a.
+func (s *Space) ReadU64(a Addr) (uint64, error) {
+	var b [8]byte
+	if err := s.Read(a, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU64 writes a little-endian 64-bit word at a.
+func (s *Space) WriteU64(a Addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return s.Write(a, b[:])
+}
+
+// ReadU32 reads a little-endian 32-bit word at a.
+func (s *Space) ReadU32(a Addr) (uint32, error) {
+	var b [4]byte
+	if err := s.Read(a, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// WriteU32 writes a little-endian 32-bit word at a.
+func (s *Space) WriteU32(a Addr, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return s.Write(a, b[:])
+}

@@ -1,0 +1,147 @@
+package memspace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRAMRoundTrip(t *testing.T) {
+	r := NewRAM("ram", 1024)
+	in := []byte{1, 2, 3, 4, 5}
+	if err := r.WriteAt(100, in); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 5)
+	if err := r.ReadAt(100, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatalf("read %v, want %v", out, in)
+	}
+}
+
+func TestRAMBounds(t *testing.T) {
+	r := NewRAM("ram", 16)
+	if err := r.WriteAt(12, make([]byte, 8)); err == nil {
+		t.Error("expected write OOB error")
+	}
+	if err := r.ReadAt(16, make([]byte, 1)); err == nil {
+		t.Error("expected read OOB error")
+	}
+	if err := r.WriteAt(8, make([]byte, 8)); err != nil {
+		t.Errorf("boundary write failed: %v", err)
+	}
+	// Offset overflow must not wrap around.
+	if err := r.ReadAt(^uint64(0)-3, make([]byte, 8)); err == nil {
+		t.Error("expected overflow read to fail")
+	}
+}
+
+func TestSpaceRouting(t *testing.T) {
+	s := NewSpace()
+	host := NewRAM("host", 4096)
+	dev := NewRAM("dev", 4096)
+	s.MustMap(0x0, host)
+	s.MustMap(0x1_0000, dev)
+
+	if err := s.WriteU64(0x10, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteU64(0x1_0010, 0xcafebabe); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.ReadU64(0x10)
+	if err != nil || v != 0xdeadbeef {
+		t.Fatalf("host read = %#x, %v", v, err)
+	}
+	v, err = s.ReadU64(0x1_0010)
+	if err != nil || v != 0xcafebabe {
+		t.Fatalf("dev read = %#x, %v", v, err)
+	}
+	// Same offsets in both devices must not alias.
+	hv, _ := host.data, dev.data
+	_ = hv
+	u, _ := s.ReadU64(0x1_0010)
+	if u == 0xdeadbeef {
+		t.Fatal("mappings alias")
+	}
+}
+
+func TestSpaceUnmapped(t *testing.T) {
+	s := NewSpace()
+	s.MustMap(0x1000, NewRAM("r", 16))
+	if err := s.Write(0x0, []byte{1}); err == nil {
+		t.Error("expected unmapped write to fail")
+	}
+	if _, err := s.ReadU32(0x2000); err == nil {
+		t.Error("expected unmapped read to fail")
+	}
+}
+
+func TestSpaceOverlapRejected(t *testing.T) {
+	s := NewSpace()
+	s.MustMap(0x1000, NewRAM("a", 0x100))
+	if _, err := s.Map(0x10ff, NewRAM("b", 0x100)); err == nil {
+		t.Error("expected overlap to be rejected")
+	}
+	if _, err := s.Map(0x1100, NewRAM("c", 0x100)); err != nil {
+		t.Errorf("adjacent mapping rejected: %v", err)
+	}
+}
+
+func TestRegionHelpers(t *testing.T) {
+	r := Region{Base: 100, Size: 50}
+	if !r.Contains(100) || !r.Contains(149) || r.Contains(150) || r.Contains(99) {
+		t.Error("Contains wrong at boundaries")
+	}
+	if r.End() != 150 {
+		t.Errorf("End = %d, want 150", r.End())
+	}
+	if !r.Overlaps(Region{Base: 149, Size: 1}) {
+		t.Error("touching last byte should overlap")
+	}
+	if r.Overlaps(Region{Base: 150, Size: 10}) {
+		t.Error("adjacent region should not overlap")
+	}
+}
+
+func TestU32U64Endianness(t *testing.T) {
+	s := NewSpace()
+	s.MustMap(0, NewRAM("r", 64))
+	if err := s.WriteU64(0, 0x0102030405060708); err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := s.ReadU32(0)
+	hi, _ := s.ReadU32(4)
+	if lo != 0x05060708 || hi != 0x01020304 {
+		t.Fatalf("little-endian split = %#x,%#x", lo, hi)
+	}
+}
+
+// Property: write-then-read through the space round-trips any payload at
+// any in-bounds offset.
+func TestSpaceRoundTripProperty(t *testing.T) {
+	s := NewSpace()
+	s.MustMap(0x4000, NewRAM("r", 1<<16))
+	f := func(off uint16, payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		if int(off)+len(payload) > 1<<16 {
+			return true // out of scope for this property
+		}
+		a := Addr(0x4000 + uint64(off))
+		if err := s.Write(a, payload); err != nil {
+			return false
+		}
+		got := make([]byte, len(payload))
+		if err := s.Read(a, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package msg is a small two-sided (MPI-style send/recv) messaging layer
+// over the InfiniBand Verbs substrate, with tag matching, eager buffering
+// and a rendezvous protocol for large payloads.
+//
+// The paper's §II-B motivates one-sided put/get precisely by the overhead
+// of this model: "This normally adds a lot of overhead to the
+// communication, due to tag matching or data buffering." This package
+// makes that overhead measurable — compare MsgVsPut in internal/bench.
+//
+// Protocols:
+//
+//   - eager (size ≤ EagerMax): the payload travels in an IB SEND into one
+//     of the receiver's pre-posted eager slots; Recv matches the tag
+//     (immediate value), then copies the payload out of the slot into the
+//     user buffer — the buffering cost.
+//   - rendezvous (size > EagerMax): the sender SENDs a 16-byte RTS
+//     envelope carrying its source address; the matching receiver pulls
+//     the payload with an RDMA READ straight into the user buffer and
+//     returns a FIN, which completes the (synchronous) send.
+package msg
+
+import (
+	"fmt"
+
+	"putget/internal/cluster"
+	"putget/internal/core"
+	"putget/internal/gpusim"
+	"putget/internal/ibsim"
+	"putget/internal/memspace"
+	"putget/internal/sim"
+)
+
+// EagerMax is the largest payload the eager protocol carries.
+const EagerMax = 8192
+
+// eagerSlots is the number of pre-posted receive buffers per endpoint.
+const eagerSlots = 32
+
+// Tag encoding in the IB immediate value.
+const (
+	tagMask = 0x00ff_ffff
+	rtsBit  = 1 << 31
+	finBit  = 1 << 30
+)
+
+// envelope is a matched-but-unconsumed message.
+type envelope struct {
+	tag  uint32
+	size int
+	slot int
+	rts  bool
+	fin  bool
+}
+
+// Endpoint is one side of a two-sided channel between the two GPUs.
+type Endpoint struct {
+	Node *cluster.Node
+	v    *core.Verbs
+	qp   *core.VQP
+
+	eagerBase memspace.Addr // eagerSlots × EagerMax in device memory
+	rtsBuf    memspace.Addr // staging for outgoing RTS envelopes
+	localMR   *ibsim.MR     // covers all of local device memory
+	peerMR    *ibsim.MR     // the peer's device-memory registration
+
+	unexpected  []envelope
+	outstanding int // signaled sends not yet reaped
+}
+
+// window bounds outstanding eager sends so receive slots cannot overrun
+// (each send consumes one of the peer's eagerSlots; reposting happens at
+// match time).
+const window = eagerSlots / 2
+
+// NewPair builds two connected endpoints over a fresh IB testbed. It runs
+// the simulation to quiescence once to pre-post the receive slots; the
+// returned testbed is ready for kernel launches.
+func NewPair(p cluster.Params) (*Endpoint, *Endpoint, *cluster.Testbed) {
+	tb := cluster.NewIBPair(p)
+	va, vb := core.NewVerbs(tb.A), core.NewVerbs(tb.B)
+	qa := va.CreateQP(256, eagerSlots+8, 256, true)
+	qb := vb.CreateQP(256, eagerSlots+8, 256, true)
+	core.ConnectVQPs(qa, qb)
+
+	mk := func(node *cluster.Node, v *core.Verbs, qp *core.VQP) *Endpoint {
+		e := &Endpoint{Node: node, v: v, qp: qp}
+		e.eagerBase = node.AllocDev(eagerSlots * EagerMax)
+		e.rtsBuf = node.AllocDev(64)
+		e.localMR = v.RegMR(node.GPU.DevMem().Base, node.GPU.DevMem().Size)
+		return e
+	}
+	ea := mk(tb.A, va, qa)
+	eb := mk(tb.B, vb, qb)
+	ea.peerMR, eb.peerMR = eb.localMR, ea.localMR
+
+	// Pre-post every eager slot from the host before any traffic.
+	for _, e := range []*Endpoint{ea, eb} {
+		e := e
+		tb.E.Spawn(e.Node.Name+".msg.prepost", func(p *sim.Proc) {
+			for s := 0; s < eagerSlots; s++ {
+				e.v.HostPostRecv(p, e.qp, ibsim.RecvWQE{
+					WRID: uint64(s),
+					Addr: uint64(e.slotAddr(s)),
+					LKey: e.localMR.LKey,
+				})
+			}
+		})
+	}
+	tb.E.Run()
+	return ea, eb, tb
+}
+
+func (e *Endpoint) slotAddr(s int) memspace.Addr {
+	return e.eagerBase + memspace.Addr(s*EagerMax)
+}
+
+// reapSends keeps the signaled-send window open.
+func (e *Endpoint) reapSends(w *gpusim.Warp, max int) {
+	for e.outstanding >= max {
+		e.v.DevPollCQ(w, e.qp.SendCQ)
+		e.outstanding--
+	}
+}
+
+// DevSend transmits n bytes at addr under a tag from a GPU kernel. Eager
+// sends buffer at the receiver and return after local completion; larger
+// sends are synchronous (they return when the receiver has pulled the
+// data).
+func (e *Endpoint) DevSend(w *gpusim.Warp, tag uint32, addr memspace.Addr, n int) {
+	if tag&^uint32(tagMask) != 0 {
+		panic(fmt.Sprintf("msg: tag %#x exceeds 24 bits", tag))
+	}
+	if n <= EagerMax {
+		e.reapSends(w, window)
+		e.v.DevPostSend(w, e.qp, ibsim.WQE{
+			Opcode: ibsim.OpSend, Flags: ibsim.FlagSignaled, WRID: uint64(tag),
+			LAddr: uint64(addr), LKey: e.localMR.LKey, Length: n, Imm: tag,
+		})
+		e.outstanding++
+		return
+	}
+	// Rendezvous: publish {srcAddr, size} and wait for the FIN.
+	w.StGlobalU64(e.rtsBuf, uint64(addr))
+	w.StGlobalU64(e.rtsBuf+8, uint64(n))
+	e.reapSends(w, window)
+	e.v.DevPostSend(w, e.qp, ibsim.WQE{
+		Opcode: ibsim.OpSend, Flags: ibsim.FlagSignaled, WRID: uint64(tag),
+		LAddr: uint64(e.rtsBuf), LKey: e.localMR.LKey, Length: 16, Imm: tag | rtsBit,
+	})
+	e.outstanding++
+	// The FIN arrives as a small control message with the finBit set.
+	e.recvMatch(w, tag, 0, 0, true)
+}
+
+// DevRecv receives a message with the given tag into addr (capacity n)
+// and returns the payload size. Unexpected messages (other tags) queue up
+// and are matched by later calls — the tag-matching overhead of §II-B.
+func (e *Endpoint) DevRecv(w *gpusim.Warp, tag uint32, addr memspace.Addr, n int) int {
+	return e.recvMatch(w, tag, addr, n, false)
+}
+
+// matches reports whether an envelope satisfies a receive: application
+// receives (wantFin=false) match both eager and RTS messages with the
+// tag; FIN waits match only the FIN control message.
+func (env envelope) matches(tag uint32, wantFin bool) bool {
+	return env.tag == tag && env.fin == wantFin
+}
+
+// recvMatch finds a message by tag, servicing the eager copy or the
+// rendezvous pull.
+func (e *Endpoint) recvMatch(w *gpusim.Warp, tag uint32, addr memspace.Addr, n int, wantFin bool) int {
+	for {
+		// Scan the unexpected queue first (linear tag matching, the real
+		// cost MPI implementations pay).
+		for i, env := range e.unexpected {
+			w.Exec(12) // compare tag, predicate, list walk
+			if env.matches(tag, wantFin) {
+				e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
+				if wantFin {
+					e.repost(w, env.slot)
+					return 0
+				}
+				return e.consume(w, env, addr, n)
+			}
+		}
+		// Poll the receive CQ for the next arrival.
+		cqe := e.v.DevPollCQ(w, e.qp.RecvCQ)
+		w.Exec(20) // decode envelope, classify protocol bits
+		env := envelope{
+			tag:  cqe.Imm & tagMask,
+			size: cqe.ByteLen,
+			slot: int(cqe.WRID),
+			rts:  cqe.Imm&rtsBit != 0,
+			fin:  cqe.Imm&finBit != 0,
+		}
+		if env.matches(tag, wantFin) {
+			if wantFin {
+				e.repost(w, env.slot)
+				return 0
+			}
+			return e.consume(w, env, addr, n)
+		}
+		e.unexpected = append(e.unexpected, env)
+		w.Exec(8)
+	}
+}
+
+// consume finishes a matched message: eager copy-out or rendezvous pull.
+func (e *Endpoint) consume(w *gpusim.Warp, env envelope, addr memspace.Addr, n int) int {
+	if env.rts {
+		// Rendezvous: read {srcAddr, size} from the slot, pull the
+		// payload with an RDMA READ, then FIN the sender.
+		src := w.LdGlobalU64(e.slotAddr(env.slot))
+		size := int(w.LdGlobalU64(e.slotAddr(env.slot) + 8))
+		if size > n {
+			panic(fmt.Sprintf("msg: rendezvous payload %d exceeds receive buffer %d", size, n))
+		}
+		e.repost(w, env.slot)
+		e.reapSends(w, window)
+		e.v.DevPostSend(w, e.qp, ibsim.WQE{
+			Opcode: ibsim.OpRDMARead, Flags: ibsim.FlagSignaled, WRID: 0x4ead,
+			LAddr: uint64(addr), LKey: e.localMR.LKey, Length: size,
+			RAddr: src, RKey: e.peerMR.RKey,
+		})
+		e.outstanding++
+		// The read completion means the data is in place.
+		for {
+			cqe := e.v.DevPollCQ(w, e.qp.SendCQ)
+			e.outstanding--
+			if cqe.Opcode == ibsim.OpRDMARead {
+				break
+			}
+		}
+		// FIN releases the synchronous sender.
+		e.reapSends(w, window)
+		e.v.DevPostSend(w, e.qp, ibsim.WQE{
+			Opcode: ibsim.OpSend, Flags: ibsim.FlagSignaled, WRID: 0xf1,
+			LAddr: uint64(e.rtsBuf), LKey: e.localMR.LKey, Length: 8,
+			Imm: env.tag | finBit,
+		})
+		e.outstanding++
+		return size
+	}
+	// Eager: copy the payload out of the slot — §II-B's buffering cost.
+	if env.size > n {
+		panic(fmt.Sprintf("msg: eager payload %d exceeds receive buffer %d", env.size, n))
+	}
+	e.copyDev(w, addr, e.slotAddr(env.slot), env.size)
+	e.repost(w, env.slot)
+	return env.size
+}
+
+// copyDev is a coalesced device-memory copy loop.
+func (e *Endpoint) copyDev(w *gpusim.Warp, dst, src memspace.Addr, n int) {
+	per := 8 * w.Lanes
+	buf := make([]byte, per)
+	for off := 0; off < n; off += per {
+		m := n - off
+		if m > per {
+			m = per
+		}
+		w.LdGlobalBytes(src+memspace.Addr(off), buf[:m])
+		w.FillGlobal(dst+memspace.Addr(off), buf[:m])
+	}
+}
+
+// repost returns an eager slot to the hardware.
+func (e *Endpoint) repost(w *gpusim.Warp, slot int) {
+	e.v.DevPostRecv(w, e.qp, ibsim.RecvWQE{
+		WRID: uint64(slot),
+		Addr: uint64(e.slotAddr(slot)),
+		LKey: e.localMR.LKey,
+	})
+}

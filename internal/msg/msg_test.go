@@ -1,0 +1,216 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+
+	"putget/internal/cluster"
+	"putget/internal/gpusim"
+	"putget/internal/memspace"
+	"putget/internal/sim"
+)
+
+func smallParams() cluster.Params {
+	p := cluster.Default()
+	p.GPUDevMemSize = 64 << 20
+	p.HostRAMSize = 96 << 20
+	return p
+}
+
+// runPair launches one kernel per endpoint and asserts completion.
+func runPair(t *testing.T, tb *cluster.Testbed, a, b func(w *gpusim.Warp)) {
+	t.Helper()
+	da := tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1, ThreadsPerBlock: 32}, a)
+	db := tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1, ThreadsPerBlock: 32}, b)
+	tb.E.Run()
+	if !da.Done() || !db.Done() {
+		t.Fatal("message kernels deadlocked")
+	}
+}
+
+func TestEagerSendRecv(t *testing.T) {
+	ea, eb, tb := NewPair(smallParams())
+	src := tb.A.AllocDev(4096)
+	dst := tb.B.AllocDev(4096)
+	payload := make([]byte, 777)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	if err := tb.A.GPU.HostWrite(src, payload); err != nil {
+		t.Fatal(err)
+	}
+	var gotN int
+	runPair(t, tb,
+		func(w *gpusim.Warp) { ea.DevSend(w, 42, src, len(payload)) },
+		func(w *gpusim.Warp) { gotN = eb.DevRecv(w, 42, dst, 4096) },
+	)
+	if gotN != len(payload) {
+		t.Fatalf("recv size = %d, want %d", gotN, len(payload))
+	}
+	got := make([]byte, len(payload))
+	if err := tb.B.GPU.HostRead(dst, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("eager payload corrupted")
+	}
+}
+
+func TestRendezvousLargeMessage(t *testing.T) {
+	ea, eb, tb := NewPair(smallParams())
+	const size = 256 << 10 // well above EagerMax
+	src := tb.A.AllocDev(size)
+	dst := tb.B.AllocDev(size)
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i*7 + 1)
+	}
+	if err := tb.A.GPU.HostWrite(src, payload); err != nil {
+		t.Fatal(err)
+	}
+	var sendDone, recvDone sim.Time
+	runPair(t, tb,
+		func(w *gpusim.Warp) {
+			ea.DevSend(w, 9, src, size)
+			sendDone = w.Now()
+		},
+		func(w *gpusim.Warp) {
+			eb.DevRecv(w, 9, dst, size)
+			recvDone = w.Now()
+		},
+	)
+	got := make([]byte, size)
+	if err := tb.B.GPU.HostRead(dst, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("rendezvous payload corrupted")
+	}
+	// Synchronous semantics: the sender returns only after the receiver
+	// has pulled the data (FIN round trip), so sendDone ≥ ~recvDone.
+	if sendDone < recvDone-sim.Time(20*sim.Microsecond) {
+		t.Fatalf("rendezvous send returned at %v, long before recv at %v", sendDone, recvDone)
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	// A sends tags 1,2,3; B receives 3,1,2. The unexpected queue must
+	// buffer and deliver each payload to the right receive.
+	ea, eb, tb := NewPair(smallParams())
+	srcs := make([]memspace.Addr, 3)
+	dsts := make([]memspace.Addr, 3)
+	for i := range srcs {
+		srcs[i] = tb.A.AllocDev(256)
+		dsts[i] = tb.B.AllocDev(256)
+		buf := make([]byte, 100)
+		for j := range buf {
+			buf[j] = byte(10*(i+1) + j%10)
+		}
+		if err := tb.A.GPU.HostWrite(srcs[i], buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order := []uint32{3, 1, 2}
+	runPair(t, tb,
+		func(w *gpusim.Warp) {
+			for i := 0; i < 3; i++ {
+				ea.DevSend(w, uint32(i+1), srcs[i], 100)
+			}
+		},
+		func(w *gpusim.Warp) {
+			for _, tag := range order {
+				eb.DevRecv(w, tag, dsts[tag-1], 256)
+			}
+		},
+	)
+	for i := 0; i < 3; i++ {
+		got := make([]byte, 100)
+		if err := tb.B.GPU.HostRead(dsts[i], got); err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			if got[j] != byte(10*(i+1)+j%10) {
+				t.Fatalf("tag %d delivered wrong payload (byte %d = %d)", i+1, j, got[j])
+			}
+		}
+	}
+}
+
+func TestManyEagerMessagesRespectWindow(t *testing.T) {
+	// More messages than eager slots: the send window plus reposting must
+	// keep the channel flowing without RNR drops.
+	ea, eb, tb := NewPair(smallParams())
+	src := tb.A.AllocDev(256)
+	dst := tb.B.AllocDev(256)
+	if err := tb.A.GPU.HostWrite(src, bytes.Repeat([]byte{0xa5}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	const N = 200 // ≫ eagerSlots
+	runPair(t, tb,
+		func(w *gpusim.Warp) {
+			for i := 0; i < N; i++ {
+				ea.DevSend(w, 7, src, 64)
+			}
+		},
+		func(w *gpusim.Warp) {
+			for i := 0; i < N; i++ {
+				eb.DevRecv(w, 7, dst, 256)
+			}
+		},
+	)
+	if drops := tb.B.IB.Stats().RNRDrops; drops != 0 {
+		t.Fatalf("%d RNR drops — eager flow control broken", drops)
+	}
+}
+
+func TestBidirectionalExchange(t *testing.T) {
+	ea, eb, tb := NewPair(smallParams())
+	aSrc, aDst := tb.A.AllocDev(1024), tb.A.AllocDev(1024)
+	bSrc, bDst := tb.B.AllocDev(1024), tb.B.AllocDev(1024)
+	if err := tb.A.GPU.HostWrite(aSrc, bytes.Repeat([]byte{1}, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.B.GPU.HostWrite(bSrc, bytes.Repeat([]byte{2}, 512)); err != nil {
+		t.Fatal(err)
+	}
+	runPair(t, tb,
+		func(w *gpusim.Warp) {
+			ea.DevSend(w, 1, aSrc, 512)
+			ea.DevRecv(w, 2, aDst, 1024)
+		},
+		func(w *gpusim.Warp) {
+			eb.DevSend(w, 2, bSrc, 512)
+			eb.DevRecv(w, 1, bDst, 1024)
+		},
+	)
+	aGot := make([]byte, 512)
+	bGot := make([]byte, 512)
+	if err := tb.A.GPU.HostRead(aDst, aGot); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.B.GPU.HostRead(bDst, bGot); err != nil {
+		t.Fatal(err)
+	}
+	if aGot[0] != 2 || bGot[0] != 1 {
+		t.Fatalf("cross payloads wrong: %d %d", aGot[0], bGot[0])
+	}
+}
+
+func TestOversizeTagRejected(t *testing.T) {
+	ea, _, tb := NewPair(smallParams())
+	src := tb.A.AllocDev(64)
+	panicked := false
+	done := tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		ea.DevSend(w, 0x0100_0000, src, 8)
+	})
+	tb.E.Run()
+	_ = done
+	if !panicked {
+		t.Fatal("25-bit tag accepted")
+	}
+}

@@ -1,0 +1,328 @@
+// Package pcie models a node-local PCIe fabric at transaction level.
+//
+// Topology is a star: every endpoint (CPU, GPU, NIC, host memory) hangs off
+// the root complex through its own link. A transaction charges
+// serialization time on the initiator's egress link, a fixed one-way
+// latency per side, and — for reads — the target's internal service
+// latency plus response serialization on the target's egress link. This
+// puts contention exactly where the paper's analysis needs it: a GPU that
+// polls notification queues in system memory shares its egress link with
+// the MMIO work requests it posts, and a NIC that DMA-reads GPU memory
+// shares the GPU's egress link with everything else the GPU sends.
+//
+// The model also reproduces the documented PCIe peer-to-peer anomaly
+// ([14],[15] in the paper): reads from a GPU BAR collapse in bandwidth
+// once a single DMA stream exceeds a threshold (~1 MiB). That is expressed
+// through a per-endpoint read-service rate that may depend on the total
+// stream size.
+package pcie
+
+import (
+	"fmt"
+
+	"putget/internal/memspace"
+	"putget/internal/sim"
+)
+
+// TLPHeader is the per-transaction header+framing overhead in bytes charged
+// on links. (3-4 DW header plus DLLP/framing; 24 is a common effective
+// figure.)
+const TLPHeader = 24
+
+// ChunkSize is the modelling granularity for bulk DMA. Real fabrics split
+// at MPS/MRRS (128–512 B); we use a coarser chunk to bound event counts
+// while preserving pipelining behaviour at the sizes the paper sweeps.
+const ChunkSize = 4096
+
+// Target receives MMIO side effects for BAR-mapped device registers.
+// Handlers run at TLP delivery time, in engine context: they must not
+// block, only mutate device state, signal, or schedule events.
+type Target interface {
+	// MMIOWrite handles a posted write of data at addr.
+	MMIOWrite(addr memspace.Addr, data []byte)
+	// MMIORead fills data from register state at addr.
+	MMIORead(addr memspace.Addr, data []byte)
+}
+
+// EndpointConfig fixes an endpoint's link and service characteristics.
+type EndpointConfig struct {
+	// EgressRate is the endpoint→fabric link bandwidth in bytes/second.
+	EgressRate float64
+	// OneWay is the latency between this endpoint and the root complex.
+	OneWay sim.Duration
+	// ReadLatency is the internal latency to begin serving an inbound read.
+	ReadLatency sim.Duration
+	// ReadRate returns the inbound read service bandwidth (bytes/second)
+	// for a DMA stream of the given total size. nil means "unbounded"
+	// (the link is then the only limit). This is where the GPU's P2P
+	// read collapse lives.
+	ReadRate func(total int) float64
+}
+
+// Stats counts the transactions an endpoint initiated.
+type Stats struct {
+	PostedWrites uint64 // posted write TLPs (incl. bulk trains)
+	Reads        uint64 // non-posted control reads
+	BulkReads    uint64 // DMA read streams
+	BytesWritten uint64 // payload bytes written
+	BytesRead    uint64 // payload bytes read (control + bulk)
+}
+
+// Endpoint is a device port on the fabric.
+type Endpoint struct {
+	name string
+	f    *Fabric
+	cfg  EndpointConfig
+
+	egress *sim.Server // serializes everything this endpoint sends
+	stats  Stats
+
+	lastDeliver sim.Time // latest scheduled delivery of a posted write from here
+
+	// OnInboundWrite, if set, runs (in engine context) after an inbound
+	// DMA/MMIO write into this endpoint's RAM region lands. The GPU uses
+	// it to invalidate L2 lines so device-memory polling observes NIC
+	// writes.
+	OnInboundWrite func(addr memspace.Addr, n int)
+}
+
+// Name returns the endpoint name.
+func (ep *Endpoint) Name() string { return ep.name }
+
+// Egress exposes the egress link server (for utilization metrics).
+func (ep *Endpoint) Egress() *sim.Server { return ep.egress }
+
+// Stats returns the transactions this endpoint initiated.
+func (ep *Endpoint) Stats() Stats { return ep.stats }
+
+// ResetStats zeroes the transaction counters.
+func (ep *Endpoint) ResetStats() { ep.stats = Stats{} }
+
+type ownerKind int
+
+const (
+	ownRAM ownerKind = iota
+	ownMMIO
+)
+
+type ownerEntry struct {
+	region memspace.Region
+	ep     *Endpoint
+	kind   ownerKind
+	target Target
+}
+
+// Fabric is one node's PCIe hierarchy.
+type Fabric struct {
+	e      *sim.Engine
+	space  *memspace.Space
+	eps    []*Endpoint
+	owners []ownerEntry
+}
+
+// NewFabric creates a fabric over a node address space.
+func NewFabric(e *sim.Engine, space *memspace.Space) *Fabric {
+	return &Fabric{e: e, space: space}
+}
+
+// Engine returns the simulation engine.
+func (f *Fabric) Engine() *sim.Engine { return f.e }
+
+// Space returns the functional address space (zero-time backdoor access,
+// used for test setup and assertions).
+func (f *Fabric) Space() *memspace.Space { return f.space }
+
+// AddEndpoint attaches a device port.
+func (f *Fabric) AddEndpoint(name string, cfg EndpointConfig) *Endpoint {
+	if cfg.EgressRate <= 0 {
+		panic("pcie: endpoint needs a positive egress rate")
+	}
+	ep := &Endpoint{
+		name:   name,
+		f:      f,
+		cfg:    cfg,
+		egress: sim.NewServer(f.e, cfg.EgressRate),
+	}
+	f.eps = append(f.eps, ep)
+	return ep
+}
+
+// ClaimRAM declares that addresses in region are served by ep's memory-side
+// (the region must already be mapped in the Space).
+func (f *Fabric) ClaimRAM(ep *Endpoint, region memspace.Region) {
+	f.claim(ownerEntry{region: region, ep: ep, kind: ownRAM})
+}
+
+// ClaimMMIO declares a BAR region whose accesses are handled by target.
+func (f *Fabric) ClaimMMIO(ep *Endpoint, region memspace.Region, target Target) {
+	f.claim(ownerEntry{region: region, ep: ep, kind: ownMMIO, target: target})
+}
+
+func (f *Fabric) claim(o ownerEntry) {
+	for _, x := range f.owners {
+		if x.region.Overlaps(o.region) {
+			panic(fmt.Sprintf("pcie: claim %v overlaps existing claim %v", o.region, x.region))
+		}
+	}
+	f.owners = append(f.owners, o)
+}
+
+func (f *Fabric) owner(a memspace.Addr) ownerEntry {
+	for _, o := range f.owners {
+		if o.region.Contains(a) {
+			return o
+		}
+	}
+	panic(fmt.Sprintf("pcie: address %#x has no owner", uint64(a)))
+}
+
+// flight is the one-way fabric latency between two endpoints.
+func flight(src, dst *Endpoint) sim.Duration {
+	return src.cfg.OneWay + dst.cfg.OneWay
+}
+
+// PostedWrite sends data to addr as a posted (fire-and-forget) write. The
+// caller does not block; serialization is booked on src's egress link and
+// the functional effect (memory write or MMIO handler) fires at the
+// returned delivery time. data is captured by reference: callers must
+// treat it as frozen.
+func (f *Fabric) PostedWrite(src *Endpoint, addr memspace.Addr, data []byte) sim.Time {
+	o := f.owner(addr)
+	src.stats.PostedWrites++
+	src.stats.BytesWritten += uint64(len(data))
+	sent := src.egress.Reserve(len(data) + TLPHeader)
+	deliver := sent.Add(flight(src, o.ep))
+	if deliver < src.lastDeliver {
+		// Preserve same-source ordering even across destinations with
+		// different latencies; PCIe posted writes never pass each other.
+		deliver = src.lastDeliver
+	}
+	src.lastDeliver = deliver
+	f.e.At(deliver, func() { f.deliverWrite(o, addr, data) })
+	return deliver
+}
+
+func (f *Fabric) deliverWrite(o ownerEntry, addr memspace.Addr, data []byte) {
+	if f.e.Trace != nil {
+		f.e.Tracef("pcie: write %dB -> %s @%#x", len(data), o.ep.name, uint64(addr))
+	}
+	switch o.kind {
+	case ownMMIO:
+		o.target.MMIOWrite(addr, data)
+	case ownRAM:
+		if err := f.space.Write(addr, data); err != nil {
+			panic(fmt.Sprintf("pcie: inbound write: %v", err))
+		}
+		if o.ep.OnInboundWrite != nil {
+			o.ep.OnInboundWrite(addr, len(data))
+		}
+	}
+}
+
+// FlushWrites blocks p until every posted write previously issued by src
+// has been delivered (a fence / flushing read model).
+func (f *Fabric) FlushWrites(p *sim.Proc, src *Endpoint) {
+	if src.lastDeliver > f.e.Now() {
+		p.SleepUntil(src.lastDeliver)
+	}
+}
+
+// Read performs a blocking non-posted read of len(buf) bytes at addr —
+// the control-path primitive (notification polls, CQ polls, register
+// reads). The initiator observes the full round trip.
+func (f *Fabric) Read(p *sim.Proc, src *Endpoint, addr memspace.Addr, buf []byte) {
+	o := f.owner(addr)
+	src.stats.Reads++
+	src.stats.BytesRead += uint64(len(buf))
+	if f.e.Trace != nil {
+		f.e.Tracef("pcie: %s reads %dB from %s @%#x", src.name, len(buf), o.ep.name, uint64(addr))
+	}
+	// Request TLP on our egress; reads do not pass earlier writes.
+	src.egress.Transfer(p, TLPHeader)
+	p.Sleep(flight(src, o.ep))
+	p.Sleep(o.ep.cfg.ReadLatency)
+	f.serveRead(o, addr, buf)
+	// Response serialization on the target's egress, then flight back.
+	done := o.ep.egress.Reserve(len(buf) + TLPHeader)
+	p.SleepUntil(done)
+	p.Sleep(flight(o.ep, src))
+}
+
+func (f *Fabric) serveRead(o ownerEntry, addr memspace.Addr, buf []byte) {
+	switch o.kind {
+	case ownMMIO:
+		o.target.MMIORead(addr, buf)
+	case ownRAM:
+		if err := f.space.Read(addr, buf); err != nil {
+			panic(fmt.Sprintf("pcie: inbound read: %v", err))
+		}
+	}
+}
+
+// wireBytes returns the on-link size of a payload split into MRRS/MPS
+// chunks, one TLP header per chunk.
+func wireBytes(payload int) int {
+	chunks := (payload + ChunkSize - 1) / ChunkSize
+	if chunks < 1 {
+		chunks = 1
+	}
+	return payload + chunks*TLPHeader
+}
+
+// ReadBulkReserve books a DMA read stream of len(buf) bytes without
+// blocking the caller and returns the time the final data chunk reaches
+// src. The functional read happens immediately; serialization is booked
+// on the target's egress FIFO at the slower of its link rate and its
+// (size-dependent) read-service rate — the P2P collapse. Cut-through
+// engines use this to overlap the read with downstream stages.
+func (f *Fabric) ReadBulkReserve(src *Endpoint, addr memspace.Addr, buf []byte) sim.Time {
+	total := len(buf)
+	o := f.owner(addr)
+	if total == 0 {
+		return f.e.Now().Add(flight(src, o.ep))
+	}
+	src.stats.BulkReads++
+	src.stats.BytesRead += uint64(total)
+	src.egress.Reserve(TLPHeader) // request TLP
+	f.serveRead(o, addr, buf)
+	effRate := o.ep.egress.Rate()
+	if o.ep.cfg.ReadRate != nil {
+		if r := o.ep.cfg.ReadRate(total); r > 0 && r < effRate {
+			effRate = r
+		}
+	}
+	// Book the whole stream on the target egress FIFO at the bottleneck
+	// rate; concurrent senders through that link queue behind it.
+	done := o.ep.egress.ReserveDuration(sim.BytesAt(wireBytes(total), effRate))
+	return done.Add(flight(src, o.ep) + flight(o.ep, src) + o.ep.cfg.ReadLatency)
+}
+
+// ReadBulk performs a pipelined DMA read stream of len(buf) bytes: one
+// request latency, then the data stream gated by the slower of the
+// target's read-service rate (size-dependent — the P2P collapse) and the
+// target's egress link. Used by NIC DMA engines fetching payload or WQEs.
+func (f *Fabric) ReadBulk(p *sim.Proc, src *Endpoint, addr memspace.Addr, buf []byte) {
+	p.SleepUntil(f.ReadBulkReserve(src, addr, buf))
+}
+
+// WriteBulk streams len(data) bytes to addr as a train of posted writes
+// and blocks p while its egress link serializes them (the initiator's DMA
+// engine is busy that long). The functional write and inbound-write hook
+// fire once, at the returned delivery time of the final chunk.
+func (f *Fabric) WriteBulk(p *sim.Proc, src *Endpoint, addr memspace.Addr, data []byte) sim.Time {
+	if len(data) == 0 {
+		return f.e.Now()
+	}
+	o := f.owner(addr)
+	src.stats.PostedWrites++
+	src.stats.BytesWritten += uint64(len(data))
+	sent := src.egress.Reserve(wireBytes(len(data)))
+	deliver := sent.Add(flight(src, o.ep))
+	if deliver < src.lastDeliver {
+		deliver = src.lastDeliver
+	}
+	src.lastDeliver = deliver
+	f.e.At(deliver, func() { f.deliverWrite(o, addr, data) })
+	p.SleepUntil(sent)
+	return deliver
+}

@@ -1,0 +1,210 @@
+// Package shmem is a small OpenSHMEM-flavoured GPU communication library
+// built on the put/get APIs — a working sketch of the "future GPU
+// communication libraries" the paper's conclusion calls for, designed
+// around its §VI claims:
+//
+//   - claim 1 (small footprint): per-PE state is a few words of device
+//     memory — a barrier flag and a couple of counters;
+//   - claim 2 (thread-collaborative interface): operations are callable
+//     from device code; descriptor writes can use the warp-collective path;
+//   - claim 3 (minimal PCIe control traffic): all completion detection
+//     polls device memory (pollOnGPU) or uses immediate puts; the
+//     system-memory notification rings are touched only by Quiet.
+//
+// The library spans the repository's two-node testbed: two processing
+// elements (PEs), one per GPU, over the EXTOLL fabric. Every data object
+// lives in a symmetric heap at identical offsets on both PEs, so remote
+// addresses are derived, never exchanged.
+package shmem
+
+import (
+	"fmt"
+
+	"putget/internal/cluster"
+	"putget/internal/core"
+	"putget/internal/extoll"
+	"putget/internal/gpusim"
+	"putget/internal/memspace"
+)
+
+// World is a two-PE SHMEM job over an EXTOLL testbed.
+type World struct {
+	TB  *cluster.Testbed
+	PEs [2]*PE
+}
+
+// PE is one processing element: a GPU plus its communication state.
+type PE struct {
+	Rank int
+	Node *cluster.Node
+	RMA  *core.RMA
+
+	heapBase memspace.Addr // symmetric heap in local device memory
+	heapSize uint64
+	heapBrk  uint64
+
+	localNLA extoll.NLA // local heap registered at the local NIC
+	peerNLA  extoll.NLA // peer heap registered at the peer NIC
+
+	// internal symmetric objects (offsets into the heap)
+	barrierOff  uint64 // arrival flag written by the peer
+	barrierSeq  uint64 // software barrier epoch
+	outstanding int    // puts not yet quiesced
+}
+
+// dataPort and syncPort separate bulk puts from barrier/atomic traffic so
+// Quiet never consumes a synchronization notification.
+const (
+	dataPort = 0
+	syncPort = 1
+)
+
+// NewWorld builds a two-PE world with the given symmetric heap size.
+func NewWorld(p cluster.Params, heapSize uint64) *World {
+	tb := cluster.NewExtollPair(p)
+	w := &World{TB: tb}
+	mk := func(rank int, node *cluster.Node) *PE {
+		pe := &PE{Rank: rank, Node: node, RMA: core.NewRMA(node)}
+		pe.heapBase = node.AllocDev(heapSize)
+		pe.heapSize = heapSize
+		return pe
+	}
+	w.PEs[0] = mk(0, tb.A)
+	w.PEs[1] = mk(1, tb.B)
+	for i, pe := range w.PEs {
+		peer := w.PEs[1-i]
+		pe.localNLA = pe.RMA.Register(pe.heapBase, heapSize)
+		pe.peerNLA = peer.RMA.Register(peer.heapBase, heapSize)
+		pe.RMA.OpenPort(dataPort)
+		pe.RMA.OpenPort(syncPort)
+	}
+	extoll.ConnectPorts(tb.A.Extoll, dataPort, tb.B.Extoll, dataPort)
+	extoll.ConnectPorts(tb.A.Extoll, syncPort, tb.B.Extoll, syncPort)
+	// The barrier flag is the first symmetric allocation on every PE.
+	for _, pe := range w.PEs {
+		off := pe.alloc(8)
+		pe.barrierOff = off
+	}
+	return w
+}
+
+// alloc carves n bytes (8-byte aligned) out of the symmetric heap. Both
+// PEs must allocate in the same order (the SHMEM symmetric-heap rule).
+func (pe *PE) alloc(n uint64) uint64 {
+	off := (pe.heapBrk + 7) &^ 7
+	pe.heapBrk = off + n
+	if pe.heapBrk > pe.heapSize {
+		panic("shmem: symmetric heap exhausted")
+	}
+	return off
+}
+
+// Shutdown terminates the world's parked simulation processes.
+func (w *World) Shutdown() { w.TB.Shutdown() }
+
+// Malloc allocates n bytes on every PE at the same symmetric offset.
+func (w *World) Malloc(n uint64) uint64 {
+	off := w.PEs[0].alloc(n)
+	if got := w.PEs[1].alloc(n); got != off {
+		panic(fmt.Sprintf("shmem: symmetric heaps diverged: %d vs %d", off, got))
+	}
+	return off
+}
+
+// Addr converts a symmetric offset to this PE's local device address.
+func (pe *PE) Addr(off uint64) memspace.Addr {
+	return pe.heapBase + memspace.Addr(off)
+}
+
+// HostWrite/HostRead are zero-time setup helpers.
+func (pe *PE) HostWrite(off uint64, data []byte) error {
+	return pe.Node.GPU.HostWrite(pe.Addr(off), data)
+}
+
+// HostRead copies out of the symmetric heap without charging time.
+func (pe *PE) HostRead(off uint64, data []byte) error {
+	return pe.Node.GPU.HostRead(pe.Addr(off), data)
+}
+
+// ---- device-side operations (called from GPU kernels) ----
+
+// Put copies n bytes from the local symmetric offset src to the peer's
+// symmetric offset dst. Completion is asynchronous; call Quiet to wait.
+func (pe *PE) Put(w *gpusim.Warp, dst, src uint64, n int) {
+	pe.RMA.DevPut(w, dataPort, pe.localNLA+extoll.NLA(src), pe.peerNLA+extoll.NLA(dst),
+		n, extoll.FlagReqNotif)
+	pe.outstanding++
+}
+
+// PutImm writes one 64-bit value to the peer's symmetric offset without
+// any source DMA (claim 3's cheapest possible transfer).
+func (pe *PE) PutImm(w *gpusim.Warp, dst uint64, value uint64) {
+	pe.RMA.DevPutImm(w, dataPort, value, pe.peerNLA+extoll.NLA(dst), 8, extoll.FlagReqNotif)
+	pe.outstanding++
+}
+
+// Get copies n bytes from the peer's symmetric offset src into the local
+// offset dst and blocks until the data has arrived.
+func (pe *PE) Get(w *gpusim.Warp, dst, src uint64, n int) {
+	pe.RMA.DevGet(w, dataPort, pe.peerNLA+extoll.NLA(src), pe.localNLA+extoll.NLA(dst),
+		n, extoll.FlagCompNotif)
+	pe.RMA.DevWaitNotif(w, dataPort, extoll.ClassCompleter)
+}
+
+// Quiet blocks until every outstanding Put has left local memory (the
+// EXTOLL requester notification — local completion, as shmem_quiet
+// requires on a fabric with in-order delivery).
+func (pe *PE) Quiet(w *gpusim.Warp) {
+	for pe.outstanding > 0 {
+		pe.RMA.DevWaitNotif(w, dataPort, extoll.ClassRequester)
+		pe.outstanding--
+	}
+}
+
+// Fence orders puts; with a single in-order connection it is Quiet.
+func (pe *PE) Fence(w *gpusim.Warp) { pe.Quiet(w) }
+
+// WaitUntil blocks until the local symmetric word at off equals want —
+// device-memory polling, claim 3's preferred completion detection.
+func (pe *PE) WaitUntil(w *gpusim.Warp, off uint64, want uint64) {
+	w.PollGlobalU64(pe.Addr(off), want)
+}
+
+// Barrier synchronizes both PEs: each increments its epoch, writes it to
+// the peer's barrier flag with an immediate put over the sync port, and
+// polls its own flag in device memory until the peer's epoch arrives.
+func (pe *PE) Barrier(w *gpusim.Warp) {
+	pe.barrierSeq++
+	pe.RMA.DevPutImm(w, syncPort, pe.barrierSeq,
+		pe.peerNLA+extoll.NLA(pe.barrierOff), 8, extoll.FlagReqNotif)
+	pe.RMA.DevWaitNotif(w, syncPort, extoll.ClassRequester)
+	pe.WaitUntil(w, pe.barrierOff, pe.barrierSeq)
+}
+
+// FetchAdd atomically adds addend to the peer's symmetric 64-bit word at
+// off and returns the previous value.
+func (pe *PE) FetchAdd(w *gpusim.Warp, off uint64, addend uint64) uint64 {
+	pe.RMA.DevFetchAdd(w, syncPort, addend, pe.peerNLA+extoll.NLA(off))
+	_, old := pe.RMA.DevWaitNotifValue(w, syncPort, extoll.ClassCompleter)
+	return old
+}
+
+// Run launches body as a single-block, full-warp kernel on every PE and
+// returns when both complete; it panics on deadlock. This is the SPMD
+// entry point — body runs with 32 lanes, so coalesced sweeps and the
+// thread-collective descriptor paths are available.
+func (w *World) Run(body func(pe *PE, warp *gpusim.Warp)) {
+	dones := make([]interface{ Done() bool }, 2)
+	for i, pe := range w.PEs {
+		pe := pe
+		dones[i] = pe.Node.GPU.Launch(gpusim.KernelConfig{Blocks: 1, ThreadsPerBlock: 32}, func(warp *gpusim.Warp) {
+			body(pe, warp)
+		})
+	}
+	w.TB.E.Run()
+	for i, d := range dones {
+		if !d.Done() {
+			panic(fmt.Sprintf("shmem: PE %d did not complete (deadlock?)", i))
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package sim
+
+// Chan is an unbounded FIFO mailbox between processes. Send never blocks;
+// Recv parks until an item is available. It models hardware work queues
+// whose depth we do not want to constrain (back-pressure, where needed, is
+// modelled explicitly by the producer).
+type Chan[T any] struct {
+	e       *Engine
+	items   []T
+	waiters *Signal
+}
+
+// NewChan creates a mailbox bound to engine e.
+func NewChan[T any](e *Engine) *Chan[T] {
+	return &Chan[T]{e: e, waiters: NewSignal(e)}
+}
+
+// Send enqueues v and wakes one blocked receiver, if any.
+func (c *Chan[T]) Send(v T) {
+	c.items = append(c.items, v)
+	c.waiters.Pulse()
+}
+
+// Recv dequeues the oldest item, parking p until one exists.
+func (c *Chan[T]) Recv(p *Proc) T {
+	for len(c.items) == 0 {
+		c.waiters.Wait(p)
+	}
+	v := c.items[0]
+	var zero T
+	c.items[0] = zero
+	c.items = c.items[1:]
+	return v
+}
+
+// TryRecv dequeues without blocking; ok reports whether an item was taken.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.items) == 0 {
+		return v, false
+	}
+	v = c.items[0]
+	var zero T
+	c.items[0] = zero
+	c.items = c.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (c *Chan[T]) Len() int { return len(c.items) }

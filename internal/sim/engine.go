@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same instant, preserving schedule order.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending-event queue.
+//
+// All simulation code — event callbacks and process bodies — runs under the
+// engine's strict handoff discipline, so engine state never needs locking.
+// Calling engine methods from goroutines outside the simulation is not
+// supported.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	// yield is signalled by a process when it parks or exits, handing
+	// control back to the engine loop.
+	yield chan struct{}
+
+	procs   int // live (not yet finished) processes
+	live    map[*Proc]struct{}
+	stopped bool
+
+	// Trace, when non-nil, receives a line per traced event. Models call
+	// Tracef to emit them.
+	Trace func(t Time, msg string)
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{}), live: map[*Proc]struct{}{}}
+}
+
+// Shutdown terminates every parked process so their goroutines exit. Call
+// it when a simulation is abandoned (testbed teardown); the engine must
+// not be running. The engine remains usable only for inspection afterward.
+func (e *Engine) Shutdown() {
+	for p := range e.live {
+		if p.done {
+			continue
+		}
+		p.kill = true
+		p.resume()
+	}
+	e.live = map[*Proc]struct{}{}
+	e.events = nil
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Tracef emits a trace line if tracing is enabled.
+func (e *Engine) Tracef(format string, args ...interface{}) {
+	if e.Trace != nil {
+		e.Trace(e.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued; Run may be called again to continue.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue drains or Stop is
+// called. Processes blocked on signals with no pending wakeup are considered
+// quiescent; Run returns with them still parked.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// RunUntil executes events until virtual time t is reached (events at
+// exactly t still run), the queue drains, or Stop is called.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < t && !e.stopped {
+		e.now = t
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Live reports the number of processes that have started but not finished.
+func (e *Engine) Live() int { return e.procs }

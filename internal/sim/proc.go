@@ -1,0 +1,104 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulation process: a goroutine that runs model code and blocks
+// on virtual time. A Proc may only execute while the engine has handed
+// control to it; it returns control by sleeping, waiting, or finishing.
+type Proc struct {
+	e    *Engine
+	name string
+	wake chan struct{}
+	done bool
+	kill bool
+}
+
+// procKilled is the sentinel panic value Shutdown injects into parked
+// processes; the spawn wrapper recovers it and exits cleanly.
+var procKilled = new(int)
+
+// Spawn starts fn as a new process at the current virtual time. fn begins
+// executing when the engine reaches the start event, in scheduling order
+// relative to other events at the same instant.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt starts fn as a new process at absolute virtual time t.
+func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, wake: make(chan struct{})}
+	e.procs++
+	e.live[p] = struct{}{}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil && r != procKilled {
+				panic(r)
+			}
+			p.done = true
+			p.e.procs--
+			delete(p.e.live, p)
+			p.e.yield <- struct{}{}
+		}()
+		<-p.wake // wait for the start event
+		if p.kill {
+			panic(procKilled)
+		}
+		fn(p)
+	}()
+	e.At(t, func() { p.resume() })
+	return p
+}
+
+// Name returns the process name (used in traces and panics).
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs under.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// resume transfers control from the engine loop to the process and blocks
+// the engine until the process parks again. Must be called from engine
+// (event-callback) context only.
+func (p *Proc) resume() {
+	p.wake <- struct{}{}
+	<-p.e.yield
+}
+
+// park returns control to the engine and blocks until resumed. If the
+// engine is shutting down, the process unwinds via the kill sentinel.
+func (p *Proc) park() {
+	p.e.yield <- struct{}{}
+	<-p.wake
+	if p.kill {
+		panic(procKilled)
+	}
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations
+// sleep zero time but still yield, letting simultaneous events run.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.After(d, func() { p.resume() })
+	p.park()
+}
+
+// SleepUntil suspends the process until absolute time t. If t is in the
+// past it panics (causality violation).
+func (p *Proc) SleepUntil(t Time) {
+	if t < p.e.now {
+		panic(fmt.Sprintf("sim: %s sleeping until %v which is before now %v", p.name, t, p.e.now))
+	}
+	p.e.At(t, func() { p.resume() })
+	p.park()
+}
+
+// Yield lets all other events scheduled for the current instant run before
+// the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,85 @@
+package sim
+
+// Signal is a broadcast condition variable for processes. Wait parks the
+// calling process; Broadcast wakes every waiter at the current instant (in
+// wait order). There is no spurious wakeup: a waiter resumes only after a
+// Broadcast/Pulse that happened after its Wait began.
+type Signal struct {
+	e       *Engine
+	waiters []*Proc
+}
+
+// NewSignal creates a signal bound to engine e.
+func NewSignal(e *Engine) *Signal { return &Signal{e: e} }
+
+// Wait parks p until the next Broadcast or a Pulse that selects it.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// Broadcast schedules every current waiter to resume at the present time.
+// Waiters added after Broadcast returns are not woken. Safe to call from
+// either process or event context.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		w := w
+		s.e.At(s.e.now, func() { w.resume() })
+	}
+}
+
+// Pulse wakes exactly one waiter (FIFO order) if any is parked. It reports
+// whether a waiter was woken.
+func (s *Signal) Pulse() bool {
+	if len(s.waiters) == 0 {
+		return false
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	s.e.At(s.e.now, func() { w.resume() })
+	return true
+}
+
+// Waiting reports the number of parked processes.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// Completion is a one-shot event carrying a completion time. Processes can
+// wait for it; completing it more than once panics.
+type Completion struct {
+	e      *Engine
+	done   bool
+	at     Time
+	signal *Signal
+}
+
+// NewCompletion creates an unresolved completion.
+func NewCompletion(e *Engine) *Completion {
+	return &Completion{e: e, signal: NewSignal(e)}
+}
+
+// Complete resolves the completion at the current time and wakes waiters.
+func (c *Completion) Complete() {
+	if c.done {
+		panic("sim: Completion completed twice")
+	}
+	c.done = true
+	c.at = c.e.now
+	c.signal.Broadcast()
+}
+
+// Done reports whether the completion has resolved.
+func (c *Completion) Done() bool { return c.done }
+
+// At returns the resolution time; valid only when Done.
+func (c *Completion) At() Time { return c.at }
+
+// Wait parks p until the completion resolves. Returns immediately if it
+// already has.
+func (c *Completion) Wait(p *Proc) {
+	if c.done {
+		return
+	}
+	c.signal.Wait(p)
+}

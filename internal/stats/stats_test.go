@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("odd Median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even Median = %v", got)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if Percentile(xs, 0) != 10 || Percentile(xs, 100) != 50 {
+		t.Fatal("percentile bounds wrong")
+	}
+	if got := Percentile(xs, 50); got != 30 {
+		t.Fatalf("P50 = %v", got)
+	}
+}
+
+// Property: Min ≤ Median ≤ Max and Min ≤ Mean ≤ Max for any input.
+func TestOrderingProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		mn, md, mx, me := Min(xs), Median(xs), Max(xs), Mean(xs)
+		return mn <= md && md <= mx && mn <= me && me <= mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Median of a sorted slice equals the direct middle element(s).
+func TestMedianAgainstSort(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		got := Median(xs)
+		sort.Float64s(xs)
+		var want float64
+		if len(xs)%2 == 1 {
+			want = xs[len(xs)/2]
+		} else {
+			want = (xs[len(xs)/2-1] + xs[len(xs)/2]) / 2
+		}
+		return math.Abs(got-want) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package trace collects structured event records from a simulation run:
+// every model's trace line becomes an Event with a timestamp and a
+// category (derived from the emitting component's prefix), filterable and
+// exportable as text or JSON. The putgettrace command is built on it.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"putget/internal/sim"
+)
+
+// Event is one recorded model event.
+type Event struct {
+	At  sim.Time // virtual timestamp (picoseconds)
+	Cat string   // emitting component ("pcie", "a.rma", "gpu", ...)
+	Msg string   // human-readable description
+}
+
+// Recorder captures events from an engine's trace hook.
+type Recorder struct {
+	events []Event
+	max    int
+	drops  int
+}
+
+// Attach installs a recorder on the engine's trace hook. max bounds the
+// number of retained events (0 = unlimited); further events are counted
+// as dropped.
+func Attach(e *sim.Engine, max int) *Recorder {
+	r := &Recorder{max: max}
+	e.Trace = func(t sim.Time, msg string) {
+		if r.max > 0 && len(r.events) >= r.max {
+			r.drops++
+			return
+		}
+		cat := msg
+		if i := strings.IndexByte(msg, ':'); i > 0 {
+			cat = msg[:i]
+		}
+		r.events = append(r.events, Event{At: t, Cat: cat, Msg: msg})
+	}
+	return r
+}
+
+// Events returns every recorded event in time order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped reports how many events exceeded the retention bound.
+func (r *Recorder) Dropped() int { return r.drops }
+
+// Filter returns the events whose category has the given prefix.
+func (r *Recorder) Filter(catPrefix string) []Event {
+	var out []Event
+	for _, ev := range r.events {
+		if strings.HasPrefix(ev.Cat, catPrefix) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Categories returns the distinct categories seen, in first-seen order.
+func (r *Recorder) Categories() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, ev := range r.events {
+		if !seen[ev.Cat] {
+			seen[ev.Cat] = true
+			out = append(out, ev.Cat)
+		}
+	}
+	return out
+}
+
+// WriteText renders the events one per line with aligned timestamps.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, ev := range r.events {
+		if _, err := fmt.Fprintf(w, "%12v  %s\n", ev.At, ev.Msg); err != nil {
+			return err
+		}
+	}
+	if r.drops > 0 {
+		if _, err := fmt.Fprintf(w, "(… %d further events dropped)\n", r.drops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the events as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.events)
+}

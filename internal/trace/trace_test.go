@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"putget/internal/sim"
+)
+
+func emit(e *sim.Engine, at sim.Time, msg string) {
+	e.At(at, func() { e.Tracef("%s", msg) })
+}
+
+func TestRecorderCapturesInOrder(t *testing.T) {
+	e := sim.NewEngine()
+	r := Attach(e, 0)
+	emit(e, 30, "nic: three")
+	emit(e, 10, "pcie: one")
+	emit(e, 20, "gpu: two")
+	e.Run()
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Cat != "pcie" || evs[1].Cat != "gpu" || evs[2].Cat != "nic" {
+		t.Fatalf("order/categories wrong: %+v", evs)
+	}
+	if evs[0].At != 10 {
+		t.Fatalf("timestamp = %v", evs[0].At)
+	}
+}
+
+func TestRecorderBoundsAndDrops(t *testing.T) {
+	e := sim.NewEngine()
+	r := Attach(e, 2)
+	for i := 0; i < 5; i++ {
+		emit(e, sim.Time(i+1), "x: event")
+	}
+	e.Run()
+	if len(r.Events()) != 2 || r.Dropped() != 3 {
+		t.Fatalf("kept %d dropped %d", len(r.Events()), r.Dropped())
+	}
+}
+
+func TestFilterAndCategories(t *testing.T) {
+	e := sim.NewEngine()
+	r := Attach(e, 0)
+	emit(e, 1, "a.rma: wr")
+	emit(e, 2, "pcie: write")
+	emit(e, 3, "a.rma: notif")
+	e.Run()
+	if got := r.Filter("a.rma"); len(got) != 2 {
+		t.Fatalf("filter = %d", len(got))
+	}
+	cats := r.Categories()
+	if len(cats) != 2 || cats[0] != "a.rma" || cats[1] != "pcie" {
+		t.Fatalf("categories = %v", cats)
+	}
+}
+
+func TestWriteTextAndJSON(t *testing.T) {
+	e := sim.NewEngine()
+	r := Attach(e, 1)
+	emit(e, 5, "pcie: hello")
+	emit(e, 6, "pcie: dropped")
+	e.Run()
+	var txt bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "pcie: hello") || !strings.Contains(txt.String(), "dropped") {
+		t.Fatalf("text output: %q", txt.String())
+	}
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back []Event
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Msg != "pcie: hello" {
+		t.Fatalf("json round trip: %+v", back)
+	}
+}

@@ -1,0 +1,63 @@
+// Package wire models the cable between two NICs: a full-duplex link with
+// serialization bandwidth and propagation/switch latency per direction.
+package wire
+
+import "putget/internal/sim"
+
+// Link is one direction of a cable. Packets serialize FIFO at the link
+// rate, fly for the fixed latency, and land in the receiver's inbox.
+type Link[T any] struct {
+	e       *sim.Engine
+	latency sim.Duration
+	srv     *sim.Server
+	inbox   *sim.Chan[T]
+}
+
+// NewLink creates one direction with the given bandwidth (bytes/second)
+// and one-way latency.
+func NewLink[T any](e *sim.Engine, bytesPerSecond float64, latency sim.Duration) *Link[T] {
+	return &Link[T]{
+		e:       e,
+		latency: latency,
+		srv:     sim.NewServer(e, bytesPerSecond),
+		inbox:   sim.NewChan[T](e),
+	}
+}
+
+// NewDuplex creates both directions of a cable with symmetric parameters.
+func NewDuplex[T any](e *sim.Engine, bytesPerSecond float64, latency sim.Duration) (ab, ba *Link[T]) {
+	return NewLink[T](e, bytesPerSecond, latency), NewLink[T](e, bytesPerSecond, latency)
+}
+
+// Send transmits pkt occupying wireBytes of link time; delivery into the
+// receiver inbox happens after serialization plus latency. The sender does
+// not block (NIC egress queues are modelled as unbounded).
+func (l *Link[T]) Send(pkt T, wireBytes int) sim.Time {
+	sent := l.srv.Reserve(wireBytes)
+	deliver := sent.Add(l.latency)
+	l.e.At(deliver, func() { l.inbox.Send(pkt) })
+	return deliver
+}
+
+// SendAfter transmits pkt like Send but delays delivery until at least
+// `ready` plus the link latency — used by cut-through senders whose
+// upstream stage (a DMA read) finishes at `ready` while the wire
+// serializes concurrently.
+func (l *Link[T]) SendAfter(pkt T, wireBytes int, ready sim.Time) sim.Time {
+	sent := l.srv.Reserve(wireBytes)
+	if ready > sent {
+		sent = ready
+	}
+	deliver := sent.Add(l.latency)
+	l.e.At(deliver, func() { l.inbox.Send(pkt) })
+	return deliver
+}
+
+// Recv blocks p until a packet arrives, FIFO.
+func (l *Link[T]) Recv(p *sim.Proc) T { return l.inbox.Recv(p) }
+
+// Pending reports packets delivered but not yet consumed.
+func (l *Link[T]) Pending() int { return l.inbox.Len() }
+
+// Utilization returns accumulated serialization time.
+func (l *Link[T]) Utilization() sim.Duration { return l.srv.BusyTotal() }

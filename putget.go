@@ -1,0 +1,245 @@
+// Package putget is the public API of this repository: a deterministic,
+// simulation-backed reproduction of "Analyzing Put/Get APIs for
+// Thread-Collaborative Processors" (Klenk, Oden, Fröning; ICPP 2014).
+//
+// It builds two-node testbeds — each node a host CPU, host RAM, a
+// Kepler-class GPU and either an EXTOLL RMA NIC or an InfiniBand FDR HCA
+// on a modelled PCIe fabric — and exposes the paper's GPU-extended
+// put/get APIs together with the microbenchmarks (latency, bandwidth,
+// message rate) and performance-counter analyses of the evaluation
+// section. Everything runs on a discrete-event simulator in virtual time,
+// so results are exactly reproducible on any machine.
+//
+// Quick start:
+//
+//	tb := putget.NewExtollTestbed(putget.DefaultParams())
+//	res := tb.PingPong(putget.ModeDirect, 1024, 10, 2)
+//	fmt.Println(res.HalfRTT)
+//
+// For lower-level access (device-side kernels, raw NIC models), use the
+// Testbed's Cluster together with the internal core API re-exported here
+// via RMA/Verbs handles.
+package putget
+
+import (
+	"fmt"
+
+	"putget/internal/bench"
+	"putget/internal/cluster"
+	"putget/internal/core"
+	"putget/internal/sim"
+)
+
+// Params re-exports the testbed parameter set.
+type Params = cluster.Params
+
+// DefaultParams returns the calibrated FPGA-era testbed parameters
+// (EXTOLL Galibier at 157 MHz, IB 4X FDR, PCIe gen3-x8-class links).
+func DefaultParams() Params { return cluster.Default() }
+
+// ASICParams returns the projected EXTOLL ASIC profile (700 MHz,
+// 128-bit datapath) the paper mentions.
+func ASICParams() Params { return cluster.ASIC() }
+
+// Mode selects the control path of an experiment, unifying the paper's
+// EXTOLL and InfiniBand series names.
+type Mode int
+
+const (
+	// ModeDirect is GPU-controlled with completion information polled
+	// where the fabric puts it: EXTOLL notification rings in system
+	// memory, or InfiniBand queues in GPU memory (dev2dev-direct /
+	// dev2dev-bufOnGPU).
+	ModeDirect Mode = iota
+	// ModePollOnGPU is GPU-controlled with data-polling on device memory
+	// (EXTOLL dev2dev-pollOnGPU) or host-resident queues (InfiniBand
+	// dev2dev-bufOnHost).
+	ModePollOnGPU
+	// ModeHostAssisted has the GPU trigger a CPU helper thread via a
+	// host-memory flag.
+	ModeHostAssisted
+	// ModeHostControlled keeps all control flow on the CPU.
+	ModeHostControlled
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeDirect:
+		return "direct"
+	case ModePollOnGPU:
+		return "pollOnGPU"
+	case ModeHostAssisted:
+		return "hostAssisted"
+	case ModeHostControlled:
+		return "hostControlled"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Agents selects how message-rate senders are organized.
+type Agents = bench.RateMethod
+
+// Agent organizations for MessageRate.
+const (
+	AgentsBlocks         = bench.RateBlocks
+	AgentsKernels        = bench.RateKernels
+	AgentsAssisted       = bench.RateAssisted
+	AgentsHostControlled = bench.RateHostControlled
+)
+
+// Results re-exported from the benchmark layer.
+type (
+	// LatencyResult is one ping-pong measurement (see bench.LatencyResult).
+	LatencyResult = bench.LatencyResult
+	// BandwidthResult is one streaming measurement.
+	BandwidthResult = bench.BandwidthResult
+	// RateResult is one message-rate measurement.
+	RateResult = bench.RateResult
+)
+
+// Duration re-exports virtual time durations (picoseconds).
+type Duration = sim.Duration
+
+// FabricKind selects the interconnect of a testbed.
+type FabricKind int
+
+// Supported fabrics.
+const (
+	FabricExtoll FabricKind = iota
+	FabricInfiniband
+)
+
+// String implements fmt.Stringer.
+func (f FabricKind) String() string {
+	if f == FabricExtoll {
+		return "extoll"
+	}
+	return "infiniband"
+}
+
+// Testbed is a two-node simulated cluster plus the paper's benchmark
+// suite. Each benchmark call builds a fresh deterministic simulation, so
+// calls are independent and repeatable.
+type Testbed struct {
+	kind   FabricKind
+	params Params
+}
+
+// NewExtollTestbed creates an EXTOLL RMA testbed description.
+func NewExtollTestbed(p Params) *Testbed {
+	return &Testbed{kind: FabricExtoll, params: p}
+}
+
+// NewIBTestbed creates an InfiniBand Verbs testbed description.
+func NewIBTestbed(p Params) *Testbed {
+	return &Testbed{kind: FabricInfiniband, params: p}
+}
+
+// Kind returns the testbed's fabric.
+func (t *Testbed) Kind() FabricKind { return t.kind }
+
+// Params returns the testbed parameters.
+func (t *Testbed) Params() Params { return t.params }
+
+func (t *Testbed) extollMode(m Mode) bench.ExtollMode {
+	switch m {
+	case ModeDirect:
+		return bench.ExtDirect
+	case ModePollOnGPU:
+		return bench.ExtPollOnGPU
+	case ModeHostAssisted:
+		return bench.ExtAssisted
+	default:
+		return bench.ExtHostControlled
+	}
+}
+
+func (t *Testbed) ibMode(m Mode) bench.IBMode {
+	switch m {
+	case ModeDirect:
+		return bench.IBBufOnGPU
+	case ModePollOnGPU:
+		return bench.IBBufOnHost
+	case ModeHostAssisted:
+		return bench.IBAssisted
+	default:
+		return bench.IBHostControlled
+	}
+}
+
+// PingPong measures one-way latency over `iters` measured ping-pong
+// exchanges of `size` bytes (after `warmup` unmeasured ones).
+func (t *Testbed) PingPong(m Mode, size, iters, warmup int) LatencyResult {
+	if t.kind == FabricExtoll {
+		return bench.ExtollPingPong(t.params, t.extollMode(m), size, iters, warmup)
+	}
+	return bench.IBPingPong(t.params, t.ibMode(m), size, iters, warmup)
+}
+
+// Stream measures unidirectional streaming bandwidth with `messages`
+// puts of `size` bytes.
+func (t *Testbed) Stream(m Mode, size, messages int) BandwidthResult {
+	if t.kind == FabricExtoll {
+		return bench.ExtollStream(t.params, t.extollMode(m), size, messages)
+	}
+	return bench.IBStream(t.params, t.ibMode(m), size, messages)
+}
+
+// MessageRate measures sustained 64-byte message rate over `pairs`
+// connection pairs, each sending `perPair` messages.
+func (t *Testbed) MessageRate(a Agents, pairs, perPair int) RateResult {
+	if t.kind == FabricExtoll {
+		return bench.ExtollMessageRate(t.params, a, pairs, perPair)
+	}
+	return bench.IBMessageRate(t.params, a, pairs, perPair)
+}
+
+// Cluster builds and returns a live simulated cluster for this testbed's
+// fabric, for callers who want to run their own device/host code against
+// the core API (see the haloexchange example).
+func (t *Testbed) Cluster() *cluster.Testbed {
+	if t.kind == FabricExtoll {
+		return cluster.NewExtollPair(t.params)
+	}
+	return cluster.NewIBPair(t.params)
+}
+
+// NewRMA binds the EXTOLL put/get API to a node of a live cluster.
+func NewRMA(n *cluster.Node) *core.RMA { return core.NewRMA(n) }
+
+// NewVerbs binds the InfiniBand Verbs API to a node of a live cluster.
+func NewVerbs(n *cluster.Node) *core.Verbs { return core.NewVerbs(n) }
+
+// Experiments lists the paper's figures and tables; each can be
+// regenerated with Run.
+func Experiments() []string {
+	var ids []string
+	for _, r := range bench.Experiments() {
+		ids = append(ids, r.ID)
+	}
+	return ids
+}
+
+// RunExperiment regenerates one figure or table by id ("fig1a" ...
+// "table2") and returns its formatted text.
+func RunExperiment(id string, p Params) (string, error) {
+	r, ok := bench.Lookup(id)
+	if !ok {
+		return "", fmt.Errorf("putget: unknown experiment %q (have %v)", id, Experiments())
+	}
+	return r.Run(p), nil
+}
+
+// RunExperimentJSON is RunExperiment with machine-readable output for
+// external plotting; not every experiment supports it.
+func RunExperimentJSON(id string, p Params) (string, error) {
+	r, ok := bench.Lookup(id)
+	if !ok {
+		return "", fmt.Errorf("putget: unknown experiment %q (have %v)", id, Experiments())
+	}
+	if r.RunJSON == nil {
+		return "", fmt.Errorf("putget: experiment %q has no JSON form", id)
+	}
+	return r.RunJSON(p), nil
+}
