@@ -23,6 +23,7 @@ func main() {
 		asic       = flag.Bool("asic", false, "use the projected EXTOLL ASIC profile")
 		noCollapse = flag.Bool("no-collapse", false, "disable the PCIe P2P read collapse (ablation)")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		seed       = flag.Uint64("seed", 0, "fault-injection master seed (faultsweep; 0 = default 42)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 	if *noCollapse {
 		p.P2PCollapseOff = true
 	}
+	p.FaultSeed = *seed
 
 	ids := []string{*experiment}
 	if *experiment == "all" {

@@ -47,6 +47,12 @@ var knobs = []knob{
 		func(p *cluster.Params, v float64) { p.IBWireBW = v }},
 	{"host-mem-lat", "host memory latency [ns]",
 		func(p *cluster.Params, v float64) { p.HostMemLat = sim.Nanoseconds(v) }},
+	{"fault-drop", "wire loss probability (enables fault injection; rates near 1 kill the link and blocking benchmarks never finish)",
+		func(p *cluster.Params, v float64) { p.FaultInject = true; p.FaultSeed = 42; p.FaultDropRate = v }},
+	{"fault-delay", "max extra wire delay [ns] (enables fault injection)",
+		func(p *cluster.Params, v float64) { p.FaultInject = true; p.FaultSeed = 42; p.FaultDelayMax = sim.Nanoseconds(v) }},
+	{"wire-depth-cap", "wire egress queue bound [packets] (0 = unbounded)",
+		func(p *cluster.Params, v float64) { p.WireDepthCap = int(v) }},
 }
 
 // metric evaluates one headline number under a parameter set.
@@ -85,6 +91,18 @@ var metrics = []metric{
 	{"iblat16", "IB bufOnGPU 16B one-way latency", "us",
 		func(p cluster.Params) float64 {
 			return bench.IBPingPong(p, bench.IBBufOnGPU, 16, 10, 2).HalfRTT.Microseconds()
+		}},
+	{"iblat1k-host", "IB host-controlled 1KiB one-way latency", "us",
+		func(p cluster.Params) float64 {
+			return bench.IBPingPong(p, bench.IBHostControlled, 1024, 10, 2).HalfRTT.Microseconds()
+		}},
+	{"retx1k", "retransmissions during EXTOLL host-controlled 1KiB ping-pong", "count",
+		func(p cluster.Params) float64 {
+			res := bench.ExtollPingPong(p, bench.ExtHostControlled, 1024, 10, 2)
+			if res.Rel == nil {
+				return 0
+			}
+			return float64(res.Rel.Retransmits)
 		}},
 }
 

@@ -385,7 +385,18 @@ func Experiments() []Runner {
 			func(p cluster.Params) string { return ModernComparison() }, nil},
 		{"staged", "GPUDirect vs host-staged communication (§II background)",
 			func(p cluster.Params) string { return StagedComparison(p) }, nil},
+		{"faultsweep", "latency/goodput degradation under wire loss + blackout recovery CDF",
+			func(p cluster.Params) string { return FaultSweep(p, faultSweepSeed(p)) }, nil},
 	}
+}
+
+// faultSweepSeed picks the sweep's master seed: the -seed flag when given,
+// else a fixed default so the experiment is reproducible out of the box.
+func faultSweepSeed(p cluster.Params) uint64 {
+	if p.FaultSeed != 0 {
+		return p.FaultSeed
+	}
+	return 42
 }
 
 // Lookup finds an experiment by id.

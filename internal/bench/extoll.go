@@ -257,6 +257,7 @@ func ExtollPingPong(p cluster.Params, mode ExtollMode, size, iters, warmup int) 
 		PutTime:  putSum / sim.Duration(iters),
 		PollTime: pollSum / sim.Duration(iters),
 		Counters: r.tb.A.GPU.Counters(),
+		Rel:      extollRel(r.tb),
 	}
 }
 
@@ -356,6 +357,7 @@ func ExtollStream(p cluster.Params, mode ExtollMode, size, messages int) Bandwid
 		Messages:    messages,
 		Elapsed:     elapsed,
 		BytesPerSec: float64(size) * float64(messages) / elapsed.Seconds(),
+		Rel:         extollRel(r.tb),
 	}
 }
 

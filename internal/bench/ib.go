@@ -238,6 +238,7 @@ func IBPingPong(p cluster.Params, mode IBMode, size, iters, warmup int) LatencyR
 		PutTime:  putSum / sim.Duration(iters),
 		PollTime: pollSum / sim.Duration(iters),
 		Counters: r.tb.A.GPU.Counters(),
+		Rel:      ibRel(r.tb),
 	}
 }
 
@@ -401,6 +402,7 @@ func IBStream(p cluster.Params, mode IBMode, size, messages int) BandwidthResult
 		Messages:    messages,
 		Elapsed:     elapsed,
 		BytesPerSec: float64(size) * float64(messages) / elapsed.Seconds(),
+		Rel:         ibRel(r.tb),
 	}
 }
 

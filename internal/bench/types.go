@@ -111,6 +111,9 @@ type LatencyResult struct {
 	PutTime  sim.Duration // mean per-iteration WR-generation time (origin)
 	PollTime sim.Duration // mean per-iteration completion-wait time (origin)
 	Counters gpusim.Counters
+	// Rel holds reliability-protocol activity; nil unless the testbed ran
+	// with fault injection enabled.
+	Rel *RelCounters
 }
 
 // Ratio returns PollTime/PutTime — the decomposition of Fig. 3.
@@ -128,6 +131,9 @@ type BandwidthResult struct {
 	Elapsed  sim.Duration
 	// BytesPerSec is payload throughput observed at the receiver.
 	BytesPerSec float64
+	// Rel holds reliability-protocol activity; nil unless the testbed ran
+	// with fault injection enabled.
+	Rel *RelCounters
 }
 
 // RateResult is one message-rate measurement point.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"putget/internal/extoll"
+	"putget/internal/faults"
 	"putget/internal/gpusim"
 	"putget/internal/hostsim"
 	"putget/internal/ibsim"
@@ -119,11 +120,51 @@ type Testbed struct {
 	E      *sim.Engine
 	A, B   *Node
 	Params Params
+
+	// FaultsAB / FaultsBA guard the two wire directions when
+	// Params.FaultInject is set; nil otherwise.
+	FaultsAB *faults.Injector
+	FaultsBA *faults.Injector
 }
 
 // Shutdown terminates the testbed's parked processes (NIC engines, stream
 // runners) so their goroutines exit; call it when done with the testbed.
 func (t *Testbed) Shutdown() { t.E.Shutdown() }
+
+// wireFaultPlan scripts one wire direction's injector. The salt separates
+// the two directions' PRNG streams so they draw independent verdicts from
+// the same master seed.
+func wireFaultPlan(p Params, salt uint64) faults.Plan {
+	plan := faults.Plan{Seed: faults.DeriveSeed(p.FaultSeed, salt)}
+	if p.FaultDropRate > 0 || p.FaultCorruptRate > 0 || p.FaultDelayMax > 0 {
+		plan.Rules = []faults.Rule{{
+			DropRate:    p.FaultDropRate,
+			CorruptRate: p.FaultCorruptRate,
+			DelayMax:    p.FaultDelayMax,
+		}}
+	}
+	if p.FaultBlackoutEnd > p.FaultBlackoutStart {
+		plan.Blackouts = []faults.Window{{Start: p.FaultBlackoutStart, End: p.FaultBlackoutEnd}}
+	}
+	return plan
+}
+
+// attachPCIeFaults wires node-local PCIe replay injection (salts 3 and 4).
+func attachPCIeFaults(p Params, a, b *Node) {
+	if p.FaultPCIeReplayRate <= 0 {
+		return
+	}
+	penalty := p.FaultPCIeReplayPenalty
+	if penalty == 0 {
+		penalty = 500 * sim.Nanosecond
+	}
+	for i, n := range []*Node{a, b} {
+		n.Fabric.SetFaults(faults.NewInjector(faults.Plan{
+			Seed:  faults.DeriveSeed(p.FaultSeed, uint64(3+i)),
+			Rules: []faults.Rule{{DropRate: p.FaultPCIeReplayRate}},
+		}), penalty)
+	}
+}
 
 // NewExtollPair builds the EXTOLL testbed: two nodes with Galibier NICs.
 func NewExtollPair(p Params) *Testbed {
@@ -136,9 +177,17 @@ func NewExtollPair(p Params) *Testbed {
 		// allocator grows from the bottom).
 		notifBase = DevMemBase + memspace.Addr(p.GPUDevMemSize-(32<<20))
 	}
+	var extRel *extoll.RelConfig
+	if p.FaultInject {
+		extRel = p.ExtRel
+		if extRel == nil {
+			extRel = extoll.DefaultRelConfig()
+		}
+	}
 	for _, n := range []*Node{a, b} {
 		n.Extoll = extoll.New(e, n.Fabric, extoll.Config{
 			Name:          n.Name + ".rma",
+			Rel:           extRel,
 			ClockHz:       p.ExtClock,
 			DatapathBytes: p.ExtDatapath,
 			ReqCycles:     p.ExtReqCycles,
@@ -155,9 +204,22 @@ func NewExtollPair(p Params) *Testbed {
 		})
 	}
 	ab, ba := wire.NewDuplex[extoll.Packet](e, p.ExtWireBW, p.ExtWireLat)
+	tb := &Testbed{E: e, A: a, B: b, Params: p}
+	if p.WireDepthCap > 0 {
+		ab.SetDepthCap(p.WireDepthCap)
+		ba.SetDepthCap(p.WireDepthCap)
+	}
+	if p.FaultInject {
+		poison := func(pkt extoll.Packet) extoll.Packet { pkt.Poisoned = true; return pkt }
+		tb.FaultsAB = faults.NewInjector(wireFaultPlan(p, 1))
+		tb.FaultsBA = faults.NewInjector(wireFaultPlan(p, 2))
+		ab.SetFaults(tb.FaultsAB, poison)
+		ba.SetFaults(tb.FaultsBA, poison)
+		attachPCIeFaults(p, a, b)
+	}
 	a.Extoll.AttachWire(ab, ba)
 	b.Extoll.AttachWire(ba, ab)
-	return &Testbed{E: e, A: a, B: b, Params: p}
+	return tb
 }
 
 // NewIBPair builds the InfiniBand testbed: two nodes with FDR HCAs.
@@ -165,9 +227,17 @@ func NewIBPair(p Params) *Testbed {
 	e := sim.NewEngine()
 	a := newNode(e, "a", p)
 	b := newNode(e, "b", p)
+	var ibRel *ibsim.RelConfig
+	if p.FaultInject {
+		ibRel = p.IBRel
+		if ibRel == nil {
+			ibRel = ibsim.DefaultRelConfig()
+		}
+	}
 	for _, n := range []*Node{a, b} {
 		n.IB = ibsim.New(e, n.Fabric, ibsim.Config{
 			Name:          n.Name + ".hca",
+			Rel:           ibRel,
 			BARBase:       IBBAR,
 			WQEFetchBatch: p.IBFetchBatch,
 			ProcessTime:   p.IBProc,
@@ -179,7 +249,20 @@ func NewIBPair(p Params) *Testbed {
 		})
 	}
 	ab, ba := wire.NewDuplex[ibsim.Packet](e, p.IBWireBW, p.IBWireLat)
+	tb := &Testbed{E: e, A: a, B: b, Params: p}
+	if p.WireDepthCap > 0 {
+		ab.SetDepthCap(p.WireDepthCap)
+		ba.SetDepthCap(p.WireDepthCap)
+	}
+	if p.FaultInject {
+		poison := func(pkt ibsim.Packet) ibsim.Packet { pkt.Poisoned = true; return pkt }
+		tb.FaultsAB = faults.NewInjector(wireFaultPlan(p, 1))
+		tb.FaultsBA = faults.NewInjector(wireFaultPlan(p, 2))
+		ab.SetFaults(tb.FaultsAB, poison)
+		ba.SetFaults(tb.FaultsBA, poison)
+		attachPCIeFaults(p, a, b)
+	}
 	a.IB.AttachWire(ab, ba)
 	b.IB.AttachWire(ba, ab)
-	return &Testbed{E: e, A: a, B: b, Params: p}
+	return tb
 }

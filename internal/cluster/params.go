@@ -4,6 +4,8 @@
 package cluster
 
 import (
+	"putget/internal/extoll"
+	"putget/internal/ibsim"
 	"putget/internal/memspace"
 	"putget/internal/sim"
 )
@@ -95,6 +97,38 @@ type Params struct {
 	IBReadLat    sim.Duration
 	IBWireBW     float64
 	IBWireLat    sim.Duration
+
+	// ---- fault injection + reliability ----
+	// FaultInject turns the machinery on: seeded injectors wrap both wire
+	// directions (and optionally the PCIe bulk path), and both fabrics run
+	// their reliability protocols (link retransmission for EXTOLL, the RC
+	// ACK/NAK protocol for InfiniBand). Off by default: the zero-loss
+	// testbed stays bit-identical to the seed.
+	FaultInject bool
+	// FaultSeed derives the per-direction injector seeds.
+	FaultSeed uint64
+	// FaultDropRate / FaultCorruptRate are per-packet probabilities on
+	// each wire direction; FaultDelayMax adds uniform extra delivery
+	// delay in [0, FaultDelayMax].
+	FaultDropRate    float64
+	FaultCorruptRate float64
+	FaultDelayMax    sim.Duration
+	// FaultBlackout, when non-zero in width, drops every packet in
+	// [Start, End) of virtual time on both directions.
+	FaultBlackoutStart sim.Time
+	FaultBlackoutEnd   sim.Time
+	// FaultPCIeReplayRate injects link-level replays (extra latency) on
+	// the node-local PCIe bulk path; FaultPCIeReplayPenalty is the cost
+	// per replay.
+	FaultPCIeReplayRate    float64
+	FaultPCIeReplayPenalty sim.Duration
+	// WireDepthCap bounds each wire direction's egress queue (tail-drop
+	// beyond it); 0 keeps the unbounded seed behaviour.
+	WireDepthCap int
+	// ExtRel / IBRel override the reliability tunables; nil picks the
+	// package defaults when FaultInject is set.
+	ExtRel *extoll.RelConfig
+	IBRel  *ibsim.RelConfig
 }
 
 // Default returns the calibrated FPGA-era testbed: EXTOLL Galibier

@@ -136,6 +136,17 @@ func (r *RMA) DevTryConsumeNotif(w *gpusim.Warp, port, class int) (int, bool) {
 // DevTryConsumeNotifValue is DevTryConsumeNotif but also returns the
 // notification's second word (the cookie — a fetch-add result, an NLA).
 func (r *RMA) DevTryConsumeNotifValue(w *gpusim.Warp, port, class int) (int, uint64, bool) {
+	w0, cookie, ok := r.devTryConsume(w, port, class)
+	if !ok {
+		return 0, 0, false
+	}
+	return extoll.NotifSize(w0), cookie, true
+}
+
+// devTryConsume is the raw single-probe consume: it returns the full
+// first notification word so callers can inspect the error and timeout
+// flags, with exactly the same cost model as DevTryConsumeNotifValue.
+func (r *RMA) devTryConsume(w *gpusim.Warp, port, class int) (uint64, uint64, bool) {
 	key := [2]int{port, class}
 	idx := r.rp[key]
 	entry := r.NIC.NotifEntryAddr(port, class, idx)
@@ -157,7 +168,7 @@ func (r *RMA) DevTryConsumeNotifValue(w *gpusim.Warp, port, class int) (int, uin
 		w.StSysU32(rp, uint32(idx+1)) // 32-bit read-pointer update
 	}
 	r.rp[key] = idx + 1
-	return extoll.NotifSize(w0), cookie, true
+	return w0, cookie, true
 }
 
 // DevWaitNotifValue spins until a notification arrives and returns both
@@ -183,6 +194,50 @@ func (r *RMA) DevWaitNotif(w *gpusim.Warp, port, class int) int {
 	}
 }
 
+// NotifResult describes a consumed notification for the bounded-wait
+// variants: payload size plus the error and response-timeout flags the
+// fault-tolerant fabric can set.
+type NotifResult struct {
+	Size    int
+	Err     bool // the NIC reported a failure (translation, timeout, ...)
+	Timeout bool // specifically: the op's network response never arrived
+}
+
+// DevWaitNotifTimeout spins like DevWaitNotif but gives up after
+// `timeout` of virtual time, so a kernel facing a dead fabric degrades
+// instead of deadlocking. ok is false when the deadline passed with no
+// notification; otherwise the result carries the notification's error
+// flags, which callers must check before trusting the payload.
+func (r *RMA) DevWaitNotifTimeout(w *gpusim.Warp, port, class int, timeout sim.Duration) (NotifResult, bool) {
+	deadline := w.Now().Add(timeout)
+	for {
+		if w0, _, ok := r.devTryConsume(w, port, class); ok {
+			return NotifResult{
+				Size: extoll.NotifSize(w0), Err: extoll.NotifErr(w0), Timeout: extoll.NotifTimeout(w0),
+			}, true
+		}
+		w.Exec(2)
+		if w.Now() >= deadline {
+			return NotifResult{}, false
+		}
+	}
+}
+
+// HostWaitNotifTimeout is the CPU-side bounded wait.
+func (r *RMA) HostWaitNotifTimeout(p *sim.Proc, port, class int, timeout sim.Duration) (NotifResult, bool) {
+	deadline := p.Now().Add(timeout)
+	for {
+		if w0, ok := r.hostTryConsume(p, port, class); ok {
+			return NotifResult{
+				Size: extoll.NotifSize(w0), Err: extoll.NotifErr(w0), Timeout: extoll.NotifTimeout(w0),
+			}, true
+		}
+		if p.Now() >= deadline {
+			return NotifResult{}, false
+		}
+	}
+}
+
 // DevPollU64 spins on a device-memory word until it holds want — the
 // paper's dev2dev-pollOnGPU approach: probes hit in L2 until the NIC's
 // DMA write invalidates the sector.
@@ -194,6 +249,13 @@ func (r *RMA) DevPollU64(w *gpusim.Warp, addr memspace.Addr, want uint64) {
 // smaller than 8 bytes whose sequence stamp only covers the low bytes.
 func (r *RMA) DevPollU64Masked(w *gpusim.Warp, addr memspace.Addr, want, mask uint64) {
 	w.PollGlobalU64Masked(addr, want, mask)
+}
+
+// DevPollU64Timeout is DevPollU64Masked with a deadline; it reports
+// whether the condition was met before `timeout` elapsed.
+func (r *RMA) DevPollU64Timeout(w *gpusim.Warp, addr memspace.Addr, want, mask uint64, timeout sim.Duration) bool {
+	_, ok := w.PollGlobalU64MaskedTimeout(addr, want, mask, timeout)
+	return ok
 }
 
 // ---- host-side API (runs on CPU threads) ----
@@ -288,6 +350,25 @@ func (r *RMA) HostTryConsumeNotifValue(p *sim.Proc, port, class int) (int, uint6
 	cpu.WriteU64(p, r.NIC.NotifRPAddr(port, class), uint64(idx+1))
 	r.rp[key] = idx + 1
 	return extoll.NotifSize(w0), cookie, true
+}
+
+// hostTryConsume is HostTryConsumeNotifValue returning the raw first
+// word, for callers that inspect the error/timeout flags.
+func (r *RMA) hostTryConsume(p *sim.Proc, port, class int) (uint64, bool) {
+	cpu := r.Node.CPU
+	key := [2]int{port, class}
+	idx := r.rp[key]
+	entry := r.NIC.NotifEntryAddr(port, class, idx)
+	w0 := cpu.ReadU64(p, entry)
+	if !extoll.NotifValid(w0) {
+		return 0, false
+	}
+	cpu.ReadU64(p, entry+8)
+	cpu.WriteU64(p, entry, 0)
+	cpu.WriteU64(p, entry+8, 0)
+	cpu.WriteU64(p, r.NIC.NotifRPAddr(port, class), uint64(idx+1))
+	r.rp[key] = idx + 1
+	return w0, true
 }
 
 // HostWaitNotif spins until a notification arrives and consumes it.

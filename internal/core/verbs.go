@@ -231,6 +231,23 @@ func (v *Verbs) DevPollCQ(w *gpusim.Warp, cq *VCQ) ibsim.CQE {
 	}
 }
 
+// DevPollCQTimeout spins like DevPollCQ but gives up after `timeout` of
+// virtual time; ok is false when the deadline passed with no completion.
+// Callers must check cqe.Status — a retry-exhausted fabric delivers its
+// verdict as an error CQE, not as a timeout.
+func (v *Verbs) DevPollCQTimeout(w *gpusim.Warp, cq *VCQ, timeout sim.Duration) (ibsim.CQE, bool) {
+	deadline := w.Now().Add(timeout)
+	for {
+		if cqe, ok := v.DevTryPollCQ(w, cq); ok {
+			return cqe, true
+		}
+		w.Exec(2)
+		if w.Now() >= deadline {
+			return ibsim.CQE{}, false
+		}
+	}
+}
+
 // DevPostRecv posts a receive WQE from the GPU.
 func (v *Verbs) DevPostRecv(w *gpusim.Warp, qp *VQP, rwqe ibsim.RecvWQE) {
 	slot := qp.QP.RQSlotAddr(qp.rqTail)
@@ -294,6 +311,19 @@ func (v *Verbs) HostPollCQ(p *sim.Proc, cq *VCQ) ibsim.CQE {
 	for {
 		if cqe, ok := v.HostTryPollCQ(p, cq); ok {
 			return cqe
+		}
+	}
+}
+
+// HostPollCQTimeout is the CPU-side bounded CQ poll.
+func (v *Verbs) HostPollCQTimeout(p *sim.Proc, cq *VCQ, timeout sim.Duration) (ibsim.CQE, bool) {
+	deadline := p.Now().Add(timeout)
+	for {
+		if cqe, ok := v.HostTryPollCQ(p, cq); ok {
+			return cqe, true
+		}
+		if p.Now() >= deadline {
+			return ibsim.CQE{}, false
 		}
 	}
 }

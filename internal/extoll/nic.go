@@ -49,6 +49,11 @@ type Config struct {
 	NotifEntries int
 	// DMAContexts bounds concurrently outstanding DMA jobs per direction.
 	DMAContexts int
+	// Rel enables link-level retransmission and requester response
+	// timeouts (APEnet+-style FPGA retransmission logic). nil — the
+	// default — assumes a perfect wire and keeps the seed's cut-through
+	// fast path bit-identical.
+	Rel *RelConfig
 	// PCIe configures the NIC's fabric port.
 	PCIe pcie.EndpointConfig
 }
@@ -64,6 +69,18 @@ type Stats struct {
 	TranslationErrs       uint64
 	NotificationsWritten  uint64
 	NotificationOverflows uint64
+
+	// Link-reliability counters (all zero when Config.Rel == nil).
+	Retransmits uint64 // data packets sent again (NAK or timer)
+	AcksSent    uint64
+	AcksRx      uint64
+	NaksSent    uint64
+	NaksRx      uint64
+	Timeouts    uint64 // link retransmission-timer expiries
+	ReqTimeouts uint64 // requester ops that gave up waiting for a response
+	DupRx       uint64 // duplicate packets (already-delivered Seq)
+	IcrcDrops   uint64 // packets discarded for a bad CRC
+	LinkDowns   uint64 // links declared dead after retry exhaustion
 }
 
 // Packet is one EXTOLL network packet.
@@ -76,12 +93,20 @@ type Packet struct {
 	SrcNLA     NLA
 	DstNLA     NLA
 	Data       []byte
+	// Seq sequences data packets when link reliability is on; link
+	// ACK/NAK packets carry the next expected Seq here.
+	Seq uint32
+	// Poisoned marks a payload damaged in flight; the receiver's CRC
+	// check discards the packet.
+	Poisoned bool
 }
 
 const (
 	pktGetResp    = 10
 	pktAtomic     = 11
 	pktAtomicResp = 12
+	pktLinkAck    = 20
+	pktLinkNak    = 21
 )
 
 // NIC is one EXTOLL adapter on a node fabric.
@@ -102,6 +127,8 @@ type NIC struct {
 
 	notifWP [][numClasses]int
 	stats   Stats
+
+	rel *linkRel // reliability state; nil on the perfect-wire fast path
 }
 
 type portState struct {
@@ -130,6 +157,9 @@ func New(e *sim.Engine, f *pcie.Fabric, cfg Config) *NIC {
 	n.txSlots = sim.NewResource(e, cfg.DMAContexts)
 	n.rxSlots = sim.NewResource(e, cfg.DMAContexts)
 	n.datapath = sim.NewServer(e, cfg.ClockHz*float64(cfg.DatapathBytes))
+	if cfg.Rel != nil {
+		n.rel = newLinkRel(e)
+	}
 	e.Spawn(cfg.Name+".requester", n.requesterLoop)
 	return n
 }
@@ -175,9 +205,16 @@ func (n *NIC) AttachWire(tx, rx *wire.Link[Packet]) {
 	n.e.Spawn(n.cfg.Name+".rx", func(p *sim.Proc) {
 		for {
 			pkt := rx.Recv(p)
+			if n.rel != nil && !n.linkAdmit(pkt) {
+				continue
+			}
 			n.dispatch(pkt)
 		}
 	})
+	if n.rel != nil {
+		n.e.Spawn(n.cfg.Name+".retx", n.retxTimer)
+		n.e.Spawn(n.cfg.Name+".watchdog", n.respWatchdog)
+	}
 }
 
 // ---- notification rings ----
@@ -215,13 +252,27 @@ func EncodeNotif(class, size int) uint64 {
 // notifErrBit marks an error notification (failed translation).
 const notifErrBit = 1 << 8
 
+// notifTimeoutBit refines an error notification: the operation's network
+// response never arrived before the requester watchdog fired.
+const notifTimeoutBit = 1 << 9
+
 // EncodeErrNotif packs an error notification's first word.
 func EncodeErrNotif(class, size int) uint64 {
 	return EncodeNotif(class, size) | notifErrBit
 }
 
+// EncodeTimeoutNotif packs a response-timeout error notification's first
+// word.
+func EncodeTimeoutNotif(class, size int) uint64 {
+	return EncodeNotif(class, size) | notifErrBit | notifTimeoutBit
+}
+
 // NotifErr reports whether a notification signals an error.
 func NotifErr(word0 uint64) bool { return word0&notifErrBit != 0 }
+
+// NotifTimeout reports whether an error notification was a response
+// timeout.
+func NotifTimeout(word0 uint64) bool { return word0&notifTimeoutBit != 0 }
 
 // NotifValid reports whether a notification word 0 is a live entry.
 func NotifValid(word0 uint64) bool { return word0&1 == 1 }
@@ -242,6 +293,28 @@ func (n *NIC) writeErrNotif(port, size int) {
 	binary.LittleEndian.PutUint64(buf[0:], EncodeErrNotif(ClassRequester, size))
 	n.f.PostedWrite(n.ep, addr, buf)
 	n.notifWP[port][ClassRequester] = wp + 1
+	n.stats.NotificationsWritten++
+}
+
+// writeTimeoutNotif records a response timeout in the origin port's
+// completer ring — where software is waiting for the response's
+// completion notification — so a lost response surfaces as a consumable
+// error instead of a hang.
+func (n *NIC) writeTimeoutNotif(port, size int, cookie uint64) {
+	wp := n.notifWP[port][ClassCompleter]
+	addr := n.NotifEntryAddr(port, ClassCompleter, wp)
+	if w0, err := n.f.Space().ReadU64(addr); err == nil && NotifValid(w0) {
+		n.stats.NotificationOverflows++
+		return
+	}
+	if n.e.Trace != nil {
+		n.e.Tracef("fault: %s response timeout notification port %d (size %d)", n.cfg.Name, port, size)
+	}
+	buf := make([]byte, NotifBytes)
+	binary.LittleEndian.PutUint64(buf[0:], EncodeTimeoutNotif(ClassCompleter, size))
+	binary.LittleEndian.PutUint64(buf[8:], cookie)
+	n.f.PostedWrite(n.ep, addr, buf)
+	n.notifWP[port][ClassCompleter] = wp + 1
 	n.stats.NotificationsWritten++
 }
 
@@ -329,6 +402,16 @@ func (n *NIC) requesterLoop(p *sim.Proc) {
 		if peer < 0 {
 			panic(fmt.Sprintf("extoll: %s: WR on unconnected port %d", n.cfg.Name, wr.Port))
 		}
+		if n.rel != nil && (wr.Cmd == CmdGet || wr.Cmd == CmdFetchAdd) && wr.Flags&FlagCompNotif != 0 {
+			// The op's completion surfaces as a completer notification at
+			// this port; arm the response watchdog so a lost response
+			// becomes a timeout-error notification instead of a hang.
+			size := wr.Size
+			if wr.Cmd == CmdFetchAdd {
+				size = 8
+			}
+			n.trackResponse(wr.Port, size, uint64(wr.DstNLA))
+		}
 		n.e.Spawn(n.cfg.Name+".req.dma", func(wp *sim.Proc) {
 			n.txSlots.Acquire(wp)
 			defer n.txSlots.Release()
@@ -374,19 +457,27 @@ func (n *NIC) sendPut(p *sim.Proc, wr WR, peer int) {
 	if n.e.Trace != nil {
 		n.e.Tracef("%s: put payload pulled, %dB to wire", n.cfg.Name, wr.Size)
 	}
-	n.tx.SendAfter(Packet{
+	pkt := Packet{
 		Kind: CmdPut, DstPort: peer, OriginPort: wr.Port,
 		Flags: wr.Flags, Size: wr.Size, DstNLA: NLA(wr.DstNLA), Data: buf,
-	}, wr.Size+PktHeader, ready)
-	// The DMA context stays busy until the data has left local memory.
-	p.SleepUntil(ready)
+	}
+	if n.rel == nil {
+		n.tx.SendAfter(pkt, wr.Size+PktHeader, ready)
+		// The DMA context stays busy until the data has left local memory.
+		p.SleepUntil(ready)
+	} else {
+		// Store-and-forward under reliability: sequence numbers must match
+		// delivery order, which cut-through SendAfter cannot guarantee.
+		p.SleepUntil(ready)
+		n.xmit(pkt, wr.Size+PktHeader)
+	}
 	n.stats.PutsSent++
 }
 
 func (n *NIC) sendGetReq(p *sim.Proc, wr WR, peer int) {
 	done := n.datapath.Reserve(PktHeader)
 	p.SleepUntil(done)
-	n.tx.Send(Packet{
+	n.xmit(Packet{
 		Kind: CmdGet, DstPort: peer, OriginPort: wr.Port,
 		Flags: wr.Flags, Size: wr.Size, SrcNLA: NLA(wr.SrcNLA), DstNLA: NLA(wr.DstNLA),
 	}, PktHeader)
@@ -401,7 +492,7 @@ func (n *NIC) sendImmPut(p *sim.Proc, wr WR, peer int) {
 		data[i] = byte(wr.SrcNLA >> (8 * uint(i)))
 	}
 	p.SleepUntil(n.datapath.Reserve(wr.Size + PktHeader))
-	n.tx.Send(Packet{
+	n.xmit(Packet{
 		Kind: CmdPut, DstPort: peer, OriginPort: wr.Port,
 		Flags: wr.Flags, Size: wr.Size, DstNLA: NLA(wr.DstNLA), Data: data,
 	}, wr.Size+PktHeader)
@@ -412,7 +503,7 @@ func (n *NIC) sendImmPut(p *sim.Proc, wr WR, peer int) {
 // the WR's source-NLA word.
 func (n *NIC) sendAtomic(p *sim.Proc, wr WR, peer int) {
 	p.SleepUntil(n.datapath.Reserve(PktHeader))
-	n.tx.Send(Packet{
+	n.xmit(Packet{
 		Kind: pktAtomic, DstPort: peer, OriginPort: wr.Port,
 		Flags: wr.Flags, Size: 8, SrcNLA: NLA(wr.SrcNLA), DstNLA: NLA(wr.DstNLA),
 	}, PktHeader)
@@ -436,7 +527,7 @@ func (n *NIC) dispatch(pkt Packet) {
 			// The previous value arrives in the completer notification's
 			// second word — no memory write at the origin.
 			p.Sleep(n.cyc(n.cfg.CompCycles))
-			if pkt.Flags&FlagCompNotif != 0 {
+			if pkt.Flags&FlagCompNotif != 0 && n.settleResponse(pkt.DstPort) {
 				n.writeNotif(pkt.DstPort, ClassCompleter, 8, uint64(pkt.SrcNLA))
 			}
 		default:
@@ -480,11 +571,17 @@ func (n *NIC) serveGet(p *sim.Proc, pkt Packet) {
 	if dpDone > ready {
 		ready = dpDone
 	}
-	n.tx.SendAfter(Packet{
+	resp := Packet{
 		Kind: pktGetResp, DstPort: pkt.OriginPort, OriginPort: pkt.DstPort,
 		Flags: pkt.Flags, Size: pkt.Size, DstNLA: pkt.DstNLA, Data: buf,
-	}, pkt.Size+PktHeader, ready)
-	p.SleepUntil(ready)
+	}
+	if n.rel == nil {
+		n.tx.SendAfter(resp, pkt.Size+PktHeader, ready)
+		p.SleepUntil(ready)
+	} else {
+		p.SleepUntil(ready)
+		n.xmit(resp, pkt.Size+PktHeader)
+	}
 	if pkt.Flags&FlagRespNotif != 0 {
 		n.writeNotif(pkt.DstPort, ClassResponder, pkt.Size, uint64(pkt.SrcNLA))
 	}
@@ -508,7 +605,7 @@ func (n *NIC) serveAtomic(p *sim.Proc, pkt Packet) {
 	binary.LittleEndian.PutUint64(buf, old+uint64(pkt.SrcNLA))
 	n.f.WriteBulk(p, n.ep, dst, buf)
 	n.stats.AtomicsServed++
-	n.tx.Send(Packet{
+	n.xmit(Packet{
 		Kind: pktAtomicResp, DstPort: pkt.OriginPort, OriginPort: pkt.DstPort,
 		Flags: pkt.Flags, Size: 8, SrcNLA: NLA(old),
 	}, PktHeader)
@@ -524,7 +621,7 @@ func (n *NIC) completeGetResp(p *sim.Proc, pkt Packet) {
 	}
 	p.SleepUntil(n.datapath.Reserve(pkt.Size))
 	n.f.WriteBulk(p, n.ep, dst, pkt.Data)
-	if pkt.Flags&FlagCompNotif != 0 {
+	if pkt.Flags&FlagCompNotif != 0 && n.settleResponse(pkt.DstPort) {
 		n.writeNotif(pkt.DstPort, ClassCompleter, pkt.Size, uint64(pkt.DstNLA))
 	}
 	n.stats.GetRespsCompleted++

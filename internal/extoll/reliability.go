@@ -1,0 +1,354 @@
+package extoll
+
+import "putget/internal/sim"
+
+// RelConfig tunes the link-level retransmission protocol and the
+// requester's response watchdog. APEnet+ dedicates FPGA logic to exactly
+// this kind of link-level go-back-N; EXTOLL's own link layer is likewise
+// retransmitting.
+type RelConfig struct {
+	// AckEvery acks every Nth in-order data packet immediately; smaller
+	// values cost ack bandwidth, larger ones lean on AckDelay.
+	AckEvery int
+	// AckDelay bounds how long a received packet may wait for a coalesced
+	// link ACK.
+	AckDelay sim.Duration
+	// RetxTimeout is the sender's link retransmission timer.
+	RetxTimeout sim.Duration
+	// MaxRetries bounds link retries (timeouts + NAKs) before the link is
+	// declared dead and outstanding requester ops error out.
+	MaxRetries int
+	// ReqTimeout is the requester watchdog: a get/atomic whose response
+	// notification has not arrived by then completes with a timeout-error
+	// notification instead.
+	ReqTimeout sim.Duration
+}
+
+// DefaultRelConfig returns link-protocol tunables in FPGA-NIC territory.
+func DefaultRelConfig() *RelConfig {
+	return &RelConfig{
+		AckEvery:    4,
+		AckDelay:    3 * sim.Microsecond,
+		RetxTimeout: 15 * sim.Microsecond,
+		MaxRetries:  7,
+		ReqTimeout:  200 * sim.Microsecond,
+	}
+}
+
+// relEntry is one transmitted-but-unacknowledged data packet.
+type relEntry struct {
+	pkt   Packet
+	bytes int
+}
+
+// pendingResp tracks one requester op (get / fetch-add) that owes this
+// port a completer notification.
+type pendingResp struct {
+	port     int
+	size     int
+	cookie   uint64
+	deadline sim.Time
+	settled  bool
+	timedOut bool
+}
+
+// linkRel is a NIC's link-reliability and watchdog state.
+type linkRel struct {
+	// Transmit side.
+	txSeq      uint32
+	unacked    []relEntry
+	retryCount int
+	armed      bool
+	deadline   sim.Time
+	kick       *sim.Signal
+	dead       bool
+
+	// Receive side.
+	rxSeq      uint32
+	nakSent    bool // one NAK per expected-Seq value
+	ackPending int
+	ackGen     int
+
+	// Requester response watchdog: pending is the global FIFO (constant
+	// timeout, so append order is deadline order); portQ indexes the same
+	// entries per port for in-order settling.
+	pending  []*pendingResp
+	portQ    map[int][]*pendingResp
+	respKick *sim.Signal
+}
+
+func newLinkRel(e *sim.Engine) *linkRel {
+	return &linkRel{
+		kick:     sim.NewSignal(e),
+		respKick: sim.NewSignal(e),
+		portQ:    map[int][]*pendingResp{},
+	}
+}
+
+// ---- transmit side ----
+
+// xmit sequences and transmits one data packet under the reliability
+// protocol, or falls straight through to the wire without it.
+func (n *NIC) xmit(pkt Packet, wb int) {
+	r := n.rel
+	if r == nil {
+		n.tx.Send(pkt, wb)
+		return
+	}
+	if r.dead {
+		// A dead link transmits nothing; tracked requester ops fall to
+		// the watchdog.
+		return
+	}
+	pkt.Seq = r.txSeq
+	r.txSeq++
+	r.unacked = append(r.unacked, relEntry{pkt: pkt, bytes: wb})
+	if !r.armed {
+		n.armTimer()
+	}
+	n.tx.Send(pkt, wb)
+}
+
+func (n *NIC) armTimer() {
+	r := n.rel
+	if len(r.unacked) == 0 {
+		r.armed = false
+		return
+	}
+	r.armed = true
+	r.deadline = n.e.Now().Add(n.cfg.Rel.RetxTimeout)
+	r.kick.Broadcast()
+}
+
+// retxTimer is the link retransmission timer process.
+func (n *NIC) retxTimer(p *sim.Proc) {
+	r := n.rel
+	for {
+		for !r.armed {
+			r.kick.Wait(p)
+		}
+		if now := p.Now(); now < r.deadline {
+			p.SleepUntil(r.deadline)
+			continue // deadline may have moved while sleeping
+		}
+		n.onRetxTimeout()
+	}
+}
+
+func (n *NIC) onRetxTimeout() {
+	r := n.rel
+	if r.dead || len(r.unacked) == 0 {
+		r.armed = false
+		return
+	}
+	n.stats.Timeouts++
+	r.retryCount++
+	if n.e.Trace != nil {
+		n.e.Tracef("retry: %s link timeout #%d, resend from seq %d", n.cfg.Name, r.retryCount, r.unacked[0].pkt.Seq)
+	}
+	if r.retryCount > n.cfg.Rel.MaxRetries {
+		n.linkDead()
+		return
+	}
+	n.resendFrom(r.unacked[0].pkt.Seq)
+}
+
+// resendFrom retransmits every unacked packet with Seq >= seq (go-back-N)
+// and restarts the timer.
+func (n *NIC) resendFrom(seq uint32) {
+	r := n.rel
+	for _, en := range r.unacked {
+		if en.pkt.Seq < seq {
+			continue
+		}
+		n.stats.Retransmits++
+		n.tx.Send(en.pkt, en.bytes)
+	}
+	r.armed = true
+	r.deadline = n.e.Now().Add(n.cfg.Rel.RetxTimeout)
+	r.kick.Broadcast()
+}
+
+// linkDead gives up on the cable: nothing retransmits any more and every
+// watchdog-tracked requester op errors out immediately.
+func (n *NIC) linkDead() {
+	r := n.rel
+	r.dead = true
+	r.armed = false
+	r.unacked = nil
+	n.stats.LinkDowns++
+	if n.e.Trace != nil {
+		n.e.Tracef("fault: %s link declared dead after %d retries", n.cfg.Name, r.retryCount)
+	}
+	for _, pr := range r.pending {
+		if pr.settled || pr.timedOut {
+			continue
+		}
+		pr.timedOut = true
+		n.stats.ReqTimeouts++
+		n.writeTimeoutNotif(pr.port, pr.size, pr.cookie)
+	}
+	r.pending = nil
+	r.respKick.Broadcast()
+}
+
+// ---- receive side ----
+
+// linkAdmit runs the link-layer checks on one received packet and reports
+// whether it should be dispatched.
+func (n *NIC) linkAdmit(pkt Packet) bool {
+	r := n.rel
+	if pkt.Poisoned {
+		n.stats.IcrcDrops++
+		return false
+	}
+	switch pkt.Kind {
+	case pktLinkAck:
+		n.stats.AcksRx++
+		n.ackUpTo(pkt.Seq)
+		return false
+	case pktLinkNak:
+		n.handleLinkNak(pkt)
+		return false
+	}
+	if pkt.Seq != r.rxSeq {
+		if pkt.Seq < r.rxSeq {
+			// Already delivered (lost ACK or go-back-N replay): never
+			// re-execute — completions and notifications are not
+			// idempotent — just re-ack.
+			n.stats.DupRx++
+			n.sendLinkAck()
+		} else if !r.nakSent {
+			r.nakSent = true
+			n.stats.NaksSent++
+			if n.e.Trace != nil {
+				n.e.Tracef("retry: %s link gap (got seq %d, want %d), NAK", n.cfg.Name, pkt.Seq, r.rxSeq)
+			}
+			n.tx.Send(Packet{Kind: pktLinkNak, Seq: r.rxSeq}, PktHeader)
+		}
+		return false
+	}
+	r.rxSeq++
+	r.nakSent = false
+	n.noteLinkAck()
+	return true
+}
+
+// ackUpTo releases every unacked packet with Seq < seq.
+func (n *NIC) ackUpTo(seq uint32) {
+	r := n.rel
+	cnt := 0
+	for _, en := range r.unacked {
+		if en.pkt.Seq >= seq {
+			break
+		}
+		cnt++
+	}
+	if cnt == 0 {
+		return
+	}
+	r.unacked = r.unacked[cnt:]
+	r.retryCount = 0
+	n.armTimer()
+}
+
+func (n *NIC) handleLinkNak(pkt Packet) {
+	r := n.rel
+	n.stats.NaksRx++
+	n.ackUpTo(pkt.Seq)
+	if r.dead || len(r.unacked) == 0 {
+		return
+	}
+	r.retryCount++
+	if r.retryCount > n.cfg.Rel.MaxRetries {
+		n.linkDead()
+		return
+	}
+	n.resendFrom(pkt.Seq)
+}
+
+// noteLinkAck implements ACK coalescing: every AckEvery-th in-order
+// packet acks immediately, stragglers after at most AckDelay.
+func (n *NIC) noteLinkAck() {
+	r := n.rel
+	r.ackPending++
+	if r.ackPending >= n.cfg.Rel.AckEvery {
+		n.sendLinkAck()
+		return
+	}
+	gen := r.ackGen
+	n.e.After(n.cfg.Rel.AckDelay, func() {
+		if r.ackGen == gen && r.ackPending > 0 {
+			n.sendLinkAck()
+		}
+	})
+}
+
+// sendLinkAck emits a cumulative link ACK for everything below the
+// expected Seq.
+func (n *NIC) sendLinkAck() {
+	r := n.rel
+	r.ackPending = 0
+	r.ackGen++
+	n.stats.AcksSent++
+	n.tx.Send(Packet{Kind: pktLinkAck, Seq: r.rxSeq}, PktHeader)
+}
+
+// ---- requester response watchdog ----
+
+// trackResponse registers one get/atomic op that owes port a completer
+// notification.
+func (n *NIC) trackResponse(port, size int, cookie uint64) {
+	r := n.rel
+	pr := &pendingResp{
+		port: port, size: size, cookie: cookie,
+		deadline: n.e.Now().Add(n.cfg.Rel.ReqTimeout),
+	}
+	r.pending = append(r.pending, pr)
+	r.portQ[port] = append(r.portQ[port], pr)
+	r.respKick.Broadcast()
+}
+
+// settleResponse consumes the oldest tracked op for port when its
+// response arrives. It returns whether the success notification should be
+// written: a response landing after the watchdog already reported a
+// timeout is suppressed, so software sees exactly one notification per
+// op. Untracked responses (reliability off, or no completion notification
+// requested) always pass.
+func (n *NIC) settleResponse(port int) bool {
+	r := n.rel
+	if r == nil {
+		return true
+	}
+	q := r.portQ[port]
+	if len(q) == 0 {
+		return true
+	}
+	pr := q[0]
+	r.portQ[port] = q[1:]
+	pr.settled = true
+	return !pr.timedOut
+}
+
+// respWatchdog turns overdue tracked ops into timeout-error notifications.
+func (n *NIC) respWatchdog(p *sim.Proc) {
+	r := n.rel
+	for {
+		for len(r.pending) == 0 {
+			r.respKick.Wait(p)
+		}
+		head := r.pending[0]
+		if head.settled || head.timedOut {
+			r.pending = r.pending[1:]
+			continue
+		}
+		if now := p.Now(); now < head.deadline {
+			p.SleepUntil(head.deadline)
+			continue
+		}
+		head.timedOut = true
+		r.pending = r.pending[1:]
+		n.stats.ReqTimeouts++
+		n.writeTimeoutNotif(head.port, head.size, head.cookie)
+	}
+}

@@ -1,0 +1,138 @@
+// Package faults provides deterministic fault injection for the wire and
+// PCIe models: seeded drop / corrupt / extra-delay decisions plus scripted
+// blackout windows and "drop packet N" rules, all driven by a splitmix64
+// PRNG and the simulation's virtual clock — never wall time — so a run is
+// bit-identical for a given seed on any machine.
+package faults
+
+import "putget/internal/sim"
+
+// Splitmix64 is the PRNG behind every injection decision: tiny state,
+// excellent equidistribution, and trivially reproducible.
+type Splitmix64 struct {
+	state uint64
+}
+
+// NewSplitmix64 seeds a generator.
+func NewSplitmix64(seed uint64) *Splitmix64 {
+	return &Splitmix64{state: seed}
+}
+
+// Next returns the next 64-bit value.
+func (s *Splitmix64) Next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Splitmix64) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}
+
+// DeriveSeed mixes a salt into a base seed, giving independent streams for
+// e.g. the two directions of a cable.
+func DeriveSeed(seed, salt uint64) uint64 {
+	g := NewSplitmix64(seed ^ (salt * 0x9E3779B97F4A7C15))
+	return g.Next()
+}
+
+// Window is a half-open virtual-time interval [Start, End). End == 0 means
+// "no upper bound".
+type Window struct {
+	Start sim.Time
+	End   sim.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t sim.Time) bool {
+	return t >= w.Start && (w.End == 0 || t < w.End)
+}
+
+// Rule applies probabilistic faults inside a time window.
+type Rule struct {
+	Window      Window
+	DropRate    float64      // probability a packet is dropped
+	CorruptRate float64      // probability a packet's payload is poisoned
+	DelayMax    sim.Duration // uniform extra delivery delay in [0, DelayMax]
+}
+
+// Plan scripts an injector: probabilistic rules, targeted single-packet
+// drops, and total-loss blackout windows.
+type Plan struct {
+	Seed  uint64
+	Rules []Rule
+	// DropPackets drops the Nth packet seen by this injector (0-based).
+	DropPackets map[uint64]bool
+	// Blackouts are 100%-loss windows, independent of any rule.
+	Blackouts []Window
+}
+
+// Stats counts an injector's verdicts.
+type Stats struct {
+	Seen      uint64
+	Dropped   uint64
+	Corrupted uint64
+	Delayed   uint64
+}
+
+// Injector renders a Plan's verdicts packet by packet. One injector guards
+// one direction of one link; decisions consume PRNG state in call order,
+// which the discrete-event engine makes deterministic.
+type Injector struct {
+	plan  Plan
+	rng   *Splitmix64
+	stats Stats
+}
+
+// NewInjector builds an injector from a plan.
+func NewInjector(plan Plan) *Injector {
+	return &Injector{plan: plan, rng: NewSplitmix64(plan.Seed)}
+}
+
+// Stats returns a snapshot of the verdict counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Judge decides the fate of one packet entering the wire at time `at`.
+// Implements wire.Faults.
+func (in *Injector) Judge(at sim.Time, wireBytes int) (drop, corrupt bool, extraDelay sim.Duration) {
+	n := in.stats.Seen
+	in.stats.Seen++
+	for _, b := range in.plan.Blackouts {
+		if b.Contains(at) {
+			in.stats.Dropped++
+			return true, false, 0
+		}
+	}
+	if in.plan.DropPackets[n] {
+		in.stats.Dropped++
+		return true, false, 0
+	}
+	for _, r := range in.plan.Rules {
+		if !r.Window.Contains(at) {
+			continue
+		}
+		if r.DropRate > 0 && in.rng.Float64() < r.DropRate {
+			in.stats.Dropped++
+			return true, false, 0
+		}
+		if r.CorruptRate > 0 && in.rng.Float64() < r.CorruptRate {
+			corrupt = true
+		}
+		if r.DelayMax > 0 {
+			d := sim.Duration(in.rng.Float64() * float64(r.DelayMax))
+			if d > extraDelay {
+				extraDelay = d
+			}
+		}
+	}
+	if corrupt {
+		in.stats.Corrupted++
+	}
+	if extraDelay > 0 {
+		in.stats.Delayed++
+	}
+	return false, corrupt, extraDelay
+}

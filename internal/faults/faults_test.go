@@ -1,0 +1,122 @@
+package faults
+
+import (
+	"testing"
+
+	"putget/internal/sim"
+)
+
+func TestFaultSplitmixDeterminism(t *testing.T) {
+	a, b := NewSplitmix64(42), NewSplitmix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	if NewSplitmix64(1).Next() == NewSplitmix64(2).Next() {
+		t.Fatal("different seeds produced the same first draw")
+	}
+	g := NewSplitmix64(7)
+	for i := 0; i < 1000; i++ {
+		f := g.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFaultDropRateStatistics(t *testing.T) {
+	in := NewInjector(Plan{Seed: 9, Rules: []Rule{{DropRate: 0.25}}})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.Judge(sim.Time(i)*1000, 64)
+	}
+	st := in.Stats()
+	if st.Seen != n {
+		t.Fatalf("seen %d, want %d", st.Seen, n)
+	}
+	frac := float64(st.Dropped) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("drop fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestFaultDropNthPacket(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, DropPackets: map[uint64]bool{3: true}})
+	for i := 0; i < 10; i++ {
+		drop, _, _ := in.Judge(0, 64)
+		if drop != (i == 3) {
+			t.Fatalf("packet %d: drop=%v", i, drop)
+		}
+	}
+}
+
+func TestFaultBlackoutWindow(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Blackouts: []Window{
+		{Start: 1000, End: 2000},
+	}})
+	cases := []struct {
+		at   sim.Time
+		drop bool
+	}{{0, false}, {999, false}, {1000, true}, {1999, true}, {2000, false}}
+	for _, c := range cases {
+		drop, _, _ := in.Judge(c.at, 64)
+		if drop != c.drop {
+			t.Fatalf("at %v: drop=%v, want %v", c.at, drop, c.drop)
+		}
+	}
+	// Open-ended blackout.
+	open := NewInjector(Plan{Seed: 1, Blackouts: []Window{{Start: 500}}})
+	if drop, _, _ := open.Judge(1e12, 64); !drop {
+		t.Fatal("open-ended blackout did not drop")
+	}
+}
+
+func TestFaultWindowedRule(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, Rules: []Rule{
+		{Window: Window{Start: 100, End: 200}, DropRate: 1.0},
+	}})
+	if drop, _, _ := in.Judge(50, 64); drop {
+		t.Fatal("rule applied outside its window")
+	}
+	if drop, _, _ := in.Judge(150, 64); !drop {
+		t.Fatal("rule did not apply inside its window")
+	}
+}
+
+func TestFaultCorruptAndDelay(t *testing.T) {
+	in := NewInjector(Plan{Seed: 5, Rules: []Rule{
+		{CorruptRate: 1.0, DelayMax: 100 * sim.Nanosecond},
+	}})
+	drop, corrupt, delay := in.Judge(0, 64)
+	if drop || !corrupt {
+		t.Fatalf("drop=%v corrupt=%v, want corrupt only", drop, corrupt)
+	}
+	if delay < 0 || delay > 100*sim.Nanosecond {
+		t.Fatalf("delay %v outside [0, 100ns]", delay)
+	}
+}
+
+func TestFaultInjectorDeterminism(t *testing.T) {
+	plan := Plan{Seed: 11, Rules: []Rule{{DropRate: 0.1, CorruptRate: 0.05, DelayMax: sim.Microsecond}}}
+	a, b := NewInjector(plan), NewInjector(plan)
+	for i := 0; i < 5000; i++ {
+		d1, c1, x1 := a.Judge(sim.Time(i), 64)
+		d2, c2, x2 := b.Judge(sim.Time(i), 64)
+		if d1 != d2 || c1 != c2 || x1 != x2 {
+			t.Fatalf("verdict %d diverged", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestFaultDeriveSeedIndependence(t *testing.T) {
+	if DeriveSeed(1, 1) == DeriveSeed(1, 2) {
+		t.Fatal("salts collide")
+	}
+	if DeriveSeed(1, 1) != DeriveSeed(1, 1) {
+		t.Fatal("derivation not deterministic")
+	}
+}

@@ -351,6 +351,49 @@ func (w *Warp) PollGlobalU64(addr memspace.Addr, want uint64) uint64 {
 	return w.PollGlobalU64Masked(addr, want, ^uint64(0))
 }
 
+// PollGlobalU64MaskedTimeout is PollGlobalU64Masked with a deadline: it
+// returns the satisfying word and true, or the last observed word and
+// false once `timeout` of virtual time has elapsed. The cost model is a
+// sleep-probe loop (probe cadence identical to the unbounded poll), which
+// is what a kernel that must not spin forever actually compiles to.
+func (w *Warp) PollGlobalU64MaskedTimeout(addr memspace.Addr, want, mask uint64, timeout sim.Duration) (uint64, bool) {
+	w.mustDevice(addr, "PollGlobalU64MaskedTimeout")
+	probe := 5*w.g.cfg.IssueCost + w.g.cfg.L2HitLatency + w.g.cfg.PollLoopStall
+	deadline := w.p.Now().Add(timeout)
+	var v uint64
+	for {
+		epoch := w.g.inboundEpoch
+		v = w.LdGlobalU64(addr)
+		w.Exec(4)
+		if v&mask == want {
+			return v, true
+		}
+		if w.p.Now() >= deadline {
+			return v, false
+		}
+		w.p.Sleep(w.g.cfg.PollLoopStall)
+		if w.g.inboundEpoch != epoch {
+			continue
+		}
+		// Park until the next inbound write or the deadline, whichever is
+		// first, then bulk-account the probes that would have run.
+		start := w.p.Now()
+		if deadline.Sub(start) <= probe {
+			if deadline > start {
+				w.p.SleepUntil(deadline)
+			}
+			return v, false
+		}
+		w.g.inboundSig.WaitUntil(w.p, deadline)
+		skipped := uint64(w.p.Now().Sub(start) / probe)
+		w.g.ctr.InstrExecuted += 5 * skipped
+		w.g.ctr.MemAccesses += skipped
+		w.g.ctr.Globmem64Reads += skipped
+		w.g.ctr.L2ReadRequests += skipped
+		w.g.ctr.L2ReadHits += skipped
+	}
+}
+
 // LdSysBytes reads n contiguous bytes from system memory as independent
 // loads issued back-to-back: one instruction and one 32-byte transaction
 // per sector, but a single PCIe round trip (memory-level parallelism).

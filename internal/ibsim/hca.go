@@ -26,6 +26,10 @@ type Config struct {
 	// MTU is the path maximum transfer unit; the wire carries one header
 	// per MTU segment. 0 defaults to 2048.
 	MTU int
+	// Rel enables the RC reliability protocol (PSN sequencing, ACK/NAK,
+	// retransmission). nil — the default — assumes a perfect wire and
+	// keeps the seed's zero-overhead fast path bit-identical.
+	Rel *RelConfig
 	// PCIe configures the HCA's fabric port.
 	PCIe pcie.EndpointConfig
 }
@@ -41,6 +45,19 @@ type Stats struct {
 	ReadsServed    uint64 // RDMA READ requests answered
 	FlushedWQEs    uint64 // WQEs completed with flush error on an ERR QP
 	DroppedOnErrQP uint64 // packets dropped because the QP was in ERR
+
+	// Reliability-protocol counters (all zero when Config.Rel == nil).
+	Retransmits    uint64 // data packets sent again (NAK or timeout)
+	AcksSent       uint64
+	AcksRx         uint64
+	NaksSent       uint64 // sequence-error NAKs
+	NaksRx         uint64
+	RnrNaksSent    uint64
+	RnrNaksRx      uint64
+	Timeouts       uint64 // retransmission-timer expiries
+	DupRx          uint64 // duplicate packets (already-delivered PSN)
+	IcrcDrops      uint64 // packets discarded for a bad invariant CRC
+	RetryExhausted uint64 // QPs driven to ERR by retry/RNR exhaustion
 }
 
 // Packet is one RC transport packet between the two HCAs.
@@ -57,10 +74,26 @@ type Packet struct {
 	// so the response can be scattered without extra origin state.
 	LAddr uint64
 	Data  []byte
+	// PSN sequences request packets when the reliability protocol is on;
+	// ACK/NAK packets carry the next expected PSN here, read responses the
+	// request PSN they answer.
+	PSN uint32
+	// Poisoned marks a payload damaged in flight; the receiver's ICRC
+	// check discards the packet.
+	Poisoned bool
 }
 
-// opReadResp is the internal opcode of an RDMA READ response packet.
-const opReadResp = 100
+// Internal opcodes (above the Verbs WQE opcode space).
+const (
+	// opReadResp is an RDMA READ response packet.
+	opReadResp = 100
+	// opAck acknowledges all PSNs below Packet.PSN.
+	opAck = 101
+	// opNak reports a sequence gap: resend from Packet.PSN.
+	opNak = 102
+	// opRnrNak reports receiver-not-ready: resend Packet.PSN after backoff.
+	opRnrNak = 103
+)
 
 // PktHeader is the wire overhead per packet (LRH+BTH+RETH+ICRC ≈ 30-58 B).
 const PktHeader = 48
@@ -181,9 +214,12 @@ type QP struct {
 	sqTailHW int // producer index last doorbelled
 	rqHeadHW int
 	rqTailHW int
+	fetching int // WQEs currently in a descriptor DMA burst
 
 	doorbell *sim.Signal
 	lastSent *sim.Completion // chains senders to keep RC ordering
+
+	rel *qpRel // reliability state; nil on the perfect-wire fast path
 }
 
 // SQSlotAddr returns the address of send-WQE slot idx (mod ring).
@@ -298,6 +334,9 @@ func (h *HCA) CreateQP(sq memspace.Addr, sqEntries int, rq memspace.Addr, rqEntr
 		RQ: rq, RQEntries: rqEntries, SendCQ: sendCQ, RecvCQ: recvCQ,
 		doorbell: sim.NewSignal(h.e),
 	}
+	if h.cfg.Rel != nil {
+		qp.rel = newQPRel(h.e)
+	}
 	h.nextQPN++
 	h.qps[qp.QPN] = qp
 	return qp
@@ -317,11 +356,61 @@ func (q *QP) ModifyQP(next QPState) error {
 	if !legal {
 		return fmt.Errorf("ibsim: illegal QP transition %v -> %v", q.state, next)
 	}
+	if next == StateErr || next == StateReset {
+		// Verbs semantics: outstanding work completes with
+		// IBV_WC_WR_FLUSH_ERR instead of silently vanishing.
+		q.state = next
+		q.flush()
+	}
 	if next == StateReset {
 		q.sqHeadHW, q.sqTailHW, q.rqHeadHW, q.rqTailHW = 0, 0, 0, 0
 	}
 	q.state = next
 	return nil
+}
+
+// flush completes every outstanding WQE — unacked requests awaiting the
+// reliability protocol, doorbelled-but-unfetched send WQEs, and posted
+// receives — with a flush-error CQE. WQEs already inside a descriptor DMA
+// burst are left to the send engine, which flushes them at execute time.
+func (q *QP) flush() {
+	h := q.hca
+	if q.rel != nil {
+		for _, en := range q.rel.unacked {
+			h.stats.FlushedWQEs++
+			q.SendCQ.push(CQE{Opcode: en.pkt.Opcode, WRID: en.pkt.WRID, QPN: q.QPN, Status: StatusFlushErr})
+		}
+		q.rel.unacked = nil
+		q.rel.armed = false
+		q.rel.kick.Broadcast()
+	}
+	start := q.sqHeadHW + q.fetching
+	for i := start; i < q.sqTailHW; i++ {
+		buf := make([]byte, WQEBytes)
+		if err := h.f.Space().Read(q.SQSlotAddr(i), buf); err != nil {
+			continue
+		}
+		wqe, err := DecodeWQE(buf)
+		if err != nil {
+			continue
+		}
+		h.stats.FlushedWQEs++
+		q.SendCQ.push(CQE{Opcode: wqe.Opcode, WRID: wqe.WRID, QPN: q.QPN, Status: StatusFlushErr})
+	}
+	q.sqTailHW = start
+	for i := q.rqHeadHW; i < q.rqTailHW; i++ {
+		buf := make([]byte, RecvWQEBytes)
+		if err := h.f.Space().Read(q.RQSlotAddr(i), buf); err != nil {
+			continue
+		}
+		rwqe, err := DecodeRecvWQE(buf)
+		if err != nil {
+			continue
+		}
+		h.stats.FlushedWQEs++
+		q.RecvCQ.push(CQE{WRID: rwqe.WRID, QPN: q.QPN, Status: StatusFlushErr})
+	}
+	q.rqHeadHW = q.rqTailHW
 }
 
 // ConnectQPs walks both QPs of an RC connection through INIT/RTR to RTS
@@ -338,6 +427,12 @@ func ConnectQPs(a, b *QP) {
 	}
 	a.hca.e.Spawn(fmt.Sprintf("%s.qp%d.send", a.hca.cfg.Name, a.QPN), func(p *sim.Proc) { a.hca.sendEngine(p, a) })
 	b.hca.e.Spawn(fmt.Sprintf("%s.qp%d.send", b.hca.cfg.Name, b.QPN), func(p *sim.Proc) { b.hca.sendEngine(p, b) })
+	for _, q := range []*QP{a, b} {
+		if q.rel != nil {
+			qp := q
+			qp.hca.e.Spawn(fmt.Sprintf("%s.qp%d.retx", qp.hca.cfg.Name, qp.QPN), func(p *sim.Proc) { qp.hca.retxTimer(p, qp) })
+		}
+	}
 }
 
 func mustModify(q *QP, s QPState) {
@@ -403,6 +498,7 @@ func (h *HCA) sendEngine(p *sim.Proc, qp *QP) {
 			batch = qp.SQEntries - slot
 		}
 		buf := make([]byte, batch*WQEBytes)
+		qp.fetching = batch
 		h.dmaSlots.Acquire(p)
 		h.f.ReadBulk(p, h.ep, qp.SQSlotAddr(qp.sqHeadHW), buf)
 		h.dmaSlots.Release()
@@ -418,6 +514,7 @@ func (h *HCA) sendEngine(p *sim.Proc, qp *QP) {
 			h.execute(qp, wqe)
 		}
 		qp.sqHeadHW += batch
+		qp.fetching = 0
 	}
 }
 
@@ -428,7 +525,7 @@ func (h *HCA) execute(qp *QP, wqe WQE) {
 	if qp.state != StateRTS {
 		h.stats.FlushedWQEs++
 		qp.SendCQ.push(CQE{
-			Opcode: wqe.Opcode, WRID: wqe.WRID, QPN: qp.QPN, Status: StatusErr,
+			Opcode: wqe.Opcode, WRID: wqe.WRID, QPN: qp.QPN, Status: StatusFlushErr,
 		})
 		return
 	}
@@ -468,31 +565,58 @@ func (h *HCA) execute(qp *QP, wqe WQE) {
 				Opcode: wqe.Opcode, Flags: wqe.Flags, SrcQPN: qp.QPN, DstQPN: qp.remoteQPN,
 				RAddr: wqe.RAddr, RKey: wqe.RKey, Imm: wqe.Imm, WRID: wqe.WRID, Data: data,
 			}
+			wb := h.wireBytes(len(data))
 			if wqe.Opcode == OpRDMARead {
 				pkt.LAddr = wqe.LAddr
 				pkt.Data = nil
 				// A read request is header-only; record the expected
 				// length in RAddr-relative terms via the packet length.
 				pkt.Imm = uint32(wqe.Length)
-				h.tx.Send(pkt, PktHeader)
+				wb = PktHeader
+			}
+			if qp.rel != nil {
+				// PSNs are stamped at transmit time, after the ordering
+				// chain, so PSN order equals wire order. The WQE completes
+				// when the cumulative ACK (or read response) covers it.
+				if qp.state != StateRTS {
+					h.stats.FlushedWQEs++
+					qp.SendCQ.push(CQE{Opcode: wqe.Opcode, WRID: wqe.WRID, QPN: qp.QPN, Status: StatusFlushErr})
+					sent.Complete()
+					return
+				}
+				pkt.PSN = qp.rel.nextPSN
+				qp.rel.nextPSN++
+				qp.rel.unacked = append(qp.rel.unacked, unackedEntry{
+					pkt: pkt, bytes: wb,
+					length:   wqe.Length,
+					signaled: wqe.Flags&FlagSignaled != 0,
+				})
+				if !qp.rel.armed {
+					h.armTimer(qp)
+				}
+				h.tx.Send(pkt, wb)
 			} else {
-				h.tx.Send(pkt, h.wireBytes(len(data)))
+				h.tx.Send(pkt, wb)
 			}
 		}
 		sent.Complete()
 		// A protection error moves the QP to ERR; later WQEs flush.
 		if status != StatusOK {
 			qp.state = StateErr
+			qp.SendCQ.push(CQE{
+				Opcode: wqe.Opcode, WRID: wqe.WRID, ByteLen: wqe.Length,
+				QPN: qp.QPN, Status: status,
+			})
+			return
 		}
 		// RDMA READ completes only when the response lands (see
-		// completeReadResp); everything else completes locally.
-		if wqe.Opcode != OpRDMARead || status != StatusOK {
-			if wqe.Flags&FlagSignaled != 0 || status != StatusOK {
-				qp.SendCQ.push(CQE{
-					Opcode: wqe.Opcode, WRID: wqe.WRID, ByteLen: wqe.Length,
-					QPN: qp.QPN, Status: status,
-				})
-			}
+		// completeReadResp). Under the reliability protocol everything
+		// else completes on ACK; on the perfect wire, locally.
+		if qp.rel == nil && wqe.Opcode != OpRDMARead && wqe.Flags&FlagSignaled != 0 {
+			qp.SendCQ.push(CQE{
+				Opcode: wqe.Opcode, WRID: wqe.WRID, ByteLen: wqe.Length,
+				QPN: qp.QPN, Status: status,
+			})
 		}
 	})
 }
@@ -507,14 +631,39 @@ func (h *HCA) receive(p *sim.Proc, pkt Packet) {
 		h.e.Tracef("%s: rx opcode %d, %dB for qp%d", h.cfg.Name, pkt.Opcode, len(pkt.Data), pkt.DstQPN)
 	}
 	h.stats.PacketsRx++
+	if pkt.Poisoned {
+		// The ICRC check rejects damaged packets before any processing;
+		// the sender recovers by NAK or retransmission timeout.
+		h.stats.IcrcDrops++
+		return
+	}
 	p.Sleep(h.cfg.RxProcessTime)
 	qp, ok := h.qps[pkt.DstQPN]
 	if !ok {
 		panic(fmt.Sprintf("ibsim: %s: packet for unknown QP %d", h.cfg.Name, pkt.DstQPN))
 	}
+	if qp.rel != nil {
+		switch pkt.Opcode {
+		case opAck:
+			h.stats.AcksRx++
+			h.ackUpTo(qp, pkt.PSN)
+			return
+		case opNak:
+			h.handleNak(qp, pkt)
+			return
+		case opRnrNak:
+			h.handleRnrNak(qp, pkt)
+			return
+		}
+	}
 	if qp.state != StateRTS && qp.state != StateRTR {
 		h.stats.DroppedOnErrQP++
 		return
+	}
+	if qp.rel != nil && pkt.Opcode != opReadResp {
+		if !h.responderAdmit(p, qp, pkt) {
+			return
+		}
 	}
 	switch pkt.Opcode {
 	case OpRDMAWrite, OpRDMAWriteImm:
@@ -553,15 +702,23 @@ func (h *HCA) serveRead(p *sim.Proc, qp *QP, pkt Packet) {
 	h.f.ReadBulk(p, h.ep, memspace.Addr(pkt.RAddr), data)
 	h.dmaSlots.Release()
 	h.stats.ReadsServed++
+	// The response echoes the request PSN: under the reliability protocol
+	// it doubles as a cumulative ACK through that PSN.
 	h.tx.Send(Packet{
 		Opcode: opReadResp, Flags: pkt.Flags, SrcQPN: qp.QPN, DstQPN: pkt.SrcQPN,
-		LAddr: pkt.LAddr, WRID: pkt.WRID, Data: data,
+		LAddr: pkt.LAddr, WRID: pkt.WRID, Data: data, PSN: pkt.PSN,
 	}, h.wireBytes(length))
 }
 
 // completeReadResp lands read data at the origin and completes the read
 // WQE into the send CQ.
 func (h *HCA) completeReadResp(p *sim.Proc, qp *QP, pkt Packet) {
+	if qp.rel != nil {
+		// The response acknowledges everything up to and including the
+		// request PSN; the read's own CQE is pushed below, so its unacked
+		// entry releases silently.
+		h.ackUpTo(qp, pkt.PSN+1)
+	}
 	if len(pkt.Data) > 0 {
 		h.f.WriteBulk(p, h.ep, memspace.Addr(pkt.LAddr), pkt.Data)
 	}

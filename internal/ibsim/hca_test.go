@@ -577,8 +577,13 @@ func TestErrQPFlushesWQEs(t *testing.T) {
 		if err := r.a.f.Space().Read(qa.SendCQ.EntryAddr(i), buf); err != nil {
 			t.Fatal(err)
 		}
-		if cqe := DecodeCQE(buf); !cqe.Valid || cqe.Status != StatusErr {
-			t.Fatalf("CQE %d = %+v", i, cqe)
+		want := StatusErr
+		if i == 1 {
+			// The second WQE never executed: Verbs flushes it.
+			want = StatusFlushErr
+		}
+		if cqe := DecodeCQE(buf); !cqe.Valid || cqe.Status != want {
+			t.Fatalf("CQE %d = %+v, want status %d", i, cqe, want)
 		}
 	}
 }

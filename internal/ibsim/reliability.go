@@ -1,0 +1,314 @@
+package ibsim
+
+import (
+	"putget/internal/sim"
+)
+
+// RelConfig tunes the RC reliability protocol. All QPs of an HCA share
+// these settings (real HCAs configure them per QP at RTR/RTS; one knob set
+// is enough for the testbed).
+type RelConfig struct {
+	// AckCoalesce acks every Nth request packet immediately; smaller
+	// values cost ack bandwidth, larger ones lean on AckDelay.
+	AckCoalesce int
+	// AckDelay bounds how long a received packet may wait for a coalesced
+	// ACK.
+	AckDelay sim.Duration
+	// RetxTimeout is the requester's retransmission timer (Local ACK
+	// Timeout in Verbs terms).
+	RetxTimeout sim.Duration
+	// RetryCnt bounds transport retries (timeouts + sequence NAKs) before
+	// the QP moves to ERR with WcRetryExcErr.
+	RetryCnt int
+	// RnrRetry bounds receiver-not-ready retries before WcRnrRetryExcErr.
+	RnrRetry int
+	// RnrBackoff is the first RNR retry delay; it doubles per consecutive
+	// RNR NAK.
+	RnrBackoff sim.Duration
+}
+
+// DefaultRelConfig returns protocol tunables in real-HCA territory.
+func DefaultRelConfig() *RelConfig {
+	return &RelConfig{
+		AckCoalesce: 4,
+		AckDelay:    3 * sim.Microsecond,
+		RetxTimeout: 20 * sim.Microsecond,
+		RetryCnt:    7,
+		RnrRetry:    7,
+		RnrBackoff:  5 * sim.Microsecond,
+	}
+}
+
+// unackedEntry is one transmitted-but-unacknowledged request packet. The
+// model maps one WQE to one packet (MTU segmentation is folded into wire
+// time), so the entry carries everything needed to retransmit and to
+// complete the WQE.
+type unackedEntry struct {
+	pkt      Packet
+	bytes    int // wire size for retransmission
+	length   int // WQE byte length for the CQE
+	signaled bool
+}
+
+// qpRel is the per-QP reliability state.
+type qpRel struct {
+	// Requester side.
+	nextPSN    uint32
+	unacked    []unackedEntry
+	retryCount int
+	rnrCount   int
+	armed      bool
+	deadline   sim.Time
+	kick       *sim.Signal
+
+	// Responder side.
+	ePSN       uint32
+	nakSent    bool // one NAK per expected-PSN value
+	ackPending int
+	ackGen     int
+}
+
+func newQPRel(e *sim.Engine) *qpRel {
+	return &qpRel{kick: sim.NewSignal(e)}
+}
+
+// ---- requester side ----
+
+// armTimer (re)starts the retransmission timer for the oldest unacked
+// packet, or disarms it when nothing is outstanding.
+func (h *HCA) armTimer(qp *QP) {
+	r := qp.rel
+	if len(r.unacked) == 0 {
+		r.armed = false
+		return
+	}
+	r.armed = true
+	r.deadline = h.e.Now().Add(h.cfg.Rel.RetxTimeout)
+	r.kick.Broadcast()
+}
+
+// retxTimer is the per-QP retransmission timer process: parked while
+// nothing is outstanding, sleeping toward the deadline otherwise.
+func (h *HCA) retxTimer(p *sim.Proc, qp *QP) {
+	r := qp.rel
+	for {
+		for !r.armed {
+			r.kick.Wait(p)
+		}
+		if now := p.Now(); now < r.deadline {
+			p.SleepUntil(r.deadline)
+			continue // deadline may have moved while sleeping
+		}
+		h.onRetxTimeout(qp)
+	}
+}
+
+func (h *HCA) onRetxTimeout(qp *QP) {
+	r := qp.rel
+	if qp.state != StateRTS || len(r.unacked) == 0 {
+		r.armed = false
+		return
+	}
+	h.stats.Timeouts++
+	r.retryCount++
+	if h.e.Trace != nil {
+		h.e.Tracef("retry: %s qp%d timeout #%d, resend from psn %d", h.cfg.Name, qp.QPN, r.retryCount, r.unacked[0].pkt.PSN)
+	}
+	if r.retryCount > h.cfg.Rel.RetryCnt {
+		h.fatalQP(qp, StatusRetryExc)
+		return
+	}
+	h.resendFrom(qp, r.unacked[0].pkt.PSN)
+}
+
+// resendFrom retransmits every unacked packet with PSN >= psn (go-back-N)
+// and restarts the timer.
+func (h *HCA) resendFrom(qp *QP, psn uint32) {
+	r := qp.rel
+	for _, en := range r.unacked {
+		if en.pkt.PSN < psn {
+			continue
+		}
+		h.stats.Retransmits++
+		h.tx.Send(en.pkt, en.bytes)
+	}
+	r.armed = true
+	r.deadline = h.e.Now().Add(h.cfg.Rel.RetxTimeout)
+	r.kick.Broadcast()
+}
+
+// ackUpTo releases every unacked packet with PSN < psn: signaled writes
+// and sends complete into the send CQ; reads complete separately when
+// their response data lands.
+func (h *HCA) ackUpTo(qp *QP, psn uint32) {
+	r := qp.rel
+	n := 0
+	for _, en := range r.unacked {
+		if en.pkt.PSN >= psn {
+			break
+		}
+		n++
+		if en.pkt.Opcode != OpRDMARead && en.signaled {
+			qp.SendCQ.push(CQE{
+				Opcode: en.pkt.Opcode, WRID: en.pkt.WRID, ByteLen: en.length,
+				QPN: qp.QPN, Status: StatusOK,
+			})
+		}
+	}
+	if n == 0 {
+		return
+	}
+	r.unacked = r.unacked[n:]
+	r.retryCount, r.rnrCount = 0, 0
+	h.armTimer(qp)
+}
+
+func (h *HCA) handleNak(qp *QP, pkt Packet) {
+	h.stats.NaksRx++
+	r := qp.rel
+	// A NAK for psn acknowledges everything before it, then asks for a
+	// resend from there; sequence errors count against the retry budget.
+	h.ackUpTo(qp, pkt.PSN)
+	if qp.state != StateRTS || len(r.unacked) == 0 {
+		return
+	}
+	r.retryCount++
+	if r.retryCount > h.cfg.Rel.RetryCnt {
+		h.fatalQP(qp, StatusRetryExc)
+		return
+	}
+	if h.e.Trace != nil {
+		h.e.Tracef("retry: %s qp%d NAK, resend from psn %d", h.cfg.Name, qp.QPN, pkt.PSN)
+	}
+	h.resendFrom(qp, pkt.PSN)
+}
+
+func (h *HCA) handleRnrNak(qp *QP, pkt Packet) {
+	h.stats.RnrNaksRx++
+	r := qp.rel
+	h.ackUpTo(qp, pkt.PSN)
+	if qp.state != StateRTS || len(r.unacked) == 0 {
+		return
+	}
+	r.rnrCount++
+	if r.rnrCount > h.cfg.Rel.RnrRetry {
+		h.fatalQP(qp, StatusRnrExc)
+		return
+	}
+	backoff := h.cfg.Rel.RnrBackoff << (r.rnrCount - 1)
+	if h.e.Trace != nil {
+		h.e.Tracef("retry: %s qp%d RNR NAK #%d, backoff %v", h.cfg.Name, qp.QPN, r.rnrCount, backoff)
+	}
+	// Hold the timer past the backoff window, then resend.
+	r.deadline = h.e.Now().Add(backoff + h.cfg.Rel.RetxTimeout)
+	r.kick.Broadcast()
+	psn := pkt.PSN
+	h.e.After(backoff, func() {
+		if qp.state == StateRTS && len(r.unacked) > 0 {
+			h.resendFrom(qp, psn)
+		}
+	})
+}
+
+// fatalQP gives up on the oldest unacked request: its CQE carries the
+// exhaustion status, the QP moves to ERR, and everything else flushes.
+func (h *HCA) fatalQP(qp *QP, status int) {
+	r := qp.rel
+	h.stats.RetryExhausted++
+	if h.e.Trace != nil {
+		h.e.Tracef("retry: %s qp%d retries exhausted (status %d) -> ERR", h.cfg.Name, qp.QPN, status)
+	}
+	if len(r.unacked) > 0 {
+		en := r.unacked[0]
+		r.unacked = r.unacked[1:]
+		qp.SendCQ.push(CQE{
+			Opcode: en.pkt.Opcode, WRID: en.pkt.WRID, ByteLen: en.length,
+			QPN: qp.QPN, Status: status,
+		})
+	}
+	qp.state = StateErr
+	qp.flush()
+}
+
+// ---- responder side ----
+
+// responderAdmit enforces PSN sequencing and receiver-readiness for an
+// inbound request packet. It returns true when the packet should be
+// executed; duplicates are re-acknowledged (and reads re-served), gaps are
+// NAKed, and not-ready receives are RNR-NAKed.
+func (h *HCA) responderAdmit(p *sim.Proc, qp *QP, pkt Packet) bool {
+	r := qp.rel
+	if pkt.PSN != r.ePSN {
+		if pkt.PSN < r.ePSN {
+			// Already delivered: a lost ACK or a go-back-N replay. Writes
+			// are idempotent but receives are not, so never re-execute;
+			// reads are re-served (the original response may be lost).
+			h.stats.DupRx++
+			if pkt.Opcode == OpRDMARead {
+				h.serveRead(p, qp, pkt)
+				return false
+			}
+			h.sendAck(qp)
+			return false
+		}
+		// Gap: something before this packet was lost. NAK once per
+		// expected PSN so a burst of in-flight packets triggers a single
+		// resend.
+		if !r.nakSent {
+			r.nakSent = true
+			h.stats.NaksSent++
+			if h.e.Trace != nil {
+				h.e.Tracef("retry: %s qp%d gap (got psn %d, want %d), NAK", h.cfg.Name, qp.QPN, pkt.PSN, r.ePSN)
+			}
+			h.tx.Send(Packet{Opcode: opNak, SrcQPN: qp.QPN, DstQPN: qp.remoteQPN, PSN: r.ePSN}, PktHeader)
+		}
+		return false
+	}
+	// In-order. Receiver-not-ready is detected before the PSN advances so
+	// the requester replays the same packet after backoff.
+	if (pkt.Opcode == OpSend || pkt.Opcode == OpRDMAWriteImm) && qp.rqHeadHW >= qp.rqTailHW {
+		h.stats.RnrNaksSent++
+		if h.e.Trace != nil {
+			h.e.Tracef("retry: %s qp%d RNR (psn %d)", h.cfg.Name, qp.QPN, pkt.PSN)
+		}
+		h.tx.Send(Packet{Opcode: opRnrNak, SrcQPN: qp.QPN, DstQPN: qp.remoteQPN, PSN: pkt.PSN}, PktHeader)
+		return false
+	}
+	r.ePSN++
+	r.nakSent = false
+	if pkt.Opcode == OpRDMARead {
+		// The read response doubles as a cumulative ACK; cancel any
+		// pending coalesced ACK.
+		r.ackPending = 0
+		r.ackGen++
+	} else {
+		h.noteAckNeeded(qp)
+	}
+	return true
+}
+
+// noteAckNeeded implements ACK coalescing: every AckCoalesce-th packet
+// acks immediately, stragglers after at most AckDelay.
+func (h *HCA) noteAckNeeded(qp *QP) {
+	r := qp.rel
+	r.ackPending++
+	if r.ackPending >= h.cfg.Rel.AckCoalesce {
+		h.sendAck(qp)
+		return
+	}
+	gen := r.ackGen
+	h.e.After(h.cfg.Rel.AckDelay, func() {
+		if r.ackGen == gen && r.ackPending > 0 {
+			h.sendAck(qp)
+		}
+	})
+}
+
+// sendAck emits a cumulative ACK for everything below the expected PSN.
+func (h *HCA) sendAck(qp *QP) {
+	r := qp.rel
+	r.ackPending = 0
+	r.ackGen++
+	h.stats.AcksSent++
+	h.tx.Send(Packet{Opcode: opAck, SrcQPN: qp.QPN, DstQPN: qp.remoteQPN, PSN: r.ePSN}, PktHeader)
+}

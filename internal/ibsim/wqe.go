@@ -159,10 +159,13 @@ func DecodeRecvWQE(buf []byte) (RecvWQE, error) {
 	}, nil
 }
 
-// CQE statuses.
+// CQE statuses. Numeric values follow enum ibv_wc_status.
 const (
-	StatusOK  = 0
-	StatusErr = 1
+	StatusOK       = 0
+	StatusErr      = 1  // generic local error (IBV_WC_LOC_QP_OP_ERR territory)
+	StatusFlushErr = 5  // IBV_WC_WR_FLUSH_ERR: WQE flushed on an ERR/RESET QP
+	StatusRetryExc = 12 // IBV_WC_RETRY_EXC_ERR: transport retries exhausted
+	StatusRnrExc   = 13 // IBV_WC_RNR_RETRY_EXC_ERR: RNR retries exhausted
 )
 
 // CQE is a decoded completion-queue element.

@@ -112,12 +112,52 @@ type ownerEntry struct {
 	target Target
 }
 
+// Faults decides the fate of bulk DMA streams crossing the fabric. Same
+// shape as wire.Faults; implemented by faults.Injector.
+type Faults interface {
+	Judge(at sim.Time, wireBytes int) (drop, corrupt bool, extraDelay sim.Duration)
+}
+
 // Fabric is one node's PCIe hierarchy.
 type Fabric struct {
 	e      *sim.Engine
 	space  *memspace.Space
 	eps    []*Endpoint
 	owners []ownerEntry
+
+	// Fault injection on the P2P bulk path. PCIe is link-level reliable
+	// (DLLP ACK/NAK replay), so drop/corrupt verdicts surface as a replay
+	// delay rather than data loss.
+	faults        Faults
+	replayPenalty sim.Duration
+	replays       uint64
+}
+
+// SetFaults installs a fault injector on the bulk DMA path. Drop and
+// corrupt verdicts each cost one replayPenalty of extra latency (the
+// data-link layer retransmits); delay verdicts add directly.
+func (f *Fabric) SetFaults(fi Faults, replayPenalty sim.Duration) {
+	f.faults = fi
+	f.replayPenalty = replayPenalty
+}
+
+// Replays reports bulk transfers that suffered a link-level retransmission.
+func (f *Fabric) Replays() uint64 { return f.replays }
+
+// faultDelay turns an injector verdict into extra bulk-transfer latency.
+func (f *Fabric) faultDelay(at sim.Time, n int) sim.Duration {
+	if f.faults == nil {
+		return 0
+	}
+	drop, corrupt, extra := f.faults.Judge(at, n)
+	if drop || corrupt {
+		f.replays++
+		extra += f.replayPenalty
+		if f.e.Trace != nil {
+			f.e.Tracef("fault: pcie replay (%dB, +%v)", n, f.replayPenalty)
+		}
+	}
+	return extra
 }
 
 // NewFabric creates a fabric over a node address space.
@@ -294,6 +334,7 @@ func (f *Fabric) ReadBulkReserve(src *Endpoint, addr memspace.Addr, buf []byte) 
 	// Book the whole stream on the target egress FIFO at the bottleneck
 	// rate; concurrent senders through that link queue behind it.
 	done := o.ep.egress.ReserveDuration(sim.BytesAt(wireBytes(total), effRate))
+	done = done.Add(f.faultDelay(done, wireBytes(total)))
 	return done.Add(flight(src, o.ep) + flight(o.ep, src) + o.ep.cfg.ReadLatency)
 }
 
@@ -317,6 +358,7 @@ func (f *Fabric) WriteBulk(p *sim.Proc, src *Endpoint, addr memspace.Addr, data 
 	src.stats.PostedWrites++
 	src.stats.BytesWritten += uint64(len(data))
 	sent := src.egress.Reserve(wireBytes(len(data)))
+	sent = sent.Add(f.faultDelay(sent, wireBytes(len(data))))
 	deliver := sent.Add(flight(src, o.ep))
 	if deliver < src.lastDeliver {
 		deliver = src.lastDeliver

@@ -1,0 +1,62 @@
+package sim_test
+
+// The engine-level determinism property (determinism_test.go) extends to
+// the full fault-injected testbeds: with a fixed seed, a lossy run's every
+// virtual timestamp and counter is a pure function of the inputs. This
+// lives in an external test package because it exercises the whole stack
+// through bench.
+
+import (
+	"reflect"
+	"testing"
+
+	"putget/internal/bench"
+	"putget/internal/cluster"
+	"putget/internal/sim"
+)
+
+func lossyParams(seed uint64, rate float64) cluster.Params {
+	p := cluster.Default()
+	p.FaultInject = true
+	p.FaultSeed = seed
+	p.FaultDropRate = rate
+	p.FaultCorruptRate = rate / 4
+	return p
+}
+
+// TestFaultDeterministicVirtualTimes sweeps loss rates from 0.1% to 20%
+// and requires that repeated runs agree on every virtual-time figure —
+// half-RTT, put time, poll time — and every reliability counter, for both
+// fabrics. Payload integrity is asserted inside the measurements
+// themselves (they panic on corrupted bytes).
+func TestFaultDeterministicVirtualTimes(t *testing.T) {
+	for _, rate := range []float64{0.001, 0.05, 0.2} {
+		p := lossyParams(11, rate)
+		e1 := bench.ExtollPingPong(p, bench.ExtHostControlled, 256, 10, 1)
+		e2 := bench.ExtollPingPong(p, bench.ExtHostControlled, 256, 10, 1)
+		if !reflect.DeepEqual(e1, e2) {
+			t.Fatalf("rate %v: EXTOLL runs diverged:\n%+v\n%+v", rate, e1, e2)
+		}
+		i1 := bench.IBPingPong(p, bench.IBHostControlled, 256, 10, 1)
+		i2 := bench.IBPingPong(p, bench.IBHostControlled, 256, 10, 1)
+		if !reflect.DeepEqual(i1, i2) {
+			t.Fatalf("rate %v: IB runs diverged:\n%+v\n%+v", rate, i1, i2)
+		}
+		if e1.HalfRTT <= 0 || i1.HalfRTT <= 0 {
+			t.Fatalf("rate %v: degenerate latencies %v / %v", rate, e1.HalfRTT, i1.HalfRTT)
+		}
+	}
+}
+
+// TestFaultDeterministicBlackout repeats a total-loss window run and
+// requires identical recovery behaviour, timestamp for timestamp.
+func TestFaultDeterministicBlackout(t *testing.T) {
+	p := lossyParams(11, 0.002)
+	p.FaultBlackoutStart = sim.Time(0).Add(30 * sim.Microsecond)
+	p.FaultBlackoutEnd = p.FaultBlackoutStart.Add(60 * sim.Microsecond)
+	r1 := bench.BlackoutRecovery(cluster.Default(), 11)
+	r2 := bench.BlackoutRecovery(cluster.Default(), 11)
+	if r1 != r2 {
+		t.Fatalf("blackout recovery reports diverged:\n%s\n%s", r1, r2)
+	}
+}

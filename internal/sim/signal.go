@@ -30,6 +30,35 @@ func (s *Signal) Broadcast() {
 	}
 }
 
+// WaitUntil parks p until the next Broadcast/Pulse or until deadline,
+// whichever comes first, and reports whether a signal (not the deadline)
+// woke the waiter. A deadline at or before the current time returns false
+// without parking.
+func (s *Signal) WaitUntil(p *Proc, deadline Time) bool {
+	if deadline <= s.e.now {
+		return false
+	}
+	s.waiters = append(s.waiters, p)
+	settled := false
+	timedOut := false
+	s.e.At(deadline, func() {
+		if settled {
+			return
+		}
+		for i, w := range s.waiters {
+			if w == p {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				timedOut = true
+				p.resume()
+				return
+			}
+		}
+	})
+	p.park()
+	settled = true
+	return !timedOut
+}
+
 // Pulse wakes exactly one waiter (FIFO order) if any is parked. It reports
 // whether a waiter was woken.
 func (s *Signal) Pulse() bool {

@@ -1,0 +1,50 @@
+package trace_test
+
+import (
+	"testing"
+
+	"putget/internal/cluster"
+	"putget/internal/core"
+	"putget/internal/extoll"
+	"putget/internal/sim"
+	"putget/internal/trace"
+)
+
+// TestFaultTraceCategories checks that the fault injector and the
+// retransmission machinery emit traceable events under their own
+// categories ("fault" and "retry"), so putgettrace can filter them.
+func TestFaultTraceCategories(t *testing.T) {
+	p := cluster.Default()
+	p.FaultInject = true
+	p.FaultSeed = 1
+	p.FaultDropRate = 1.0
+	p.GPUDevMemSize = 64 << 20
+	p.HostRAMSize = 96 << 20
+
+	tb := cluster.NewExtollPair(p)
+	defer tb.Shutdown()
+	rec := trace.Attach(tb.E, 0)
+	ra, rb := core.NewRMA(tb.A), core.NewRMA(tb.B)
+	ra.OpenPort(0)
+	rb.OpenPort(0)
+	extoll.ConnectPorts(tb.A.Extoll, 0, tb.B.Extoll, 0)
+	src := ra.Register(tb.A.AllocDev(64), 64)
+	dst := rb.Register(tb.B.AllocDev(64), 64)
+
+	done := sim.NewCompletion(tb.E)
+	tb.E.Spawn("a.cpu", func(pr *sim.Proc) {
+		ra.HostGet(pr, 0, dst, src, 64, extoll.FlagCompNotif)
+		ra.HostWaitNotifTimeout(pr, 0, extoll.ClassCompleter, 2*sim.Millisecond)
+		done.Complete()
+	})
+	tb.E.Run()
+	if !done.Done() {
+		t.Fatal("bounded wait did not complete")
+	}
+	if len(rec.Filter("fault")) == 0 {
+		t.Fatalf("no 'fault' trace events; categories: %v", rec.Categories())
+	}
+	if len(rec.Filter("retry")) == 0 {
+		t.Fatalf("no 'retry' trace events; categories: %v", rec.Categories())
+	}
+}

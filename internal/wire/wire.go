@@ -1,8 +1,19 @@
 // Package wire models the cable between two NICs: a full-duplex link with
-// serialization bandwidth and propagation/switch latency per direction.
+// serialization bandwidth and propagation/switch latency per direction,
+// plus hooks for deterministic fault injection and a bounded egress queue.
 package wire
 
 import "putget/internal/sim"
+
+// Faults decides the fate of packets entering the wire. Implemented by
+// faults.Injector; kept as a local interface so wire does not depend on
+// the injection package.
+type Faults interface {
+	// Judge is called once per packet with the serialization-complete time
+	// and on-wire size; it may drop the packet, poison its payload, or add
+	// extra delivery delay.
+	Judge(at sim.Time, wireBytes int) (drop, corrupt bool, extraDelay sim.Duration)
+}
 
 // Link is one direction of a cable. Packets serialize FIFO at the link
 // rate, fly for the fixed latency, and land in the receiver's inbox.
@@ -11,6 +22,16 @@ type Link[T any] struct {
 	latency sim.Duration
 	srv     *sim.Server
 	inbox   *sim.Chan[T]
+
+	faults    Faults
+	corrupter func(T) T
+
+	// Egress queue accounting: packets scheduled but not yet delivered.
+	// depthCap == 0 leaves the queue unbounded (the seed behaviour).
+	depthCap int
+	inFlight int
+	maxDepth int
+	dropped  uint64
 }
 
 // NewLink creates one direction with the given bandwidth (bytes/second)
@@ -29,14 +50,70 @@ func NewDuplex[T any](e *sim.Engine, bytesPerSecond float64, latency sim.Duratio
 	return NewLink[T](e, bytesPerSecond, latency), NewLink[T](e, bytesPerSecond, latency)
 }
 
+// SetFaults installs a fault injector on this direction. corrupter marks a
+// packet's payload as damaged (e.g. sets a Poisoned flag the receiver's
+// CRC check trips on); nil disables corruption even if the injector asks
+// for it.
+func (l *Link[T]) SetFaults(f Faults, corrupter func(T) T) {
+	l.faults = f
+	l.corrupter = corrupter
+}
+
+// SetDepthCap bounds the egress queue to n scheduled-but-undelivered
+// packets; packets beyond the cap are tail-dropped and counted. 0 restores
+// the unbounded seed behaviour.
+func (l *Link[T]) SetDepthCap(n int) { l.depthCap = n }
+
+// Dropped reports packets lost to the depth cap or the fault injector.
+func (l *Link[T]) Dropped() uint64 { return l.dropped }
+
+// MaxDepth reports the deepest egress queue observed.
+func (l *Link[T]) MaxDepth() int { return l.maxDepth }
+
+// post applies the depth cap and fault verdicts, then schedules delivery.
+func (l *Link[T]) post(pkt T, wireBytes int, sent sim.Time) sim.Time {
+	if l.depthCap > 0 && l.inFlight >= l.depthCap {
+		l.dropped++
+		if l.e.Trace != nil {
+			l.e.Tracef("fault: wire tail-drop (%dB, depth %d)", wireBytes, l.inFlight)
+		}
+		return sent
+	}
+	if l.faults != nil {
+		drop, corrupt, extra := l.faults.Judge(sent, wireBytes)
+		if drop {
+			l.dropped++
+			if l.e.Trace != nil {
+				l.e.Tracef("fault: wire drop (%dB at %v)", wireBytes, sent)
+			}
+			return sent
+		}
+		if corrupt && l.corrupter != nil {
+			pkt = l.corrupter(pkt)
+			if l.e.Trace != nil {
+				l.e.Tracef("fault: wire corrupt (%dB at %v)", wireBytes, sent)
+			}
+		}
+		sent = sent.Add(extra)
+	}
+	l.inFlight++
+	if l.inFlight > l.maxDepth {
+		l.maxDepth = l.inFlight
+	}
+	deliver := sent.Add(l.latency)
+	l.e.At(deliver, func() {
+		l.inFlight--
+		l.inbox.Send(pkt)
+	})
+	return deliver
+}
+
 // Send transmits pkt occupying wireBytes of link time; delivery into the
 // receiver inbox happens after serialization plus latency. The sender does
-// not block (NIC egress queues are modelled as unbounded).
+// not block (NIC egress queues are unbounded unless SetDepthCap was
+// called).
 func (l *Link[T]) Send(pkt T, wireBytes int) sim.Time {
-	sent := l.srv.Reserve(wireBytes)
-	deliver := sent.Add(l.latency)
-	l.e.At(deliver, func() { l.inbox.Send(pkt) })
-	return deliver
+	return l.post(pkt, wireBytes, l.srv.Reserve(wireBytes))
 }
 
 // SendAfter transmits pkt like Send but delays delivery until at least
@@ -48,9 +125,7 @@ func (l *Link[T]) SendAfter(pkt T, wireBytes int, ready sim.Time) sim.Time {
 	if ready > sent {
 		sent = ready
 	}
-	deliver := sent.Add(l.latency)
-	l.e.At(deliver, func() { l.inbox.Send(pkt) })
-	return deliver
+	return l.post(pkt, wireBytes, sent)
 }
 
 // Recv blocks p until a packet arrives, FIFO.

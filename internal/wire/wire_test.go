@@ -112,3 +112,81 @@ func TestSendAfterPastReadyUsesSerialization(t *testing.T) {
 		t.Fatalf("delivery at %v, want 2us", at)
 	}
 }
+
+// dropAll drops every packet; dropNone passes everything through.
+type verdictFaults struct {
+	drop, corrupt bool
+	delay         sim.Duration
+}
+
+func (v verdictFaults) Judge(at sim.Time, wireBytes int) (bool, bool, sim.Duration) {
+	return v.drop, v.corrupt, v.delay
+}
+
+func TestFaultLinkDropLosesPacket(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink[int](e, 1e9, 0)
+	l.SetFaults(verdictFaults{drop: true}, nil)
+	got := 0
+	e.Spawn("rx", func(p *sim.Proc) {
+		l.Recv(p)
+		got++
+	})
+	e.At(0, func() { l.Send(1, 100) })
+	e.Run()
+	if got != 0 {
+		t.Fatalf("dropped packet was delivered")
+	}
+	if l.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", l.Dropped())
+	}
+}
+
+func TestFaultLinkCorruptAndDelay(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink[int](e, 1e9, 0)
+	l.SetFaults(verdictFaults{corrupt: true, delay: 500 * sim.Nanosecond},
+		func(v int) int { return -v })
+	var got int
+	var at sim.Time
+	e.Spawn("rx", func(p *sim.Proc) {
+		got = l.Recv(p)
+		at = p.Now()
+	})
+	e.At(0, func() { l.Send(7, 1000) }) // serializes in 1us
+	e.Run()
+	if got != -7 {
+		t.Fatalf("corrupter not applied: got %d", got)
+	}
+	if want := sim.Time(1*sim.Microsecond + 500*sim.Nanosecond); at != want {
+		t.Fatalf("delivery at %v, want %v", at, want)
+	}
+}
+
+func TestFaultDepthCapTailDrop(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink[int](e, 1e9, sim.Millisecond) // long flight: all in-flight at once
+	l.SetDepthCap(2)
+	got := 0
+	e.Spawn("rx", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			l.Recv(p)
+			got++
+		}
+	})
+	e.At(0, func() {
+		for i := 0; i < 5; i++ {
+			l.Send(i, 10)
+		}
+	})
+	e.Run()
+	if got != 2 {
+		t.Fatalf("delivered %d, want 2", got)
+	}
+	if l.Dropped() != 3 {
+		t.Fatalf("Dropped() = %d, want 3", l.Dropped())
+	}
+	if l.MaxDepth() != 2 {
+		t.Fatalf("MaxDepth() = %d, want 2", l.MaxDepth())
+	}
+}
