@@ -2,57 +2,101 @@
 // Table I (EXTOLL polling approaches), Table II (InfiniBand buffer
 // placement), the single-operation instruction costs of the device-side
 // verbs port, and the ablation studies quantifying the paper's §VI claims.
+//
+// Each section is an independent simulation, so the sections shard as
+// cells over the -parallel worker pool and are printed back in their
+// fixed report order; output is byte-identical for any worker count. A
+// section that panics fails alone and is reported on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"putget/internal/bench"
 	"putget/internal/cluster"
+	"putget/internal/runner"
 )
 
 func main() {
 	asic := flag.Bool("asic", false, "use the projected EXTOLL ASIC profile")
+	parallel := flag.Int("parallel", 0, "report-harness workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	p := cluster.Default()
 	if *asic {
 		p = cluster.ASIC()
 	}
+	p.Parallel = *parallel
 
-	fmt.Println(bench.Table1(p).Format())
-	fmt.Println(bench.Table2(p).Format())
+	cells := []runner.Cell{
+		{Name: "table1", Run: func() string { return bench.Table1(p).Format() }},
+		{Name: "table2", Run: func() string { return bench.Table2(p).Format() }},
+		{Name: "single-op", Run: func() string {
+			post, poll := bench.IBSingleOpInstr(p)
+			return fmt.Sprintf("device-side verbs single-op costs (paper: 442 / 283):\n"+
+				"  ibv_post_send: %d instructions\n"+
+				"  ibv_poll_cq:   %d instructions\n", post, poll)
+		}},
+		{Name: "endianness", Run: func() string {
+			withOpt, withoutOpt := bench.AblationEndianness(p)
+			return fmt.Sprintf("ablation: endianness conversion (claim 2)\n"+
+				"  post_send with static-field optimization:    %d instructions\n"+
+				"  post_send without static-field optimization: %d instructions\n", withOpt, withoutOpt)
+		}},
+		{Name: "collective-extoll", Run: func() string {
+			ex := bench.AblationCollectivePostExtoll(p)
+			return fmt.Sprintf("ablation: thread-collective EXTOLL WR write (claim 2)\n"+
+				"  single thread: %d instructions, %d PCIe write transactions\n"+
+				"  warp (8 lanes): %d instructions, %d PCIe write transactions\n",
+				ex.SingleInstr, ex.SingleTxns, ex.CollectiveInstr, ex.CollectiveTxns)
+		}},
+		{Name: "collective-ib", Run: func() string {
+			ib := bench.AblationCollectivePostIB(p)
+			return fmt.Sprintf("ablation: warp-cooperative WQE build (claim 2)\n"+
+				"  single thread: %d instructions, %d PCIe write transactions\n"+
+				"  warp (8 lanes): %d instructions, %d PCIe write transactions\n",
+				ib.SingleInstr, ib.SingleTxns, ib.CollectiveInstr, ib.CollectiveTxns)
+		}},
+		{Name: "notif-placement", Run: func() string {
+			host, dev := bench.AblationNotifPlacement(p, 1024)
+			return fmt.Sprintf("ablation: EXTOLL notification ring placement (claim 3, 1KiB ping-pong)\n"+
+				"  rings in host memory:   latency %v, %d sysmem poll reads over the measured window\n"+
+				"  rings in device memory: latency %v, %d sysmem poll reads over the measured window\n",
+				host.HalfRTT, host.Counters.SysmemReads32B,
+				dev.HalfRTT, dev.Counters.SysmemReads32B)
+		}},
+		{Name: "p2p-collapse", Run: func() string {
+			with, without := bench.AblationP2PCollapse(p)
+			return fmt.Sprintf("ablation: PCIe P2P read collapse at 4MiB (Figs. 1b/4b droop)\n"+
+				"  with collapse:    %.0f MB/s\n"+
+				"  without collapse: %.0f MB/s", with.BytesPerSec/1e6, without.BytesPerSec/1e6)
+		}},
+	}
 
-	post, poll := bench.IBSingleOpInstr(p)
-	fmt.Printf("device-side verbs single-op costs (paper: 442 / 283):\n")
-	fmt.Printf("  ibv_post_send: %d instructions\n", post)
-	fmt.Printf("  ibv_poll_cq:   %d instructions\n\n", poll)
+	results := runner.Run(cells, runner.Options{
+		Parallel: *parallel,
+		Progress: func(r runner.Result) {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "[%s FAILED after %.1fs]\n", r.Name, r.Elapsed.Seconds())
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[%s completed in %.1fs]\n", r.Name, r.Elapsed.Seconds())
+		},
+	})
 
-	withOpt, withoutOpt := bench.AblationEndianness(p)
-	fmt.Printf("ablation: endianness conversion (claim 2)\n")
-	fmt.Printf("  post_send with static-field optimization:    %d instructions\n", withOpt)
-	fmt.Printf("  post_send without static-field optimization: %d instructions\n\n", withoutOpt)
-
-	ex := bench.AblationCollectivePostExtoll(p)
-	fmt.Printf("ablation: thread-collective EXTOLL WR write (claim 2)\n")
-	fmt.Printf("  single thread: %d instructions, %d PCIe write transactions\n", ex.SingleInstr, ex.SingleTxns)
-	fmt.Printf("  warp (8 lanes): %d instructions, %d PCIe write transactions\n\n", ex.CollectiveInstr, ex.CollectiveTxns)
-
-	ib := bench.AblationCollectivePostIB(p)
-	fmt.Printf("ablation: warp-cooperative WQE build (claim 2)\n")
-	fmt.Printf("  single thread: %d instructions, %d PCIe write transactions\n", ib.SingleInstr, ib.SingleTxns)
-	fmt.Printf("  warp (8 lanes): %d instructions, %d PCIe write transactions\n\n", ib.CollectiveInstr, ib.CollectiveTxns)
-
-	host, dev := bench.AblationNotifPlacement(p, 1024)
-	fmt.Printf("ablation: EXTOLL notification ring placement (claim 3, 1KiB ping-pong)\n")
-	fmt.Printf("  rings in host memory:   latency %v, %d sysmem poll reads over the measured window\n",
-		host.HalfRTT, host.Counters.SysmemReads32B)
-	fmt.Printf("  rings in device memory: latency %v, %d sysmem poll reads over the measured window\n\n",
-		dev.HalfRTT, dev.Counters.SysmemReads32B)
-
-	with, without := bench.AblationP2PCollapse(p)
-	fmt.Printf("ablation: PCIe P2P read collapse at 4MiB (Figs. 1b/4b droop)\n")
-	fmt.Printf("  with collapse:    %.0f MB/s\n", with.BytesPerSec/1e6)
-	fmt.Printf("  without collapse: %.0f MB/s\n", without.BytesPerSec/1e6)
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "putgetcounters: %s: %v\n", r.Name, r.Err)
+			continue
+		}
+		fmt.Println(r.Output)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "putgetcounters: %d/%d sections failed\n", failed, len(results))
+		os.Exit(1)
+	}
 }

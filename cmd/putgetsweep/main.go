@@ -6,7 +6,14 @@
 //	putgetsweep -param gpu-issue -values 8,14,18,24,32 -metric lat1k
 //	putgetsweep -param p2p-small -values 0.5e9,1.05e9,3e9 -metric bw256k
 //	putgetsweep -param pcie-slots -values 1,2,4,8,16 -metric rate32
+//	putgetsweep -param fault-drop -values 0,0.01,0.05 -parallel 4
 //	putgetsweep -list
+//
+// Each swept value is one cell of the parallel experiment runner: it
+// builds its own isolated simulation, so cells shard across -parallel
+// workers while the result table keeps its deterministic value order
+// (stdout is byte-identical for any worker count). A value whose
+// measurement panics fails only its own row.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"putget/internal/bench"
 	"putget/internal/cluster"
+	"putget/internal/runner"
 	"putget/internal/sim"
 )
 
@@ -50,7 +58,11 @@ var knobs = []knob{
 	{"fault-drop", "wire loss probability (enables fault injection; rates near 1 kill the link and blocking benchmarks never finish)",
 		func(p *cluster.Params, v float64) { p.FaultInject = true; p.FaultSeed = 42; p.FaultDropRate = v }},
 	{"fault-delay", "max extra wire delay [ns] (enables fault injection)",
-		func(p *cluster.Params, v float64) { p.FaultInject = true; p.FaultSeed = 42; p.FaultDelayMax = sim.Nanoseconds(v) }},
+		func(p *cluster.Params, v float64) {
+			p.FaultInject = true
+			p.FaultSeed = 42
+			p.FaultDelayMax = sim.Nanoseconds(v)
+		}},
 	{"wire-depth-cap", "wire egress queue bound [packets] (0 = unbounded)",
 		func(p *cluster.Params, v float64) { p.WireDepthCap = int(v) }},
 }
@@ -113,6 +125,7 @@ func main() {
 		values   = flag.String("values", "", "comma-separated values")
 		metricID = flag.String("metric", "lat1k", "metric to evaluate")
 		asic     = flag.Bool("asic", false, "start from the ASIC profile")
+		parallel = flag.Int("parallel", 0, "sweep-harness workers (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -152,19 +165,54 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("sweep of %s (%s) against %s [%s]\n\n", k.name, k.desc, m.desc, m.unit)
-	fmt.Printf("%14s %14s\n", k.name, m.unit)
+	var vs []float64
 	for _, field := range strings.Split(*values, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bad value %q: %v\n", field, err)
 			os.Exit(1)
 		}
-		p := cluster.Default()
-		if *asic {
-			p = cluster.ASIC()
+		vs = append(vs, v)
+	}
+
+	cells := make([]runner.Cell, len(vs))
+	for i, v := range vs {
+		v := v
+		cells[i] = runner.Cell{Name: fmt.Sprintf("%s=%g", k.name, v), Run: func() string {
+			p := cluster.Default()
+			if *asic {
+				p = cluster.ASIC()
+			}
+			p.Parallel = 1 // one worker per value cell; the pool is the outer level
+			k.set(&p, v)
+			return fmt.Sprintf("%14g %14.4g", v, m.eval(p))
+		}}
+	}
+	results := runner.Run(cells, runner.Options{
+		Parallel: *parallel,
+		Progress: func(r runner.Result) {
+			status := "done"
+			if r.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%s %s in %.1fs]\n", r.Name, status, r.Elapsed.Seconds())
+		},
+	})
+
+	fmt.Printf("sweep of %s (%s) against %s [%s]\n\n", k.name, k.desc, m.desc, m.unit)
+	fmt.Printf("%14s %14s\n", k.name, m.unit)
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Printf("%14g %14s\n", vs[r.Index], "ERROR")
+			fmt.Fprintf(os.Stderr, "putgetsweep: %s: %v\n", r.Name, r.Err)
+			continue
 		}
-		k.set(&p, v)
-		fmt.Printf("%14g %14.4g\n", v, m.eval(p))
+		fmt.Println(r.Output)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "putgetsweep: %d/%d values failed\n", failed, len(results))
+		os.Exit(1)
 	}
 }

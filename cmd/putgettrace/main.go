@@ -5,8 +5,13 @@
 //	putgettrace                 # EXTOLL put, 1KiB
 //	putgettrace -fabric ib      # InfiniBand RDMA write
 //	putgettrace -size 65536
+//	putgettrace -size 64,1024,65536 -parallel 3  # one trace per size
 //	putgettrace -json           # machine-readable events
 //	putgettrace -filter a.rma   # only the origin NIC's events
+//
+// With a comma-separated -size list, each size replays in its own
+// isolated simulation; the replays shard over -parallel workers and the
+// traces print in the listed order, byte-identical for any worker count.
 package main
 
 import (
@@ -14,12 +19,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"putget/internal/cluster"
 	"putget/internal/core"
 	"putget/internal/extoll"
 	"putget/internal/gpusim"
 	"putget/internal/ibsim"
+	"putget/internal/runner"
 	"putget/internal/sim"
 	"putget/internal/trace"
 )
@@ -31,20 +39,61 @@ var (
 
 func main() {
 	fabric := flag.String("fabric", "extoll", "extoll or ib")
-	size := flag.Int("size", 1024, "payload size in bytes")
+	sizes := flag.String("size", "1024", "payload size in bytes (comma-separated list replays one trace per size)")
+	parallel := flag.Int("parallel", 0, "trace-harness workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	p := cluster.Default()
-	p.GPUDevMemSize = uint64(2*(*size)) + (64 << 20)
-	p.HostRAMSize = 96 << 20
-
+	var trc func(p cluster.Params, size int) string
 	switch *fabric {
 	case "extoll":
-		traceExtoll(p, *size)
+		trc = traceExtoll
 	case "ib":
-		traceIB(p, *size)
+		trc = traceIB
 	default:
-		fmt.Println("unknown fabric; use extoll or ib")
+		fmt.Fprintln(os.Stderr, "unknown fabric; use extoll or ib")
+		os.Exit(1)
+	}
+
+	var sz []int
+	for _, field := range strings.Split(*sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad size %q\n", field)
+			os.Exit(1)
+		}
+		sz = append(sz, v)
+	}
+
+	cells := make([]runner.Cell, len(sz))
+	for i, size := range sz {
+		size := size
+		cells[i] = runner.Cell{Name: fmt.Sprintf("%s/%dB", *fabric, size), Run: func() string {
+			p := cluster.Default()
+			p.GPUDevMemSize = uint64(2*size) + (64 << 20)
+			p.HostRAMSize = 96 << 20
+			return trc(p, size)
+		}}
+	}
+	results := runner.Run(cells, runner.Options{
+		Parallel: *parallel,
+		Progress: func(r runner.Result) {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "[%s FAILED after %.1fs]\n", r.Name, r.Elapsed.Seconds())
+			}
+		},
+	})
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "putgettrace: %s: %v\n", r.Name, r.Err)
+			continue
+		}
+		fmt.Print(r.Output)
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 
@@ -52,27 +101,31 @@ func attachTrace(e *sim.Engine) *trace.Recorder {
 	return trace.Attach(e, 100000)
 }
 
-func dump(r *trace.Recorder) {
+// dump renders the recorded events; traces are returned as strings so the
+// sharded harness can merge them in order instead of interleaving writes.
+func dump(r *trace.Recorder) string {
 	evs := r.Events()
 	if *catFilter != "" {
 		evs = r.Filter(*catFilter)
 	}
+	var b strings.Builder
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(&b)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(evs); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			panic(fmt.Sprintf("trace encode: %v", err))
 		}
-		return
+		return b.String()
 	}
 	for _, ev := range evs {
-		fmt.Printf("%12v  %s\n", ev.At, ev.Msg)
+		fmt.Fprintf(&b, "%12v  %s\n", ev.At, ev.Msg)
 	}
+	return b.String()
 }
 
-func traceExtoll(p cluster.Params, size int) {
+func traceExtoll(p cluster.Params, size int) string {
 	tb := cluster.NewExtollPair(p)
+	defer tb.Shutdown()
 	rec := attachTrace(tb.E)
 	ra, rb := core.NewRMA(tb.A), core.NewRMA(tb.B)
 	src := tb.A.AllocDev(uint64(size))
@@ -83,7 +136,8 @@ func traceExtoll(p cluster.Params, size int) {
 	rb.OpenPort(0)
 	extoll.ConnectPorts(tb.A.Extoll, 0, tb.B.Extoll, 0)
 
-	fmt.Printf("== EXTOLL: GPU-initiated put of %d bytes, dev2dev-direct ==\n", size)
+	var b strings.Builder
+	fmt.Fprintf(&b, "== EXTOLL: GPU-initiated put of %d bytes, dev2dev-direct ==\n", size)
 	done := tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
 		tb.E.Tracef("gpu: kernel starts, posting WR")
 		ra.DevPut(w, 0, srcN, dstN, size, extoll.FlagReqNotif|extoll.FlagCompNotif)
@@ -93,15 +147,16 @@ func traceExtoll(p cluster.Params, size int) {
 	})
 	tb.E.Run()
 	if !done.Done() {
-		fmt.Println("ERROR: kernel did not complete")
-		return
+		panic("putgettrace: EXTOLL kernel did not complete")
 	}
-	dump(rec)
-	fmt.Printf("== put complete at %v ==\n", tb.E.Now())
+	b.WriteString(dump(rec))
+	fmt.Fprintf(&b, "== put complete at %v ==\n", tb.E.Now())
+	return b.String()
 }
 
-func traceIB(p cluster.Params, size int) {
+func traceIB(p cluster.Params, size int) string {
 	tb := cluster.NewIBPair(p)
+	defer tb.Shutdown()
 	rec := attachTrace(tb.E)
 	va, vb := core.NewVerbs(tb.A), core.NewVerbs(tb.B)
 	src := tb.A.AllocDev(uint64(size))
@@ -112,7 +167,8 @@ func traceIB(p cluster.Params, size int) {
 	qb := vb.CreateQP(64, 16, 64, false)
 	core.ConnectVQPs(qa, qb)
 
-	fmt.Printf("== InfiniBand: GPU-initiated RDMA write of %d bytes, queues on host ==\n", size)
+	var b strings.Builder
+	fmt.Fprintf(&b, "== InfiniBand: GPU-initiated RDMA write of %d bytes, queues on host ==\n", size)
 	done := tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
 		tb.E.Tracef("gpu: kernel starts, building WQE (%d-instruction post path)", 442)
 		va.DevPostSend(w, qa, ibsim.WQE{
@@ -126,9 +182,9 @@ func traceIB(p cluster.Params, size int) {
 	})
 	tb.E.Run()
 	if !done.Done() {
-		fmt.Println("ERROR: kernel did not complete")
-		return
+		panic("putgettrace: IB kernel did not complete")
 	}
-	dump(rec)
-	fmt.Printf("== write complete at %v ==\n", tb.E.Now())
+	b.WriteString(dump(rec))
+	fmt.Fprintf(&b, "== write complete at %v ==\n", tb.E.Now())
+	return b.String()
 }

@@ -8,6 +8,7 @@ import (
 
 	"putget/internal/cluster"
 	"putget/internal/gpusim"
+	"putget/internal/runner"
 )
 
 // Series is one labelled curve of a figure.
@@ -158,156 +159,151 @@ func streamMessages(size int) int {
 	return n
 }
 
+// labels renders a mode/method list to series labels.
+func labels[T fmt.Stringer](ms []T) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.String()
+	}
+	return out
+}
+
+// gridCell identifies one (series, x) point of a figure grid.
+type gridCell struct{ si, xi int }
+
+// gridSeries measures every (series, x) cell of a figure — each on its
+// own isolated engine and testbed — sharded across the harness worker
+// pool (p.Parallel workers, GOMAXPROCS when 0). The series are assembled
+// in fixed grid order, so the figure's bytes are identical for any
+// worker count.
+func gridSeries(p cluster.Params, seriesLabels []string, xs []int, eval func(si, xi int) float64) []Series {
+	cells := make([]gridCell, 0, len(seriesLabels)*len(xs))
+	for si := range seriesLabels {
+		for xi := range xs {
+			cells = append(cells, gridCell{si, xi})
+		}
+	}
+	ys := runner.Map(p.Parallel, cells, func(_ int, c gridCell) float64 {
+		return eval(c.si, c.xi)
+	})
+	series := make([]Series, len(seriesLabels))
+	for si, label := range seriesLabels {
+		s := Series{Label: label, X: make([]float64, len(xs)), Y: make([]float64, len(xs))}
+		for xi, x := range xs {
+			s.X[xi] = float64(x)
+			s.Y[xi] = ys[si*len(xs)+xi]
+		}
+		series[si] = s
+	}
+	return series
+}
+
 // Fig1a reproduces the EXTOLL latency plot.
 func Fig1a(p cluster.Params) Figure {
 	modes := []ExtollMode{ExtDirect, ExtPollOnGPU, ExtAssisted, ExtHostControlled}
-	fig := Figure{ID: "Fig1a", Title: "EXTOLL RMA ping-pong latency",
-		XLabel: "size[B]", YLabel: "latency [us]"}
-	for _, m := range modes {
-		s := Series{Label: m.String()}
-		for _, size := range latencySizes {
+	return Figure{ID: "Fig1a", Title: "EXTOLL RMA ping-pong latency",
+		XLabel: "size[B]", YLabel: "latency [us]",
+		Series: gridSeries(p, labels(modes), latencySizes, func(si, xi int) float64 {
+			size := latencySizes[xi]
 			iters, warm := latencyIters(size)
-			res := ExtollPingPong(p, m, size, iters, warm)
-			s.X = append(s.X, float64(size))
-			s.Y = append(s.Y, res.HalfRTT.Microseconds())
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig
+			return ExtollPingPong(p, modes[si], size, iters, warm).HalfRTT.Microseconds()
+		})}
 }
 
 // Fig1b reproduces the EXTOLL bandwidth plot.
 func Fig1b(p cluster.Params) Figure {
 	modes := []ExtollMode{ExtDirect, ExtAssisted, ExtHostControlled}
-	fig := Figure{ID: "Fig1b", Title: "EXTOLL RMA streaming bandwidth",
-		XLabel: "size[B]", YLabel: "bandwidth [MB/s]"}
-	for _, m := range modes {
-		s := Series{Label: m.String()}
-		for _, size := range bandwidthSizes {
-			res := ExtollStream(p, m, size, streamMessages(size))
-			s.X = append(s.X, float64(size))
-			s.Y = append(s.Y, res.BytesPerSec/1e6)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig
+	return Figure{ID: "Fig1b", Title: "EXTOLL RMA streaming bandwidth",
+		XLabel: "size[B]", YLabel: "bandwidth [MB/s]",
+		Series: gridSeries(p, labels(modes), bandwidthSizes, func(si, xi int) float64 {
+			size := bandwidthSizes[xi]
+			return ExtollStream(p, modes[si], size, streamMessages(size)).BytesPerSec / 1e6
+		})}
 }
 
 // Fig2 reproduces the EXTOLL message-rate plot (64-byte messages).
 func Fig2(p cluster.Params) Figure {
 	methods := []RateMethod{RateBlocks, RateKernels, RateAssisted, RateHostControlled}
-	fig := Figure{ID: "Fig2", Title: "EXTOLL RMA message rate, 64B messages",
-		XLabel: "pairs", YLabel: "message rate [msgs/s]"}
-	for _, m := range methods {
-		s := Series{Label: m.String()}
-		for _, pairs := range ratePairs {
-			res := ExtollMessageRate(p, m, pairs, 100)
-			s.X = append(s.X, float64(pairs))
-			s.Y = append(s.Y, res.MsgsPerSec)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig
+	return Figure{ID: "Fig2", Title: "EXTOLL RMA message rate, 64B messages",
+		XLabel: "pairs", YLabel: "message rate [msgs/s]",
+		Series: gridSeries(p, labels(methods), ratePairs, func(si, xi int) float64 {
+			return ExtollMessageRate(p, methods[si], ratePairs[xi], 100).MsgsPerSec
+		})}
 }
 
 // Table1 reproduces the EXTOLL polling-approach counter comparison
 // (ping-pong, 100 iterations, 1 KiB payload; counters from the origin
 // GPU).
 func Table1(p cluster.Params) CounterTable {
-	direct := ExtollPingPong(p, ExtDirect, 1024, 100, 0)
-	poll := ExtollPingPong(p, ExtPollOnGPU, 1024, 100, 0)
+	modes := []ExtollMode{ExtDirect, ExtPollOnGPU}
+	res := runner.Map(p.Parallel, modes, func(_ int, m ExtollMode) LatencyResult {
+		return ExtollPingPong(p, m, 1024, 100, 0)
+	})
 	return CounterTable{
 		ID:      "TableI",
 		Title:   "EXTOLL polling approaches (100 iters, 1KiB)",
 		Columns: []string{"system memory", "device memory"},
-		Rows:    counterRows(direct.Counters, poll.Counters),
+		Rows:    counterRows(res[0].Counters, res[1].Counters),
 	}
 }
 
 // Fig3 reproduces the put-time vs polling-time decomposition.
 func Fig3(p cluster.Params) Figure {
-	fig := Figure{ID: "Fig3", Title: "EXTOLL polling time / WR generation time",
-		XLabel: "payload[B]", YLabel: "polling time / put time"}
-	for _, pair := range []struct {
-		label string
-		mode  ExtollMode
-	}{
-		{"system memory", ExtDirect},
-		{"device memory", ExtPollOnGPU},
-	} {
-		s := Series{Label: pair.label}
-		for _, size := range fig3Sizes {
-			iters, warm := latencyIters(size)
-			res := ExtollPingPong(p, pair.mode, size, iters, warm)
-			s.X = append(s.X, float64(size))
-			s.Y = append(s.Y, res.Ratio())
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig
+	modes := []ExtollMode{ExtDirect, ExtPollOnGPU}
+	return Figure{ID: "Fig3", Title: "EXTOLL polling time / WR generation time",
+		XLabel: "payload[B]", YLabel: "polling time / put time",
+		Series: gridSeries(p, []string{"system memory", "device memory"}, fig3Sizes,
+			func(si, xi int) float64 {
+				size := fig3Sizes[xi]
+				iters, warm := latencyIters(size)
+				return ExtollPingPong(p, modes[si], size, iters, warm).Ratio()
+			})}
 }
 
 // Fig4a reproduces the InfiniBand latency plot.
 func Fig4a(p cluster.Params) Figure {
 	modes := []IBMode{IBBufOnGPU, IBBufOnHost, IBAssisted, IBHostControlled}
-	fig := Figure{ID: "Fig4a", Title: "InfiniBand Verbs ping-pong latency",
-		XLabel: "size[B]", YLabel: "latency [us]"}
-	for _, m := range modes {
-		s := Series{Label: m.String()}
-		for _, size := range latencySizes {
+	return Figure{ID: "Fig4a", Title: "InfiniBand Verbs ping-pong latency",
+		XLabel: "size[B]", YLabel: "latency [us]",
+		Series: gridSeries(p, labels(modes), latencySizes, func(si, xi int) float64 {
+			size := latencySizes[xi]
 			iters, warm := latencyIters(size)
-			res := IBPingPong(p, m, size, iters, warm)
-			s.X = append(s.X, float64(size))
-			s.Y = append(s.Y, res.HalfRTT.Microseconds())
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig
+			return IBPingPong(p, modes[si], size, iters, warm).HalfRTT.Microseconds()
+		})}
 }
 
 // Fig4b reproduces the InfiniBand bandwidth plot.
 func Fig4b(p cluster.Params) Figure {
 	modes := []IBMode{IBBufOnGPU, IBBufOnHost, IBAssisted, IBHostControlled}
-	fig := Figure{ID: "Fig4b", Title: "InfiniBand Verbs streaming bandwidth",
-		XLabel: "size[B]", YLabel: "bandwidth [MB/s]"}
-	for _, m := range modes {
-		s := Series{Label: m.String()}
-		for _, size := range bandwidthSizes {
-			res := IBStream(p, m, size, streamMessages(size))
-			s.X = append(s.X, float64(size))
-			s.Y = append(s.Y, res.BytesPerSec/1e6)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig
+	return Figure{ID: "Fig4b", Title: "InfiniBand Verbs streaming bandwidth",
+		XLabel: "size[B]", YLabel: "bandwidth [MB/s]",
+		Series: gridSeries(p, labels(modes), bandwidthSizes, func(si, xi int) float64 {
+			size := bandwidthSizes[xi]
+			return IBStream(p, modes[si], size, streamMessages(size)).BytesPerSec / 1e6
+		})}
 }
 
 // Fig5 reproduces the InfiniBand message-rate plot.
 func Fig5(p cluster.Params) Figure {
 	methods := []RateMethod{RateBlocks, RateKernels, RateAssisted, RateHostControlled}
-	fig := Figure{ID: "Fig5", Title: "InfiniBand message rate, 64B messages",
-		XLabel: "pairs", YLabel: "message rate [msgs/s]"}
-	for _, m := range methods {
-		s := Series{Label: m.String()}
-		for _, pairs := range ratePairs {
-			res := IBMessageRate(p, m, pairs, 80)
-			s.X = append(s.X, float64(pairs))
-			s.Y = append(s.Y, res.MsgsPerSec)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig
+	return Figure{ID: "Fig5", Title: "InfiniBand message rate, 64B messages",
+		XLabel: "pairs", YLabel: "message rate [msgs/s]",
+		Series: gridSeries(p, labels(methods), ratePairs, func(si, xi int) float64 {
+			return IBMessageRate(p, methods[si], ratePairs[xi], 80).MsgsPerSec
+		})}
 }
 
 // Table2 reproduces the InfiniBand buffer-placement counter comparison.
 func Table2(p cluster.Params) CounterTable {
-	host := IBPingPong(p, IBBufOnHost, 1024, 100, 0)
-	gpu := IBPingPong(p, IBBufOnGPU, 1024, 100, 0)
+	modes := []IBMode{IBBufOnHost, IBBufOnGPU}
+	res := runner.Map(p.Parallel, modes, func(_ int, m IBMode) LatencyResult {
+		return IBPingPong(p, m, 1024, 100, 0)
+	})
 	t := CounterTable{
 		ID:      "TableII",
 		Title:   "InfiniBand buffer placement (100 iters, 1KiB)",
 		Columns: []string{"buffer on host", "buffer on GPU"},
-		Rows:    counterRows(host.Counters, gpu.Counters),
+		Rows:    counterRows(res[0].Counters, res[1].Counters),
 	}
 	post, poll := IBSingleOpInstr(p)
 	t.Rows = append(t.Rows,

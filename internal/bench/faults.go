@@ -8,6 +8,7 @@ import (
 	"putget/internal/cluster"
 	"putget/internal/extoll"
 	"putget/internal/faults"
+	"putget/internal/runner"
 	"putget/internal/sim"
 )
 
@@ -101,7 +102,44 @@ func faultParams(p cluster.Params, seed uint64, dropRate float64) cluster.Params
 // grows, for two control modes per fabric, with the reliability protocols
 // cleaning up after the injector. All runs derive from one seed, so the
 // whole report is reproducible bit for bit.
+//
+// The (fabric, mode) x loss-rate matrix is sharded across the harness
+// worker pool (p.Parallel): every cell builds its own isolated engine and
+// testbed, and the report is assembled in fixed matrix order, so the
+// output bytes never depend on the worker count.
 func FaultSweep(p cluster.Params, seed uint64) string {
+	extModes := []ExtollMode{ExtDirect, ExtHostControlled}
+	ibModes := []IBMode{IBBufOnHost, IBHostControlled}
+	sections := []string{
+		"EXTOLL " + extModes[0].String(), "EXTOLL " + extModes[1].String(),
+		"InfiniBand " + ibModes[0].String(), "InfiniBand " + ibModes[1].String(),
+	}
+
+	// One cell per (section, loss rate): a latency run plus a goodput run.
+	type cellSpec struct {
+		section int
+		rate    float64
+	}
+	type sweepPoint struct {
+		lat LatencyResult
+		bw  BandwidthResult
+	}
+	var cells []cellSpec
+	for sec := range sections {
+		for _, rate := range faultSweepRates {
+			cells = append(cells, cellSpec{sec, rate})
+		}
+	}
+	points := runner.Map(p.Parallel, cells, func(_ int, c cellSpec) sweepPoint {
+		fp := faultParams(p, seed, c.rate)
+		if c.section < 2 {
+			m := extModes[c.section]
+			return sweepPoint{ExtollPingPong(fp, m, 1024, 30, 2), ExtollStream(fp, m, 4096, 64)}
+		}
+		m := ibModes[c.section-2]
+		return sweepPoint{IBPingPong(fp, m, 1024, 30, 2), IBStream(fp, m, 4096, 64)}
+	})
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "faultsweep: latency and goodput vs wire loss (seed %d)\n", seed)
 	fmt.Fprintf(&b, "ping-pong 1KiB x30; stream 4KiB x64; corrupt rate = loss/4\n\n")
@@ -128,25 +166,12 @@ func FaultSweep(p cluster.Params, seed uint64) string {
 			rc.Retransmits, rc.Timeouts, rc.NaksSent, rc.IcrcDrops, rc.DupRx, rc.WireDrops)
 	}
 
-	for _, mode := range []ExtollMode{ExtDirect, ExtHostControlled} {
-		fmt.Fprintf(&b, "EXTOLL %s\n", mode)
+	for sec, name := range sections {
+		fmt.Fprintf(&b, "%s\n", name)
 		header()
-		for _, rate := range faultSweepRates {
-			fp := faultParams(p, seed, rate)
-			lat := ExtollPingPong(fp, mode, 1024, 30, 2)
-			bw := ExtollStream(fp, mode, 4096, 64)
-			row(rate, lat, bw)
-		}
-		b.WriteString("\n")
-	}
-	for _, mode := range []IBMode{IBBufOnHost, IBHostControlled} {
-		fmt.Fprintf(&b, "InfiniBand %s\n", mode)
-		header()
-		for _, rate := range faultSweepRates {
-			fp := faultParams(p, seed, rate)
-			lat := IBPingPong(fp, mode, 1024, 30, 2)
-			bw := IBStream(fp, mode, 4096, 64)
-			row(rate, lat, bw)
+		for ri, rate := range faultSweepRates {
+			pt := points[sec*len(faultSweepRates)+ri]
+			row(rate, pt.lat, pt.bw)
 		}
 		b.WriteString("\n")
 	}
@@ -166,8 +191,8 @@ func BlackoutRecovery(p cluster.Params, seed uint64) string {
 		size     = 64
 		blackout = 60 * sim.Microsecond
 	)
-	recoveries := make([]sim.Duration, 0, 5)
-	for k := 0; k < 5; k++ {
+	// The five staggered runs are independent simulations: shard them too.
+	recoveries := runner.Map(p.Parallel, []int{0, 1, 2, 3, 4}, func(_, k int) sim.Duration {
 		fp := p
 		fp.FaultInject = true
 		fp.FaultSeed = seed + uint64(k)
@@ -176,18 +201,13 @@ func BlackoutRecovery(p cluster.Params, seed uint64) string {
 		fp.FaultBlackoutStart = start
 		fp.FaultBlackoutEnd = start.Add(blackout)
 		completions := extollBlackoutRun(fp, size, iters)
-		rec := sim.Duration(-1)
 		for _, t := range completions {
 			if t >= fp.FaultBlackoutEnd {
-				rec = t.Sub(fp.FaultBlackoutEnd)
-				break
+				return t.Sub(fp.FaultBlackoutEnd)
 			}
 		}
-		if rec < 0 {
-			panic("bench: blackout run never recovered")
-		}
-		recoveries = append(recoveries, rec)
-	}
+		panic("bench: blackout run never recovered")
+	})
 	sort.Slice(recoveries, func(i, j int) bool { return recoveries[i] < recoveries[j] })
 	var b strings.Builder
 	fmt.Fprintf(&b, "blackout recovery: EXTOLL host-controlled, %v total loss, 0.2%% residual loss\n", blackout)

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"putget/internal/cluster"
+)
+
+// TestFaultSweepParallelDeterminism is the headline guarantee of the
+// sharded runner: the full faultsweep matrix (every fabric/mode x loss
+// cell plus the blackout-recovery CDF) must produce byte-identical output
+// whether the cells run on one worker or eight.
+func TestFaultSweepParallelDeterminism(t *testing.T) {
+	seq := cluster.Default()
+	seq.Parallel = 1
+	par := cluster.Default()
+	par.Parallel = 8
+
+	a := FaultSweep(seq, 42)
+	b := FaultSweep(par, 42)
+	if a != b {
+		t.Fatalf("faultsweep diverged between -parallel 1 and -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "blackout recovery") {
+		t.Fatalf("sweep output missing blackout section:\n%s", a)
+	}
+}
+
+// TestTableParallelDeterminism covers the counter-table path: per-cell
+// engines must leave the merged counters bit-identical for any worker
+// count.
+func TestTableParallelDeterminism(t *testing.T) {
+	seq := cluster.Default()
+	seq.Parallel = 1
+	par := cluster.Default()
+	par.Parallel = 4
+
+	if a, b := Table1(seq), Table1(par); !reflect.DeepEqual(a, b) {
+		t.Fatalf("Table1 diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestGridSeriesParallelDeterminism exercises the figure grid helper with
+// worker counts around the cell count.
+func TestGridSeriesParallelDeterminism(t *testing.T) {
+	eval := func(si, xi int) float64 { return float64(si*100 + xi) }
+	xs := []int{1, 2, 4, 8}
+	seriesLabels := []string{"a", "b", "c"}
+	var want []Series
+	for _, par := range []int{1, 2, 3, 12, 64} {
+		p := cluster.Default()
+		p.Parallel = par
+		got := gridSeries(p, seriesLabels, xs, eval)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallel %d: series diverged: %+v vs %+v", par, got, want)
+		}
+	}
+	if want[2].Y[3] != 203 {
+		t.Fatalf("grid order wrong: %+v", want)
+	}
+}

@@ -129,6 +129,14 @@ type Params struct {
 	// package defaults when FaultInject is set.
 	ExtRel *extoll.RelConfig
 	IBRel  *ibsim.RelConfig
+
+	// ---- harness ----
+	// Parallel is the experiment-harness worker count: sweeps shard their
+	// independent cells (one isolated engine + testbed each) across this
+	// many workers. 0 defaults to GOMAXPROCS; 1 runs sequentially. It
+	// never affects results — merged output is bit-identical for any
+	// value — only wall-clock time.
+	Parallel int
 }
 
 // Default returns the calibrated FPGA-era testbed: EXTOLL Galibier

@@ -93,6 +93,7 @@ type GPU struct {
 	h2dQ, d2hQ *sim.Chan[copyReq]
 
 	defaultStream *Stream
+	streamSeq     int // per-GPU: cells in other engines must not share state
 }
 
 // New creates a GPU, maps its device memory into the node space, attaches
@@ -201,12 +202,10 @@ type launchReq struct {
 	done *sim.Completion
 }
 
-var streamIDs int
-
 // NewStream creates an asynchronous stream.
 func (g *GPU) NewStream() *Stream {
-	streamIDs++
-	s := &Stream{g: g, id: streamIDs, q: sim.NewChan[launchReq](g.e)}
+	g.streamSeq++
+	s := &Stream{g: g, id: g.streamSeq, q: sim.NewChan[launchReq](g.e)}
 	g.e.Spawn(fmt.Sprintf("%s.stream%d", g.cfg.Name, s.id), func(p *sim.Proc) {
 		for {
 			req := s.q.Recv(p)

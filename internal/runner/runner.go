@@ -1,0 +1,178 @@
+// Package runner executes independent experiment cells across a bounded
+// worker pool.
+//
+// A cell is one self-contained unit of a sweep — it builds its own
+// sim.Engine and testbed, measures, and returns a string. Cells share
+// nothing, so the pool runs them concurrently: workers steal the next
+// unclaimed cell from a shared queue (dynamic load balancing — long cells
+// do not hold up short ones on other workers). Results are collected into
+// a slice ordered by cell index, so the merged output is bit-identical
+// regardless of worker count or completion order.
+//
+// A panicking cell fails only itself: the panic is captured with its
+// stack and reported as that cell's error, and the remaining cells keep
+// running.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cell is one independent unit of work.
+type Cell struct {
+	Name string // used in progress lines and panic diagnostics
+	Run  func() string
+}
+
+// Result is the outcome of one cell.
+type Result struct {
+	Index   int
+	Name    string
+	Output  string // valid when Err is nil
+	Err     error  // non-nil if the cell panicked
+	Elapsed time.Duration
+}
+
+// Options configures a Run.
+type Options struct {
+	// Parallel is the worker count; values < 1 default to GOMAXPROCS.
+	Parallel int
+	// Progress, when non-nil, is called once per cell as it finishes, in
+	// completion order (not index order). Calls are serialized.
+	Progress func(Result)
+}
+
+// Workers resolves a -parallel flag value to a concrete worker count.
+func Workers(parallel int) int {
+	if parallel < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallel
+}
+
+// Run executes every cell across the worker pool and returns the results
+// ordered by cell index. The ordering — and therefore any output merged
+// from Result.Output in sequence — does not depend on Options.Parallel.
+func Run(cells []Cell, opts Options) []Result {
+	results := make([]Result, len(cells))
+	if len(cells) == 0 {
+		return results
+	}
+	workers := Workers(opts.Parallel)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	var (
+		next       atomic.Int64 // shared queue head: workers steal the next cell
+		progressMu sync.Mutex
+		wg         sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				r := runCell(i, cells[i])
+				results[i] = r
+				if opts.Progress != nil {
+					progressMu.Lock()
+					opts.Progress(r)
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runCell executes one cell with panic isolation.
+func runCell(i int, c Cell) (r Result) {
+	r = Result{Index: i, Name: c.Name}
+	start := time.Now()
+	defer func() {
+		r.Elapsed = time.Since(start)
+		if p := recover(); p != nil {
+			r.Err = fmt.Errorf("cell %q panicked: %v\n%s", c.Name, p, debug.Stack())
+		}
+	}()
+	r.Output = c.Run()
+	return r
+}
+
+// Map evaluates fn over every item with bounded parallelism and returns
+// the results in input order. It is the typed building block the sweep
+// layer uses to shard (mode x size x fault) grids: each fn call builds
+// its own isolated engine, and the ordered return slice makes the merged
+// output independent of the worker count.
+//
+// If any fn call panics, Map re-panics on the caller's goroutine with the
+// lowest-index panic (deterministic under concurrency) after all other
+// items finish.
+func Map[T, R any](parallel int, items []T, fn func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	workers := Workers(parallel)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers == 1 {
+		// Fast path: run inline, panics propagate with their natural stack.
+		for i := range items {
+			out[i] = fn(i, items[i])
+		}
+		return out
+	}
+
+	type failure struct {
+		index int
+		err   error
+	}
+	var (
+		next  atomic.Int64
+		mu    sync.Mutex
+		first *failure
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							mu.Lock()
+							if first == nil || i < first.index {
+								first = &failure{i, fmt.Errorf("runner.Map: item %d panicked: %v\n%s", i, p, debug.Stack())}
+							}
+							mu.Unlock()
+						}
+					}()
+					out[i] = fn(i, items[i])
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		panic(first.err)
+	}
+	return out
+}

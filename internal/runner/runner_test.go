@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunOrderedRegardlessOfWorkers(t *testing.T) {
+	cells := make([]Cell, 50)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{Name: fmt.Sprintf("c%d", i), Run: func() string { return fmt.Sprintf("out%d", i) }}
+	}
+	var want []Result
+	for _, par := range []int{1, 2, 4, 8, 64} {
+		got := Run(cells, Options{Parallel: par})
+		if len(got) != len(cells) {
+			t.Fatalf("parallel %d: %d results", par, len(got))
+		}
+		for i, r := range got {
+			if r.Index != i || r.Output != fmt.Sprintf("out%d", i) || r.Err != nil {
+				t.Fatalf("parallel %d: result %d = %+v", par, i, r)
+			}
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i].Output != want[i].Output {
+				t.Fatalf("parallel %d: output diverged at %d", par, i)
+			}
+		}
+	}
+}
+
+func TestRunPanicIsolatesCell(t *testing.T) {
+	cells := []Cell{
+		{Name: "ok1", Run: func() string { return "a" }},
+		{Name: "boom", Run: func() string { panic("kaboom") }},
+		{Name: "ok2", Run: func() string { return "b" }},
+	}
+	got := Run(cells, Options{Parallel: 3})
+	if got[0].Err != nil || got[0].Output != "a" {
+		t.Fatalf("cell 0: %+v", got[0])
+	}
+	if got[2].Err != nil || got[2].Output != "b" {
+		t.Fatalf("cell 2: %+v", got[2])
+	}
+	if got[1].Err == nil || !strings.Contains(got[1].Err.Error(), "kaboom") ||
+		!strings.Contains(got[1].Err.Error(), `cell "boom"`) {
+		t.Fatalf("cell 1 error = %v", got[1].Err)
+	}
+}
+
+func TestRunProgressSeesEveryCellOnce(t *testing.T) {
+	cells := make([]Cell, 20)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{Name: fmt.Sprintf("c%d", i), Run: func() string { return "x" }}
+	}
+	var mu sync.Mutex
+	seen := map[int]int{}
+	Run(cells, Options{Parallel: 4, Progress: func(r Result) {
+		mu.Lock()
+		seen[r.Index]++
+		mu.Unlock()
+	}})
+	if len(seen) != len(cells) {
+		t.Fatalf("progress saw %d cells, want %d", len(seen), len(cells))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("cell %d reported %d times", i, n)
+		}
+	}
+}
+
+func TestMapOrderAndCoverage(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i * 3
+	}
+	var calls atomic.Int64
+	got := Map(8, items, func(i, v int) int {
+		calls.Add(1)
+		return v + i
+	})
+	if calls.Load() != int64(len(items)) {
+		t.Fatalf("fn called %d times, want %d", calls.Load(), len(items))
+	}
+	for i, v := range got {
+		if v != i*3+i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapRepanicsLowestIndex(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("Map did not re-panic")
+		}
+		msg := fmt.Sprint(p)
+		if !strings.Contains(msg, "item 3 panicked") {
+			t.Fatalf("panic = %v, want lowest-index item 3", msg)
+		}
+	}()
+	Map(4, []int{0, 1, 2, 3, 4, 5, 6, 7}, func(i, v int) int {
+		if i == 3 || i == 6 {
+			panic(fmt.Sprintf("bad %d", i))
+		}
+		return v
+	})
+}
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Fatal("Workers must be >= 1")
+	}
+	if Workers(7) != 7 {
+		t.Fatalf("Workers(7) = %d", Workers(7))
+	}
+}

@@ -21,8 +21,10 @@ func (c *Chan[T]) Send(v T) {
 	c.waiters.Pulse()
 }
 
-// Recv dequeues the oldest item, parking p until one exists.
+// Recv dequeues the oldest item, parking p until one exists. p must
+// belong to the same engine as the channel (affinity guard).
 func (c *Chan[T]) Recv(p *Proc) T {
+	c.e.mustOwn(p, "Chan.Recv")
 	for len(c.items) == 0 {
 		c.waiters.Wait(p)
 	}

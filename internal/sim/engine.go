@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
 
 // event is a scheduled callback. seq breaks ties between events scheduled
@@ -52,20 +53,75 @@ type Engine struct {
 	live    map[*Proc]struct{}
 	stopped bool
 
+	// id names the engine in affinity diagnostics; dead marks an engine
+	// whose simulation was torn down by Shutdown. busy detects concurrent
+	// scheduling from two goroutines (see touch).
+	id   uint64
+	dead bool
+	busy atomic.Int32
+
 	// Trace, when non-nil, receives a line per traced event. Models call
 	// Tracef to emit them.
 	Trace func(t Time, msg string)
 }
 
+// engineSeq hands out engine ids for affinity diagnostics.
+var engineSeq atomic.Uint64
+
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{}), live: map[*Proc]struct{}{}}
+	return &Engine{
+		id:    engineSeq.Add(1),
+		yield: make(chan struct{}),
+		live:  map[*Proc]struct{}{},
+	}
 }
+
+// ID returns the engine's process-unique id (used in diagnostics).
+func (e *Engine) ID() uint64 { return e.id }
+
+// mustOwn panics when p belongs to a different engine than e. It is the
+// engine-affinity guard: with many isolated engines running concurrently
+// (one per experiment cell), accidentally sharing a Chan, Signal,
+// Resource or Server across engines would corrupt both simulations
+// silently — this turns the bug into an immediate diagnostic.
+func (e *Engine) mustOwn(p *Proc, what string) {
+	if p.e != e {
+		panic(fmt.Sprintf(
+			"sim: engine affinity violation: proc %q of engine #%d called %s on an object of engine #%d",
+			p.name, p.e.id, what, e.id))
+	}
+}
+
+// mustAlive panics when the engine was shut down: a scheduling call on a
+// dead engine means a stale reference leaked out of a finished
+// experiment cell (the classic cross-cell sharing bug).
+func (e *Engine) mustAlive(what string) {
+	if e.dead {
+		panic(fmt.Sprintf(
+			"sim: engine #%d used after Shutdown (%s): stale reference from a finished cell?", e.id, what))
+	}
+}
+
+// touch brackets a state mutation with a compare-and-swap marker. Legal
+// use is strictly single-threaded (the handoff discipline), so a CAS
+// collision means two goroutines are inside the same engine at once —
+// almost always an object shared across concurrently-running engines.
+func (e *Engine) touch(what string) {
+	if !e.busy.CompareAndSwap(0, 1) {
+		panic(fmt.Sprintf(
+			"sim: engine #%d touched concurrently from two goroutines (%s): cross-engine sharing?", e.id, what))
+	}
+}
+
+// untouch releases the marker set by touch.
+func (e *Engine) untouch() { e.busy.Store(0) }
 
 // Shutdown terminates every parked process so their goroutines exit. Call
 // it when a simulation is abandoned (testbed teardown); the engine must
 // not be running. The engine remains usable only for inspection afterward.
 func (e *Engine) Shutdown() {
+	e.dead = true
 	for p := range e.live {
 		if p.done {
 			continue
@@ -88,8 +144,13 @@ func (e *Engine) Tracef(format string, args ...interface{}) {
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it would silently corrupt causality.
+// it would silently corrupt causality. Scheduling on a shut-down engine,
+// or concurrently with another goroutine, panics with an engine-affinity
+// diagnostic.
 func (e *Engine) At(t Time, fn func()) {
+	e.mustAlive("At")
+	e.touch("At")
+	defer e.untouch()
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
@@ -113,6 +174,7 @@ func (e *Engine) Stop() { e.stopped = true }
 // called. Processes blocked on signals with no pending wakeup are considered
 // quiescent; Run returns with them still parked.
 func (e *Engine) Run() {
+	e.mustAlive("Run")
 	e.stopped = false
 	for !e.stopped && len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
@@ -124,6 +186,7 @@ func (e *Engine) Run() {
 // RunUntil executes events until virtual time t is reached (events at
 // exactly t still run), the queue drains, or Stop is called.
 func (e *Engine) RunUntil(t Time) {
+	e.mustAlive("RunUntil")
 	e.stopped = false
 	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
 		ev := heap.Pop(&e.events).(*event)

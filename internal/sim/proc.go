@@ -26,6 +26,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 
 // SpawnAt starts fn as a new process at absolute virtual time t.
 func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	e.mustAlive("Spawn")
 	p := &Proc{e: e, name: name, wake: make(chan struct{})}
 	e.procs++
 	e.live[p] = struct{}{}

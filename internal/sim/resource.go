@@ -17,8 +17,10 @@ func NewResource(e *Engine, capacity int) *Resource {
 	return &Resource{e: e, cap: capacity}
 }
 
-// Acquire blocks p until a unit is available, honouring FIFO order.
+// Acquire blocks p until a unit is available, honouring FIFO order. p
+// must belong to the same engine as the resource (affinity guard).
 func (r *Resource) Acquire(p *Proc) {
+	r.e.mustOwn(p, "Resource.Acquire")
 	if r.inUse < r.cap && len(r.queue) == 0 {
 		r.inUse++
 		return

@@ -60,8 +60,10 @@ func (s *Server) ReserveDuration(d Duration) Time {
 }
 
 // Transfer books n bytes of service and blocks p until the transfer
-// completes (queueing + serialization).
+// completes (queueing + serialization). p must belong to the same engine
+// as the server (affinity guard).
 func (s *Server) Transfer(p *Proc, n int) {
+	s.e.mustOwn(p, "Server.Transfer")
 	done := s.Reserve(n)
 	p.SleepUntil(done)
 }

@@ -12,8 +12,10 @@ type Signal struct {
 // NewSignal creates a signal bound to engine e.
 func NewSignal(e *Engine) *Signal { return &Signal{e: e} }
 
-// Wait parks p until the next Broadcast or a Pulse that selects it.
+// Wait parks p until the next Broadcast or a Pulse that selects it. p
+// must belong to the same engine as the signal (affinity guard).
 func (s *Signal) Wait(p *Proc) {
+	s.e.mustOwn(p, "Signal.Wait")
 	s.waiters = append(s.waiters, p)
 	p.park()
 }
@@ -35,6 +37,7 @@ func (s *Signal) Broadcast() {
 // woke the waiter. A deadline at or before the current time returns false
 // without parking.
 func (s *Signal) WaitUntil(p *Proc, deadline Time) bool {
+	s.e.mustOwn(p, "Signal.WaitUntil")
 	if deadline <= s.e.now {
 		return false
 	}
@@ -107,6 +110,7 @@ func (c *Completion) At() Time { return c.at }
 // Wait parks p until the completion resolves. Returns immediately if it
 // already has.
 func (c *Completion) Wait(p *Proc) {
+	c.e.mustOwn(p, "Completion.Wait")
 	if c.done {
 		return
 	}

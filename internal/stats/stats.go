@@ -2,7 +2,10 @@
 // needs: central tendencies over iteration samples and rate conversions.
 package stats
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Mean returns the arithmetic mean of xs (0 for empty input).
 func Mean(xs []float64) float64 {
@@ -59,8 +62,12 @@ func Max(xs []float64) float64 {
 	return m
 }
 
-// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
-// nearest-rank on a sorted copy.
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using the
+// nearest-rank method on a sorted copy: the smallest element with at
+// least p% of the sample at or below it, rank = ceil(p/100·n). (A plain
+// truncation here would bias every percentile one element high — P50 of
+// an even-length sample would land on the upper middle element and
+// disagree with Median.)
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -73,7 +80,10 @@ func Percentile(xs []float64, p float64) float64 {
 	if p >= 100 {
 		return cp[len(cp)-1]
 	}
-	rank := int(p / 100 * float64(len(cp)))
+	rank := int(math.Ceil(p/100*float64(len(cp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
 	if rank >= len(cp) {
 		rank = len(cp) - 1
 	}

@@ -50,6 +50,74 @@ func TestPercentileBounds(t *testing.T) {
 	}
 }
 
+// The truncation bug made even-length P50 land on the upper middle
+// element; nearest-rank must pick the lower one.
+func TestPercentileEvenLengthNearestRank(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 50); got != 20 {
+		t.Fatalf("even P50 = %v, want 20 (nearest rank ceil(0.5*4)-1)", got)
+	}
+	if got := Percentile(xs, 25); got != 10 {
+		t.Fatalf("P25 = %v, want 10", got)
+	}
+	if got := Percentile(xs, 75); got != 30 {
+		t.Fatalf("P75 = %v, want 30", got)
+	}
+	if got := Percentile(xs, 76); got != 40 {
+		t.Fatalf("P76 = %v, want 40", got)
+	}
+}
+
+// Property: Percentile agrees with Median — exactly for odd lengths, and
+// within the middle pair for even lengths (nearest-rank P50 is the lower
+// middle element, the median averages the pair).
+func TestPercentileMedianConsistencyProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		p50, md := Percentile(xs, 50), Median(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		n := len(sorted)
+		if n%2 == 1 {
+			return p50 == md
+		}
+		lo, hi := sorted[n/2-1], sorted[n/2]
+		return p50 == lo && lo <= md && md <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile is monotone in p and pinned to Min/Max at the ends.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []int16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, 0) == Min(xs) &&
+			Percentile(xs, 100) == Max(xs) &&
+			Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: Min ≤ Median ≤ Max and Min ≤ Mean ≤ Max for any input.
 func TestOrderingProperty(t *testing.T) {
 	f := func(raw []int16) bool {

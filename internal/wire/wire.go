@@ -70,15 +70,24 @@ func (l *Link[T]) Dropped() uint64 { return l.dropped }
 // MaxDepth reports the deepest egress queue observed.
 func (l *Link[T]) MaxDepth() int { return l.maxDepth }
 
-// post applies the depth cap and fault verdicts, then schedules delivery.
-func (l *Link[T]) post(pkt T, wireBytes int, sent sim.Time) sim.Time {
-	if l.depthCap > 0 && l.inFlight >= l.depthCap {
-		l.dropped++
-		if l.e.Trace != nil {
-			l.e.Tracef("fault: wire tail-drop (%dB, depth %d)", wireBytes, l.inFlight)
-		}
-		return sent
+// tailDrop applies the depth cap before any serialization time is
+// reserved: a tail-dropped packet never entered the egress queue, so it
+// must not occupy the link (reserving first would inflate Utilization()
+// and starve live packets behind phantom ones).
+func (l *Link[T]) tailDrop(wireBytes int) bool {
+	if l.depthCap <= 0 || l.inFlight < l.depthCap {
+		return false
 	}
+	l.dropped++
+	if l.e.Trace != nil {
+		l.e.Tracef("fault: wire tail-drop (%dB, depth %d)", wireBytes, l.inFlight)
+	}
+	return true
+}
+
+// post applies the fault verdicts, then schedules delivery. ok reports
+// whether the packet was actually scheduled (false: injector drop).
+func (l *Link[T]) post(pkt T, wireBytes int, sent sim.Time) (deliver sim.Time, ok bool) {
 	if l.faults != nil {
 		drop, corrupt, extra := l.faults.Judge(sent, wireBytes)
 		if drop {
@@ -86,7 +95,7 @@ func (l *Link[T]) post(pkt T, wireBytes int, sent sim.Time) sim.Time {
 			if l.e.Trace != nil {
 				l.e.Tracef("fault: wire drop (%dB at %v)", wireBytes, sent)
 			}
-			return sent
+			return sent, false
 		}
 		if corrupt && l.corrupter != nil {
 			pkt = l.corrupter(pkt)
@@ -100,27 +109,36 @@ func (l *Link[T]) post(pkt T, wireBytes int, sent sim.Time) sim.Time {
 	if l.inFlight > l.maxDepth {
 		l.maxDepth = l.inFlight
 	}
-	deliver := sent.Add(l.latency)
+	deliver = sent.Add(l.latency)
 	l.e.At(deliver, func() {
 		l.inFlight--
 		l.inbox.Send(pkt)
 	})
-	return deliver
+	return deliver, true
 }
 
 // Send transmits pkt occupying wireBytes of link time; delivery into the
 // receiver inbox happens after serialization plus latency. The sender does
 // not block (NIC egress queues are unbounded unless SetDepthCap was
-// called).
-func (l *Link[T]) Send(pkt T, wireBytes int) sim.Time {
+// called). ok reports whether the packet was scheduled for delivery;
+// dropped packets (depth cap, fault injector) return ok=false, and the
+// returned time is then not a delivery time. Tail-dropped packets consume
+// no link serialization time.
+func (l *Link[T]) Send(pkt T, wireBytes int) (deliver sim.Time, ok bool) {
+	if l.tailDrop(wireBytes) {
+		return l.e.Now(), false
+	}
 	return l.post(pkt, wireBytes, l.srv.Reserve(wireBytes))
 }
 
 // SendAfter transmits pkt like Send but delays delivery until at least
 // `ready` plus the link latency — used by cut-through senders whose
 // upstream stage (a DMA read) finishes at `ready` while the wire
-// serializes concurrently.
-func (l *Link[T]) SendAfter(pkt T, wireBytes int, ready sim.Time) sim.Time {
+// serializes concurrently. Drop semantics match Send.
+func (l *Link[T]) SendAfter(pkt T, wireBytes int, ready sim.Time) (deliver sim.Time, ok bool) {
+	if l.tailDrop(wireBytes) {
+		return l.e.Now(), false
+	}
 	sent := l.srv.Reserve(wireBytes)
 	if ready > sent {
 		sent = ready

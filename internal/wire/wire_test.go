@@ -163,6 +163,63 @@ func TestFaultLinkCorruptAndDelay(t *testing.T) {
 	}
 }
 
+// Tail-dropped packets never entered the egress queue, so they must not
+// consume link serialization time: utilization reflects live packets only.
+func TestTailDropDoesNotInflateUtilization(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink[int](e, 1e9, sim.Millisecond)
+	l.SetDepthCap(2)
+	e.At(0, func() {
+		for i := 0; i < 10; i++ {
+			l.Send(i, 1000) // 1us serialization each; 8 of 10 tail-dropped
+		}
+	})
+	e.Spawn("rx", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			l.Recv(p)
+		}
+	})
+	e.Run()
+	if got, want := l.Utilization(), 2*sim.Microsecond; got != want {
+		t.Fatalf("Utilization = %v, want %v (tail-drops must not serialize)", got, want)
+	}
+	if l.Dropped() != 8 {
+		t.Fatalf("Dropped = %d, want 8", l.Dropped())
+	}
+}
+
+// Send's return value must distinguish a drop from a delivery time.
+func TestSendReportsDropDistinctly(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink[int](e, 1e9, 100*sim.Nanosecond)
+	l.SetDepthCap(1)
+	var okFirst, okSecond bool
+	var tFirst sim.Time
+	e.At(0, func() {
+		tFirst, okFirst = l.Send(1, 1000)
+		_, okSecond = l.Send(2, 1000)
+	})
+	e.Spawn("rx", func(p *sim.Proc) { l.Recv(p) })
+	e.Run()
+	if !okFirst || tFirst != sim.Time(1*sim.Microsecond+100*sim.Nanosecond) {
+		t.Fatalf("first send: ok=%v deliver=%v", okFirst, tFirst)
+	}
+	if okSecond {
+		t.Fatal("tail-dropped send reported ok=true")
+	}
+
+	// Injector drops report ok=false too.
+	e2 := sim.NewEngine()
+	l2 := NewLink[int](e2, 1e9, 0)
+	l2.SetFaults(verdictFaults{drop: true}, nil)
+	var ok bool
+	e2.At(0, func() { _, ok = l2.Send(1, 100) })
+	e2.Run()
+	if ok {
+		t.Fatal("injector-dropped send reported ok=true")
+	}
+}
+
 func TestFaultDepthCapTailDrop(t *testing.T) {
 	e := sim.NewEngine()
 	l := NewLink[int](e, 1e9, sim.Millisecond) // long flight: all in-flight at once
