@@ -43,6 +43,10 @@ func main() {
 		for _, r := range bench.Experiments() {
 			fmt.Printf("  %s\n", r.ID)
 		}
+		fmt.Println("extra diagnostics (not part of 'all'):")
+		for _, r := range bench.ExtraExperiments() {
+			fmt.Printf("  %s\n", r.ID)
+		}
 		if *experiment == "" && !*list {
 			os.Exit(2)
 		}

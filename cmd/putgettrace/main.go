@@ -8,10 +8,14 @@
 //	putgettrace -size 64,1024,65536 -parallel 3  # one trace per size
 //	putgettrace -json           # machine-readable events
 //	putgettrace -filter a.rma   # only the origin NIC's events
+//	putgettrace -perfetto t.json # span/metric trace for ui.perfetto.dev
+//	putgettrace -drop 0.2 -seed 7 # inject wire loss (retries in trace)
 //
 // With a comma-separated -size list, each size replays in its own
 // isolated simulation; the replays shard over -parallel workers and the
 // traces print in the listed order, byte-identical for any worker count.
+// -perfetto merges all replays into one trace file, one process per
+// replay and one thread track per component.
 package main
 
 import (
@@ -32,18 +36,27 @@ import (
 	"putget/internal/trace"
 )
 
-var (
-	jsonOut   = flag.Bool("json", false, "emit the trace as JSON")
-	catFilter = flag.String("filter", "", "only show events from this component prefix")
-)
+// dumpOpts carries the rendering choices into the per-size replays.
+type dumpOpts struct {
+	json     bool   // emit events as JSON instead of text lines
+	filter   string // component/kind segment prefix, "" = everything
+	perfetto bool   // also collect span/metric records for export
+}
 
 func main() {
-	fabric := flag.String("fabric", "extoll", "extoll or ib")
-	sizes := flag.String("size", "1024", "payload size in bytes (comma-separated list replays one trace per size)")
-	parallel := flag.Int("parallel", 0, "trace-harness workers (0 = GOMAXPROCS, 1 = sequential)")
+	var (
+		fabric    = flag.String("fabric", "extoll", "extoll or ib")
+		sizes     = flag.String("size", "1024", "payload size in bytes (comma-separated list replays one trace per size)")
+		parallel  = flag.Int("parallel", 0, "trace-harness workers (0 = GOMAXPROCS, 1 = sequential)")
+		jsonOut   = flag.Bool("json", false, "emit the trace as JSON")
+		catFilter = flag.String("filter", "", "only show events from this component prefix")
+		perfetto  = flag.String("perfetto", "", "write a Chrome/Perfetto trace-event file to this path")
+		dropRate  = flag.Float64("drop", 0, "wire packet-drop probability (enables fault injection + reliability)")
+		seed      = flag.Uint64("seed", 0, "fault-injection master seed")
+	)
 	flag.Parse()
 
-	var trc func(p cluster.Params, size int) string
+	var trc func(p cluster.Params, size int, opt dumpOpts, pid int) (string, []trace.PerfettoEvent)
 	switch *fabric {
 	case "extoll":
 		trc = traceExtoll
@@ -64,24 +77,8 @@ func main() {
 		sz = append(sz, v)
 	}
 
-	cells := make([]runner.Cell, len(sz))
-	for i, size := range sz {
-		size := size
-		cells[i] = runner.Cell{Name: fmt.Sprintf("%s/%dB", *fabric, size), Run: func() string {
-			p := cluster.Default()
-			p.GPUDevMemSize = uint64(2*size) + (64 << 20)
-			p.HostRAMSize = 96 << 20
-			return trc(p, size)
-		}}
-	}
-	results := runner.Run(cells, runner.Options{
-		Parallel: *parallel,
-		Progress: func(r runner.Result) {
-			if r.Err != nil {
-				fmt.Fprintf(os.Stderr, "[%s FAILED after %.1fs]\n", r.Name, r.Elapsed.Seconds())
-			}
-		},
-	})
+	opt := dumpOpts{json: *jsonOut, filter: *catFilter, perfetto: *perfetto != ""}
+	results, perf := runTraces(trc, *fabric, sz, *parallel, opt, *dropRate, *seed)
 
 	failed := 0
 	for _, r := range results {
@@ -95,6 +92,62 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "putgettrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.WritePerfetto(f, perf); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "putgettrace: write %s: %v\n", *perfetto, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runTraces replays one trace per size, sharded over the worker pool, and
+// returns per-size results in listed order plus the merged Perfetto
+// records (one process per replay). Each cell fills its own slot, so both
+// the text and the Perfetto document are byte-identical for any worker
+// count.
+func runTraces(trc func(p cluster.Params, size int, opt dumpOpts, pid int) (string, []trace.PerfettoEvent),
+	fabric string, sz []int, parallel int, opt dumpOpts, dropRate float64, seed uint64) ([]runner.Result, []trace.PerfettoEvent) {
+	perfParts := make([][]trace.PerfettoEvent, len(sz))
+	cells := make([]runner.Cell, len(sz))
+	for i, size := range sz {
+		i, size := i, size
+		cells[i] = runner.Cell{Name: fmt.Sprintf("%s/%dB", fabric, size), Run: func() string {
+			p := cluster.Default()
+			p.GPUDevMemSize = uint64(2*size) + (64 << 20)
+			p.HostRAMSize = 96 << 20
+			if dropRate > 0 {
+				p.FaultInject = true
+				p.FaultSeed = seed
+				p.FaultDropRate = dropRate
+			}
+			out, evs := trc(p, size, opt, i)
+			perfParts[i] = evs
+			return out
+		}}
+	}
+	results := runner.Run(cells, runner.Options{
+		Parallel: parallel,
+		Progress: func(r runner.Result) {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "[%s FAILED after %.1fs]\n", r.Name, r.Elapsed.Seconds())
+			}
+		},
+	})
+	var perf []trace.PerfettoEvent
+	for _, evs := range perfParts {
+		perf = append(perf, evs...)
+	}
+	return results, perf
 }
 
 func attachTrace(e *sim.Engine) *trace.Recorder {
@@ -103,13 +156,13 @@ func attachTrace(e *sim.Engine) *trace.Recorder {
 
 // dump renders the recorded events; traces are returned as strings so the
 // sharded harness can merge them in order instead of interleaving writes.
-func dump(r *trace.Recorder) string {
+func dump(r *trace.Recorder, opt dumpOpts) string {
 	evs := r.Events()
-	if *catFilter != "" {
-		evs = r.Filter(*catFilter)
+	if opt.filter != "" {
+		evs = r.Filter(opt.filter)
 	}
 	var b strings.Builder
-	if *jsonOut {
+	if opt.json {
 		enc := json.NewEncoder(&b)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(evs); err != nil {
@@ -123,7 +176,16 @@ func dump(r *trace.Recorder) string {
 	return b.String()
 }
 
-func traceExtoll(p cluster.Params, size int) string {
+// export renders the recorder for the merged -perfetto document, or nil
+// when no export was requested.
+func export(r *trace.Recorder, opt dumpOpts, pid int, process string) []trace.PerfettoEvent {
+	if !opt.perfetto {
+		return nil
+	}
+	return r.PerfettoEvents(pid, process)
+}
+
+func traceExtoll(p cluster.Params, size int, opt dumpOpts, pid int) (string, []trace.PerfettoEvent) {
 	tb := cluster.NewExtollPair(p)
 	defer tb.Shutdown()
 	rec := attachTrace(tb.E)
@@ -149,12 +211,12 @@ func traceExtoll(p cluster.Params, size int) string {
 	if !done.Done() {
 		panic("putgettrace: EXTOLL kernel did not complete")
 	}
-	b.WriteString(dump(rec))
+	b.WriteString(dump(rec, opt))
 	fmt.Fprintf(&b, "== put complete at %v ==\n", tb.E.Now())
-	return b.String()
+	return b.String(), export(rec, opt, pid, fmt.Sprintf("extoll/%dB", size))
 }
 
-func traceIB(p cluster.Params, size int) string {
+func traceIB(p cluster.Params, size int, opt dumpOpts, pid int) (string, []trace.PerfettoEvent) {
 	tb := cluster.NewIBPair(p)
 	defer tb.Shutdown()
 	rec := attachTrace(tb.E)
@@ -180,11 +242,12 @@ func traceIB(p cluster.Params, size int) string {
 		va.DevPollCQ(w, qa.SendCQ)
 		tb.E.Tracef("gpu: completion consumed")
 	})
+	_ = qb
 	tb.E.Run()
 	if !done.Done() {
 		panic("putgettrace: IB kernel did not complete")
 	}
-	b.WriteString(dump(rec))
+	b.WriteString(dump(rec, opt))
 	fmt.Fprintf(&b, "== write complete at %v ==\n", tb.E.Now())
-	return b.String()
+	return b.String(), export(rec, opt, pid, fmt.Sprintf("ib/%dB", size))
 }

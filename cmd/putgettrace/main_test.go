@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"putget/internal/trace"
+)
+
+// render concatenates the per-size text outputs and the merged Perfetto
+// document for one worker count.
+func render(t *testing.T, fabric string, sizes []int, parallel int, drop float64) (string, string) {
+	t.Helper()
+	trc := traceExtoll
+	if fabric == "ib" {
+		trc = traceIB
+	}
+	opt := dumpOpts{perfetto: true}
+	results, perf := runTraces(trc, fabric, sizes, parallel, opt, drop, 7)
+	var txt strings.Builder
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		txt.WriteString(r.Output)
+	}
+	var doc bytes.Buffer
+	if err := trace.WritePerfetto(&doc, perf); err != nil {
+		t.Fatal(err)
+	}
+	return txt.String(), doc.String()
+}
+
+// TestTraceParallelDeterminism: text traces and the merged Perfetto export
+// must be byte-identical between -parallel 1 and -parallel 8, with and
+// without fault injection.
+func TestTraceParallelDeterminism(t *testing.T) {
+	sizes := []int{64, 4096}
+	for _, tc := range []struct {
+		fabric string
+		drop   float64
+	}{
+		{"extoll", 0}, {"ib", 0}, {"extoll", 0.2},
+	} {
+		txt1, perf1 := render(t, tc.fabric, sizes, 1, tc.drop)
+		txt8, perf8 := render(t, tc.fabric, sizes, 8, tc.drop)
+		if txt1 != txt8 {
+			t.Fatalf("%s drop=%v: text diverged between -parallel 1 and 8", tc.fabric, tc.drop)
+		}
+		if perf1 != perf8 {
+			t.Fatalf("%s drop=%v: perfetto diverged between -parallel 1 and 8", tc.fabric, tc.drop)
+		}
+	}
+}
+
+// TestPerfettoExportShape: the merged document is valid JSON, carries one
+// process per replay and a nonzero number of spans.
+func TestPerfettoExportShape(t *testing.T) {
+	_, doc := render(t, "extoll", []int{64, 1024}, 0, 0)
+	var parsed struct {
+		TraceEvents []trace.PerfettoEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(doc), &parsed); err != nil {
+		t.Fatalf("perfetto document not valid JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	spans := 0
+	for _, ev := range parsed.TraceEvents {
+		pids[ev.Pid] = true
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("processes = %d, want one per replay", len(pids))
+	}
+	if spans == 0 {
+		t.Fatal("no complete spans in export")
+	}
+}

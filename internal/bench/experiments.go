@@ -386,6 +386,16 @@ func Experiments() []Runner {
 	}
 }
 
+// ExtraExperiments lists diagnostic experiments that are not part of the
+// paper's evaluation. `-experiment all` deliberately excludes them so the
+// shipped figure bytes stay stable; they run by explicit id.
+func ExtraExperiments() []Runner {
+	return []Runner{
+		{"breakdown", "per-stage latency breakdown of a single 4KiB put (span tracing)",
+			func(p cluster.Params) string { return StageBreakdown(p) }, nil},
+	}
+}
+
 // faultSweepSeed picks the sweep's master seed: the -seed flag when given,
 // else a fixed default so the experiment is reproducible out of the box.
 func faultSweepSeed(p cluster.Params) uint64 {
@@ -395,9 +405,15 @@ func faultSweepSeed(p cluster.Params) uint64 {
 	return 42
 }
 
-// Lookup finds an experiment by id.
+// Lookup finds an experiment by id, searching the paper evaluation first
+// and the extra diagnostics second.
 func Lookup(id string) (Runner, bool) {
 	for _, r := range Experiments() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	for _, r := range ExtraExperiments() {
 		if r.ID == id {
 			return r, true
 		}

@@ -204,6 +204,8 @@ func NewExtollPair(p Params) *Testbed {
 		})
 	}
 	ab, ba := wire.NewDuplex[extoll.Packet](e, p.ExtWireBW, p.ExtWireLat)
+	ab.SetName("a.rma.wire")
+	ba.SetName("b.rma.wire")
 	tb := &Testbed{E: e, A: a, B: b, Params: p}
 	if p.WireDepthCap > 0 {
 		ab.SetDepthCap(p.WireDepthCap)
@@ -249,6 +251,8 @@ func NewIBPair(p Params) *Testbed {
 		})
 	}
 	ab, ba := wire.NewDuplex[ibsim.Packet](e, p.IBWireBW, p.IBWireLat)
+	ab.SetName("a.hca.wire")
+	ba.SetName("b.hca.wire")
 	tb := &Testbed{E: e, A: a, B: b, Params: p}
 	if p.WireDepthCap > 0 {
 		ab.SetDepthCap(p.WireDepthCap)

@@ -59,15 +59,27 @@ func (r *RMA) OpenPort(port int) memspace.Addr {
 
 // ---- device-side API (runs in GPU kernels) ----
 
+// span opens a pipeline-stage span on the node's engine when observed;
+// SpanClose/SpanCloseAt on the returned zero id is a no-op otherwise.
+func (r *RMA) span(comp, kind string, size int) sim.SpanID {
+	e := r.Node.E
+	if !e.Observing() {
+		return 0
+	}
+	return e.SpanOpen(comp, kind, sim.Attr{Key: "size", Val: int64(size)})
+}
+
 // DevPut creates a put work request with a single GPU thread and writes it
 // word-by-word to the port's requester page: three 64-bit MMIO stores, a
 // few ALU instructions for field assembly — the paper's EXTOLL fast path.
 func (r *RMA) DevPut(w *gpusim.Warp, port int, src, dst extoll.NLA, size, flags int) {
+	id := r.span(w.GPU().Name(), "wr.create", size)
 	page := r.NIC.PortPage(port)
 	w.Exec(8) // assemble word0, compute page address
 	w.StSysU64(page+0, extoll.EncodeWord0(extoll.CmdPut, flags, size))
 	w.StSysU64(page+8, uint64(src))
 	w.StSysU64(page+16, uint64(dst))
+	r.Node.E.SpanClose(id)
 }
 
 // DevPutImm creates an immediate put: up to 8 bytes of payload travel in
@@ -95,11 +107,13 @@ func (r *RMA) DevFetchAdd(w *gpusim.Warp, port int, addend uint64, dst extoll.NL
 
 // DevGet creates a get work request from the GPU.
 func (r *RMA) DevGet(w *gpusim.Warp, port int, src, dst extoll.NLA, size, flags int) {
+	id := r.span(w.GPU().Name(), "wr.create", size)
 	page := r.NIC.PortPage(port)
 	w.Exec(8)
 	w.StSysU64(page+0, extoll.EncodeWord0(extoll.CmdGet, flags, size))
 	w.StSysU64(page+8, uint64(src))
 	w.StSysU64(page+16, uint64(dst))
+	r.Node.E.SpanClose(id)
 }
 
 // DevPutCollective is the thread-collective descriptor write the paper's
@@ -110,6 +124,7 @@ func (r *RMA) DevPutCollective(w *gpusim.Warp, port int, src, dst extoll.NLA, si
 	if w.Lanes < extoll.WRWords {
 		panic("core: DevPutCollective needs at least 3 lanes")
 	}
+	id := r.span(w.GPU().Name(), "wr.create", size)
 	page := r.NIC.PortPage(port)
 	w.Exec(4) // each lane computes its word in parallel
 	buf := make([]byte, extoll.WRBytes)
@@ -121,6 +136,7 @@ func (r *RMA) DevPutCollective(w *gpusim.Warp, port int, src, dst extoll.NLA, si
 		}
 	}
 	w.StSysCoalesced(page, buf)
+	r.Node.E.SpanClose(id)
 }
 
 // DevTryConsumeNotif polls the (port, class) notification ring once. On a
@@ -174,8 +190,10 @@ func (r *RMA) devTryConsume(w *gpusim.Warp, port, class int) (uint64, uint64, bo
 // DevWaitNotifValue spins until a notification arrives and returns both
 // its size and its second word.
 func (r *RMA) DevWaitNotifValue(w *gpusim.Warp, port, class int) (int, uint64) {
+	id := r.span(w.GPU().Name(), "poll.notif", class)
 	for {
 		if size, cookie, ok := r.DevTryConsumeNotifValue(w, port, class); ok {
+			r.Node.E.SpanClose(id)
 			return size, cookie
 		}
 		w.Exec(2)
@@ -186,8 +204,10 @@ func (r *RMA) DevWaitNotifValue(w *gpusim.Warp, port, class int) (int, uint64) {
 // consumes it. Every probe is a system-memory read over PCIe — the
 // behaviour Table I charges against the "system memory" polling approach.
 func (r *RMA) DevWaitNotif(w *gpusim.Warp, port, class int) int {
+	id := r.span(w.GPU().Name(), "poll.notif", class)
 	for {
 		if size, ok := r.DevTryConsumeNotif(w, port, class); ok {
+			r.Node.E.SpanClose(id)
 			return size
 		}
 		w.Exec(2) // loop branch
@@ -209,15 +229,18 @@ type NotifResult struct {
 // notification; otherwise the result carries the notification's error
 // flags, which callers must check before trusting the payload.
 func (r *RMA) DevWaitNotifTimeout(w *gpusim.Warp, port, class int, timeout sim.Duration) (NotifResult, bool) {
+	id := r.span(w.GPU().Name(), "poll.notif", class)
 	deadline := w.Now().Add(timeout)
 	for {
 		if w0, _, ok := r.devTryConsume(w, port, class); ok {
+			r.Node.E.SpanClose(id)
 			return NotifResult{
 				Size: extoll.NotifSize(w0), Err: extoll.NotifErr(w0), Timeout: extoll.NotifTimeout(w0),
 			}, true
 		}
 		w.Exec(2)
 		if w.Now() >= deadline {
+			r.Node.E.SpanClose(id)
 			return NotifResult{}, false
 		}
 	}
@@ -225,14 +248,17 @@ func (r *RMA) DevWaitNotifTimeout(w *gpusim.Warp, port, class int, timeout sim.D
 
 // HostWaitNotifTimeout is the CPU-side bounded wait.
 func (r *RMA) HostWaitNotifTimeout(p *sim.Proc, port, class int, timeout sim.Duration) (NotifResult, bool) {
+	id := r.span(r.Node.CPU.Name(), "poll.notif", class)
 	deadline := p.Now().Add(timeout)
 	for {
 		if w0, ok := r.hostTryConsume(p, port, class); ok {
+			r.Node.E.SpanClose(id)
 			return NotifResult{
 				Size: extoll.NotifSize(w0), Err: extoll.NotifErr(w0), Timeout: extoll.NotifTimeout(w0),
 			}, true
 		}
 		if p.Now() >= deadline {
+			r.Node.E.SpanClose(id)
 			return NotifResult{}, false
 		}
 	}
@@ -264,6 +290,8 @@ func (r *RMA) DevPollU64Timeout(w *gpusim.Warp, addr memspace.Addr, want, mask u
 // host speed and one write-combined 24-byte MMIO burst.
 func (r *RMA) HostPut(p *sim.Proc, port int, src, dst extoll.NLA, size, flags int) {
 	cpu := r.Node.CPU
+	id := r.span(cpu.Name(), "wr.create", size)
+	defer r.Node.E.SpanClose(id)
 	cpu.GenWR(p)
 	words := extoll.EncodeWR(extoll.WR{Cmd: extoll.CmdPut, Flags: flags, Size: size,
 		SrcNLA: uint64(src), DstNLA: uint64(dst)})
@@ -315,6 +343,8 @@ func (r *RMA) HostFetchAdd(p *sim.Proc, port int, addend uint64, dst extoll.NLA)
 // HostGet creates and posts a get WR from the CPU.
 func (r *RMA) HostGet(p *sim.Proc, port int, src, dst extoll.NLA, size, flags int) {
 	cpu := r.Node.CPU
+	id := r.span(cpu.Name(), "wr.create", size)
+	defer r.Node.E.SpanClose(id)
 	cpu.GenWR(p)
 	words := extoll.EncodeWR(extoll.WR{Cmd: extoll.CmdGet, Flags: flags, Size: size,
 		SrcNLA: uint64(src), DstNLA: uint64(dst)})
@@ -373,8 +403,10 @@ func (r *RMA) hostTryConsume(p *sim.Proc, port, class int) (uint64, bool) {
 
 // HostWaitNotif spins until a notification arrives and consumes it.
 func (r *RMA) HostWaitNotif(p *sim.Proc, port, class int) int {
+	id := r.span(r.Node.CPU.Name(), "poll.notif", class)
 	for {
 		if size, ok := r.HostTryConsumeNotif(p, port, class); ok {
+			r.Node.E.SpanClose(id)
 			return size
 		}
 	}

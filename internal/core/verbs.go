@@ -118,10 +118,21 @@ const (
 	pollCIUpdate = 10  // consumer-index doorbell record update
 )
 
+// vspan opens a pipeline-stage span on the node's engine when observed.
+func (v *Verbs) vspan(comp, kind string, size int) sim.SpanID {
+	e := v.Node.E
+	if !e.Observing() {
+		return 0
+	}
+	return e.SpanOpen(comp, kind, sim.Attr{Key: "size", Val: int64(size)})
+}
+
 // DevPostSend is ibv_post_send ported to the GPU: one thread builds the
 // 64-byte big-endian WQE in queue memory (host or device), stamps the
 // previous element, and rings the doorbell with an MMIO store.
 func (v *Verbs) DevPostSend(w *gpusim.Warp, qp *VQP, wqe ibsim.WQE) {
+	id := v.vspan(w.GPU().Name(), "wqe.post", wqe.Length)
+	defer v.Node.E.SpanClose(id)
 	slotIdx := qp.sqTail
 	slot := qp.QP.SQSlotAddr(slotIdx)
 	w.Exec(postProlog)
@@ -164,6 +175,8 @@ func (v *Verbs) DevPostSendCollective(w *gpusim.Warp, qp *VQP, wqe ibsim.WQE) {
 	if w.Lanes < 8 {
 		panic("core: DevPostSendCollective needs at least 8 lanes")
 	}
+	id := v.vspan(w.GPU().Name(), "wqe.post", wqe.Length)
+	defer v.Node.E.SpanClose(id)
 	slot := qp.QP.SQSlotAddr(qp.sqTail)
 	w.Exec(postProlog / 4) // cooperative ring management
 	w.Exec(postDynField)   // all lanes convert their field concurrently
@@ -223,8 +236,10 @@ func (v *Verbs) DevTryPollCQ(w *gpusim.Warp, cq *VCQ) (ibsim.CQE, bool) {
 
 // DevPollCQ spins until a completion arrives.
 func (v *Verbs) DevPollCQ(w *gpusim.Warp, cq *VCQ) ibsim.CQE {
+	id := v.vspan(w.GPU().Name(), "poll.cq", 0)
 	for {
 		if cqe, ok := v.DevTryPollCQ(w, cq); ok {
+			v.Node.E.SpanClose(id)
 			return cqe
 		}
 		w.Exec(2)
@@ -236,13 +251,16 @@ func (v *Verbs) DevPollCQ(w *gpusim.Warp, cq *VCQ) ibsim.CQE {
 // Callers must check cqe.Status — a retry-exhausted fabric delivers its
 // verdict as an error CQE, not as a timeout.
 func (v *Verbs) DevPollCQTimeout(w *gpusim.Warp, cq *VCQ, timeout sim.Duration) (ibsim.CQE, bool) {
+	id := v.vspan(w.GPU().Name(), "poll.cq", 0)
 	deadline := w.Now().Add(timeout)
 	for {
 		if cqe, ok := v.DevTryPollCQ(w, cq); ok {
+			v.Node.E.SpanClose(id)
 			return cqe, true
 		}
 		w.Exec(2)
 		if w.Now() >= deadline {
+			v.Node.E.SpanClose(id)
 			return ibsim.CQE{}, false
 		}
 	}
@@ -268,6 +286,8 @@ func (v *Verbs) DevPostRecv(w *gpusim.Warp, qp *VQP, rwqe ibsim.RecvWQE) {
 // posted burst (GPU rings).
 func (v *Verbs) HostPostSend(p *sim.Proc, qp *VQP, wqe ibsim.WQE) {
 	cpu := v.Node.CPU
+	id := v.vspan(cpu.Name(), "wqe.post", wqe.Length)
+	defer v.Node.E.SpanClose(id)
 	cpu.GenWR(p)
 	slot := qp.QP.SQSlotAddr(qp.sqTail)
 	buf := make([]byte, ibsim.WQEBytes)
@@ -308,8 +328,10 @@ func (v *Verbs) HostTryPollCQ(p *sim.Proc, cq *VCQ) (ibsim.CQE, bool) {
 
 // HostPollCQ spins until a completion arrives.
 func (v *Verbs) HostPollCQ(p *sim.Proc, cq *VCQ) ibsim.CQE {
+	id := v.vspan(v.Node.CPU.Name(), "poll.cq", 0)
 	for {
 		if cqe, ok := v.HostTryPollCQ(p, cq); ok {
+			v.Node.E.SpanClose(id)
 			return cqe
 		}
 	}
@@ -317,12 +339,15 @@ func (v *Verbs) HostPollCQ(p *sim.Proc, cq *VCQ) ibsim.CQE {
 
 // HostPollCQTimeout is the CPU-side bounded CQ poll.
 func (v *Verbs) HostPollCQTimeout(p *sim.Proc, cq *VCQ, timeout sim.Duration) (ibsim.CQE, bool) {
+	id := v.vspan(v.Node.CPU.Name(), "poll.cq", 0)
 	deadline := p.Now().Add(timeout)
 	for {
 		if cqe, ok := v.HostTryPollCQ(p, cq); ok {
+			v.Node.E.SpanClose(id)
 			return cqe, true
 		}
 		if p.Now() >= deadline {
+			v.Node.E.SpanClose(id)
 			return ibsim.CQE{}, false
 		}
 	}

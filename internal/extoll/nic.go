@@ -125,8 +125,9 @@ type NIC struct {
 	datapath *sim.Server
 	tx       *wire.Link[Packet]
 
-	notifWP [][numClasses]int
-	stats   Stats
+	notifWP  [][numClasses]int
+	stats    Stats
+	dmaInUse int // outstanding requester DMA contexts (metric series)
 
 	rel *linkRel // reliability state; nil on the perfect-wire fast path
 }
@@ -291,7 +292,7 @@ func (n *NIC) writeErrNotif(port, size int) {
 	}
 	buf := make([]byte, NotifBytes)
 	binary.LittleEndian.PutUint64(buf[0:], EncodeErrNotif(ClassRequester, size))
-	n.f.PostedWrite(n.ep, addr, buf)
+	n.notifSpan(n.f.PostedWrite(n.ep, addr, buf), size)
 	n.notifWP[port][ClassRequester] = wp + 1
 	n.stats.NotificationsWritten++
 }
@@ -307,13 +308,13 @@ func (n *NIC) writeTimeoutNotif(port, size int, cookie uint64) {
 		n.stats.NotificationOverflows++
 		return
 	}
-	if n.e.Trace != nil {
-		n.e.Tracef("fault: %s response timeout notification port %d (size %d)", n.cfg.Name, port, size)
+	if n.e.Traced() {
+		n.e.Tracev(n.cfg.Name, "fault", "fault: %s response timeout notification port %d (size %d)", n.cfg.Name, port, size)
 	}
 	buf := make([]byte, NotifBytes)
 	binary.LittleEndian.PutUint64(buf[0:], EncodeTimeoutNotif(ClassCompleter, size))
 	binary.LittleEndian.PutUint64(buf[8:], cookie)
-	n.f.PostedWrite(n.ep, addr, buf)
+	n.notifSpan(n.f.PostedWrite(n.ep, addr, buf), size)
 	n.notifWP[port][ClassCompleter] = wp + 1
 	n.stats.NotificationsWritten++
 }
@@ -338,9 +339,20 @@ func (n *NIC) writeNotif(port, class, size int, cookie uint64) {
 	buf := make([]byte, NotifBytes)
 	binary.LittleEndian.PutUint64(buf[0:], EncodeNotif(class, size))
 	binary.LittleEndian.PutUint64(buf[8:], cookie)
-	n.f.PostedWrite(n.ep, addr, buf)
+	n.notifSpan(n.f.PostedWrite(n.ep, addr, buf), size)
 	n.notifWP[port][class] = wp + 1
 	n.stats.NotificationsWritten++
+}
+
+// notifSpan brackets a notification's posted write as a "notif.write"
+// span ending at its ring-delivery time. Opened after the write so it
+// out-nests the pcie write span covering the same interval.
+func (n *NIC) notifSpan(deliver sim.Time, size int) {
+	if !n.e.Observing() {
+		return
+	}
+	id := n.e.SpanOpen(n.cfg.Name, "notif.write", sim.Attr{Key: "size", Val: int64(size)})
+	n.e.SpanCloseAt(id, deliver)
 }
 
 // ---- BAR (requester page) MMIO ----
@@ -377,6 +389,7 @@ func (bt *barTarget) MMIOWrite(addr memspace.Addr, data []byte) {
 			panic(fmt.Sprintf("extoll: %s: %v", n.cfg.Name, err))
 		}
 		n.reqQ.Send(wr)
+		n.e.Metric(n.cfg.Name, "reqq", float64(n.reqQ.Len()))
 	}
 }
 
@@ -394,10 +407,16 @@ func (bt *barTarget) MMIORead(addr memspace.Addr, data []byte) {
 func (n *NIC) requesterLoop(p *sim.Proc) {
 	for {
 		wr := n.reqQ.Recv(p)
+		n.e.Metric(n.cfg.Name, "reqq", float64(n.reqQ.Len()))
 		if n.e.Trace != nil {
 			n.e.Tracef("%s: requester decodes WR (cmd=%d size=%d port=%d)", n.cfg.Name, wr.Cmd, wr.Size, wr.Port)
 		}
+		var decode sim.SpanID
+		if n.e.Observing() {
+			decode = n.e.SpanOpen(n.cfg.Name, "wr.decode", sim.Attr{Key: "cmd", Val: int64(wr.Cmd)})
+		}
 		p.Sleep(n.cyc(n.cfg.ReqCycles))
+		n.e.SpanClose(decode)
 		peer := n.ports[wr.Port].peerPort
 		if peer < 0 {
 			panic(fmt.Sprintf("extoll: %s: WR on unconnected port %d", n.cfg.Name, wr.Port))
@@ -414,7 +433,13 @@ func (n *NIC) requesterLoop(p *sim.Proc) {
 		}
 		n.e.Spawn(n.cfg.Name+".req.dma", func(wp *sim.Proc) {
 			n.txSlots.Acquire(wp)
-			defer n.txSlots.Release()
+			n.dmaInUse++
+			n.e.Metric(n.cfg.Name, "dma_inflight", float64(n.dmaInUse))
+			defer func() {
+				n.dmaInUse--
+				n.e.Metric(n.cfg.Name, "dma_inflight", float64(n.dmaInUse))
+				n.txSlots.Release()
+			}()
 			switch wr.Cmd {
 			case CmdPut:
 				n.sendPut(wp, wr, peer)
@@ -448,7 +473,12 @@ func (n *NIC) sendPut(p *sim.Proc, wr WR, peer int) {
 		return
 	}
 	buf := make([]byte, wr.Size)
+	var fetch sim.SpanID
+	if n.e.Observing() {
+		fetch = n.e.SpanOpen(n.cfg.Name, "dma.fetch", sim.Attr{Key: "bytes", Val: int64(wr.Size)})
+	}
 	readDone := n.f.ReadBulkReserve(n.ep, src, buf)
+	n.e.SpanCloseAt(fetch, readDone)
 	dpDone := n.datapath.Reserve(wr.Size + PktHeader)
 	ready := readDone
 	if dpDone > ready {
@@ -541,16 +571,21 @@ func (n *NIC) completePut(p *sim.Proc, pkt Packet) {
 	if n.e.Trace != nil {
 		n.e.Tracef("%s: completer lands %dB put on port %d", n.cfg.Name, pkt.Size, pkt.DstPort)
 	}
+	var land sim.SpanID
+	if n.e.Observing() {
+		land = n.e.SpanOpen(n.cfg.Name, "complete", sim.Attr{Key: "bytes", Val: int64(pkt.Size)})
+	}
 	p.Sleep(n.cyc(n.cfg.CompCycles))
 	dst, err := n.atu.Translate(pkt.DstNLA, pkt.Size)
 	if err != nil {
 		// Bad destination NLA at the sink: drop the payload and record
 		// the protection failure.
 		n.stats.TranslationErrs++
+		n.e.SpanClose(land)
 		return
 	}
 	p.SleepUntil(n.datapath.Reserve(pkt.Size))
-	n.f.WriteBulk(p, n.ep, dst, pkt.Data)
+	n.e.SpanCloseAt(land, n.f.WriteBulk(p, n.ep, dst, pkt.Data))
 	if pkt.Flags&FlagCompNotif != 0 {
 		n.writeNotif(pkt.DstPort, ClassCompleter, pkt.Size, uint64(pkt.DstNLA))
 	}
@@ -565,7 +600,12 @@ func (n *NIC) serveGet(p *sim.Proc, pkt Packet) {
 		panic(fmt.Sprintf("extoll: %s: responder: %v", n.cfg.Name, err))
 	}
 	buf := make([]byte, pkt.Size)
+	var fetch sim.SpanID
+	if n.e.Observing() {
+		fetch = n.e.SpanOpen(n.cfg.Name, "dma.fetch", sim.Attr{Key: "bytes", Val: int64(pkt.Size)})
+	}
 	readDone := n.f.ReadBulkReserve(n.ep, src, buf)
+	n.e.SpanCloseAt(fetch, readDone)
 	dpDone := n.datapath.Reserve(pkt.Size + PktHeader)
 	ready := readDone
 	if dpDone > ready {
@@ -614,13 +654,17 @@ func (n *NIC) serveAtomic(p *sim.Proc, pkt Packet) {
 // completeGetResp lands get data at the origin and notifies its completer
 // ring.
 func (n *NIC) completeGetResp(p *sim.Proc, pkt Packet) {
+	var land sim.SpanID
+	if n.e.Observing() {
+		land = n.e.SpanOpen(n.cfg.Name, "complete", sim.Attr{Key: "bytes", Val: int64(pkt.Size)})
+	}
 	p.Sleep(n.cyc(n.cfg.CompCycles))
 	dst, err := n.atu.Translate(pkt.DstNLA, pkt.Size)
 	if err != nil {
 		panic(fmt.Sprintf("extoll: %s: get completer: %v", n.cfg.Name, err))
 	}
 	p.SleepUntil(n.datapath.Reserve(pkt.Size))
-	n.f.WriteBulk(p, n.ep, dst, pkt.Data)
+	n.e.SpanCloseAt(land, n.f.WriteBulk(p, n.ep, dst, pkt.Data))
 	if pkt.Flags&FlagCompNotif != 0 && n.settleResponse(pkt.DstPort) {
 		n.writeNotif(pkt.DstPort, ClassCompleter, pkt.Size, uint64(pkt.DstNLA))
 	}

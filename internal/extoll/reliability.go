@@ -143,8 +143,8 @@ func (n *NIC) onRetxTimeout() {
 	}
 	n.stats.Timeouts++
 	r.retryCount++
-	if n.e.Trace != nil {
-		n.e.Tracef("retry: %s link timeout #%d, resend from seq %d", n.cfg.Name, r.retryCount, r.unacked[0].pkt.Seq)
+	if n.e.Traced() {
+		n.e.Tracev(n.cfg.Name, "retry", "retry: %s link timeout #%d, resend from seq %d", n.cfg.Name, r.retryCount, r.unacked[0].pkt.Seq)
 	}
 	if r.retryCount > n.cfg.Rel.MaxRetries {
 		n.linkDead()
@@ -177,8 +177,8 @@ func (n *NIC) linkDead() {
 	r.armed = false
 	r.unacked = nil
 	n.stats.LinkDowns++
-	if n.e.Trace != nil {
-		n.e.Tracef("fault: %s link declared dead after %d retries", n.cfg.Name, r.retryCount)
+	if n.e.Traced() {
+		n.e.Tracev(n.cfg.Name, "fault", "fault: %s link declared dead after %d retries", n.cfg.Name, r.retryCount)
 	}
 	for _, pr := range r.pending {
 		if pr.settled || pr.timedOut {
@@ -221,8 +221,8 @@ func (n *NIC) linkAdmit(pkt Packet) bool {
 		} else if !r.nakSent {
 			r.nakSent = true
 			n.stats.NaksSent++
-			if n.e.Trace != nil {
-				n.e.Tracef("retry: %s link gap (got seq %d, want %d), NAK", n.cfg.Name, pkt.Seq, r.rxSeq)
+			if n.e.Traced() {
+				n.e.Tracev(n.cfg.Name, "retry", "retry: %s link gap (got seq %d, want %d), NAK", n.cfg.Name, pkt.Seq, r.rxSeq)
 			}
 			n.tx.Send(Packet{Kind: pktLinkNak, Seq: r.rxSeq}, PktHeader)
 		}

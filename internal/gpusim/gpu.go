@@ -210,8 +210,15 @@ func (g *GPU) NewStream() *Stream {
 		for {
 			req := s.q.Recv(p)
 			p.Sleep(g.cfg.LaunchOverhead)
+			var span sim.SpanID
+			if g.e.Observing() {
+				span = g.e.SpanOpen(g.cfg.Name, "kernel",
+					sim.Attr{Key: "blocks", Val: int64(req.cfg.Blocks)},
+					sim.Attr{Key: "stream", Val: int64(s.id)})
+			}
 			inner := g.runGrid(req.cfg, req.body)
 			inner.Wait(p)
+			g.e.SpanClose(span)
 			req.done.Complete()
 		}
 	})

@@ -321,12 +321,17 @@ func (w *Warp) mustNotDevice(addr memspace.Addr, op string) {
 // construction; only the probes after an invalidation miss.)
 func (w *Warp) PollGlobalU64Masked(addr memspace.Addr, want, mask uint64) uint64 {
 	w.mustDevice(addr, "PollGlobalU64Masked")
+	var span sim.SpanID
+	if w.g.e.Observing() {
+		span = w.g.e.SpanOpen(w.g.cfg.Name, "poll.mem")
+	}
 	probe := 5*w.g.cfg.IssueCost + w.g.cfg.L2HitLatency + w.g.cfg.PollLoopStall
 	for {
 		epoch := w.g.inboundEpoch
 		v := w.LdGlobalU64(addr)
 		w.Exec(4)
 		if v&mask == want {
+			w.g.e.SpanClose(span)
 			return v
 		}
 		w.p.Sleep(w.g.cfg.PollLoopStall)
@@ -358,6 +363,10 @@ func (w *Warp) PollGlobalU64(addr memspace.Addr, want uint64) uint64 {
 // is what a kernel that must not spin forever actually compiles to.
 func (w *Warp) PollGlobalU64MaskedTimeout(addr memspace.Addr, want, mask uint64, timeout sim.Duration) (uint64, bool) {
 	w.mustDevice(addr, "PollGlobalU64MaskedTimeout")
+	var span sim.SpanID
+	if w.g.e.Observing() {
+		span = w.g.e.SpanOpen(w.g.cfg.Name, "poll.mem")
+	}
 	probe := 5*w.g.cfg.IssueCost + w.g.cfg.L2HitLatency + w.g.cfg.PollLoopStall
 	deadline := w.p.Now().Add(timeout)
 	var v uint64
@@ -366,9 +375,11 @@ func (w *Warp) PollGlobalU64MaskedTimeout(addr memspace.Addr, want, mask uint64,
 		v = w.LdGlobalU64(addr)
 		w.Exec(4)
 		if v&mask == want {
+			w.g.e.SpanClose(span)
 			return v, true
 		}
 		if w.p.Now() >= deadline {
+			w.g.e.SpanClose(span)
 			return v, false
 		}
 		w.p.Sleep(w.g.cfg.PollLoopStall)
@@ -382,6 +393,7 @@ func (w *Warp) PollGlobalU64MaskedTimeout(addr memspace.Addr, want, mask uint64,
 			if deadline > start {
 				w.p.SleepUntil(deadline)
 			}
+			w.g.e.SpanClose(span)
 			return v, false
 		}
 		w.g.inboundSig.WaitUntil(w.p, deadline)

@@ -133,11 +133,16 @@ func (c *CPU) NotifyInboundWrite() {
 // writer protocols this repository models); polling across PCIe pays a
 // full round trip per probe.
 func (c *CPU) PollU64(p *sim.Proc, addr memspace.Addr, pred func(uint64) bool) uint64 {
+	var span sim.SpanID
+	if c.e.Observing() {
+		span = c.e.SpanOpen(c.cfg.Name, "poll.mem")
+	}
 	local := c.isLocal(addr)
 	for {
 		epoch := c.inboundEpoch
 		v := c.ReadU64(p, addr)
 		if pred(v) {
+			c.e.SpanClose(span)
 			return v
 		}
 		if !local || c.inboundEpoch != epoch {

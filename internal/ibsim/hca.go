@@ -161,7 +161,13 @@ func (c *CQ) push(cqe CQE) {
 	cqe.Valid = true
 	buf := make([]byte, CQEBytes)
 	EncodeCQE(cqe, buf)
-	c.hca.f.PostedWrite(c.hca.ep, addr, buf)
+	deliver := c.hca.f.PostedWrite(c.hca.ep, addr, buf)
+	if e := c.hca.e; e.Observing() {
+		// Opened after the posted write so it out-nests the pcie span
+		// covering the same interval.
+		id := e.SpanOpen(c.hca.cfg.Name, "cqe.write", sim.Attr{Key: "qpn", Val: int64(cqe.QPN)})
+		e.SpanCloseAt(id, deliver)
+	}
 	c.wp++
 	c.hca.stats.CQEsWritten++
 }
@@ -461,6 +467,7 @@ func (dt *dbTarget) MMIOWrite(addr memspace.Addr, data []byte) {
 	case DoorbellSQ:
 		if idx > qp.sqTailHW {
 			qp.sqTailHW = idx
+			h.e.Metric(h.cfg.Name, "sq_backlog", float64(qp.sqTailHW-qp.sqHeadHW))
 			qp.doorbell.Broadcast()
 		}
 	case DoorbellRQ:
@@ -499,9 +506,14 @@ func (h *HCA) sendEngine(p *sim.Proc, qp *QP) {
 		}
 		buf := make([]byte, batch*WQEBytes)
 		qp.fetching = batch
+		var fetch sim.SpanID
+		if h.e.Observing() {
+			fetch = h.e.SpanOpen(h.cfg.Name, "wqe.fetch", sim.Attr{Key: "batch", Val: int64(batch)})
+		}
 		h.dmaSlots.Acquire(p)
 		h.f.ReadBulk(p, h.ep, qp.SQSlotAddr(qp.sqHeadHW), buf)
 		h.dmaSlots.Release()
+		h.e.SpanClose(fetch)
 		if h.e.Trace != nil {
 			h.e.Tracef("%s: qp%d fetched %d WQE(s)", h.cfg.Name, qp.QPN, batch)
 		}
@@ -515,6 +527,7 @@ func (h *HCA) sendEngine(p *sim.Proc, qp *QP) {
 		}
 		qp.sqHeadHW += batch
 		qp.fetching = 0
+		h.e.Metric(h.cfg.Name, "sq_backlog", float64(qp.sqTailHW-qp.sqHeadHW))
 	}
 }
 
@@ -552,9 +565,14 @@ func (h *HCA) execute(qp *QP, wqe WQE) {
 				status = StatusErr
 			} else {
 				data = make([]byte, wqe.Length)
+				var fetch sim.SpanID
+				if h.e.Observing() {
+					fetch = h.e.SpanOpen(h.cfg.Name, "dma.fetch", sim.Attr{Key: "bytes", Val: int64(wqe.Length)})
+				}
 				h.dmaSlots.Acquire(p)
 				h.f.ReadBulk(p, h.ep, memspace.Addr(wqe.LAddr), data)
 				h.dmaSlots.Release()
+				h.e.SpanClose(fetch)
 			}
 		}
 		if prev != nil {
@@ -672,7 +690,11 @@ func (h *HCA) receive(p *sim.Proc, pkt Packet) {
 			return
 		}
 		if len(pkt.Data) > 0 {
-			h.f.WriteBulk(p, h.ep, memspace.Addr(pkt.RAddr), pkt.Data)
+			var land sim.SpanID
+			if h.e.Observing() {
+				land = h.e.SpanOpen(h.cfg.Name, "complete", sim.Attr{Key: "bytes", Val: int64(len(pkt.Data))})
+			}
+			h.e.SpanCloseAt(land, h.f.WriteBulk(p, h.ep, memspace.Addr(pkt.RAddr), pkt.Data))
 		}
 		if pkt.Opcode == OpRDMAWriteImm {
 			h.completeReceive(p, qp, pkt, 0)
@@ -720,7 +742,11 @@ func (h *HCA) completeReadResp(p *sim.Proc, qp *QP, pkt Packet) {
 		h.ackUpTo(qp, pkt.PSN+1)
 	}
 	if len(pkt.Data) > 0 {
-		h.f.WriteBulk(p, h.ep, memspace.Addr(pkt.LAddr), pkt.Data)
+		var land sim.SpanID
+		if h.e.Observing() {
+			land = h.e.SpanOpen(h.cfg.Name, "complete", sim.Attr{Key: "bytes", Val: int64(len(pkt.Data))})
+		}
+		h.e.SpanCloseAt(land, h.f.WriteBulk(p, h.ep, memspace.Addr(pkt.LAddr), pkt.Data))
 	}
 	if pkt.Flags&FlagSignaled != 0 {
 		qp.SendCQ.push(CQE{

@@ -111,8 +111,8 @@ func (h *HCA) onRetxTimeout(qp *QP) {
 	}
 	h.stats.Timeouts++
 	r.retryCount++
-	if h.e.Trace != nil {
-		h.e.Tracef("retry: %s qp%d timeout #%d, resend from psn %d", h.cfg.Name, qp.QPN, r.retryCount, r.unacked[0].pkt.PSN)
+	if h.e.Traced() {
+		h.e.Tracev(h.cfg.Name, "retry", "retry: %s qp%d timeout #%d, resend from psn %d", h.cfg.Name, qp.QPN, r.retryCount, r.unacked[0].pkt.PSN)
 	}
 	if r.retryCount > h.cfg.Rel.RetryCnt {
 		h.fatalQP(qp, StatusRetryExc)
@@ -177,8 +177,8 @@ func (h *HCA) handleNak(qp *QP, pkt Packet) {
 		h.fatalQP(qp, StatusRetryExc)
 		return
 	}
-	if h.e.Trace != nil {
-		h.e.Tracef("retry: %s qp%d NAK, resend from psn %d", h.cfg.Name, qp.QPN, pkt.PSN)
+	if h.e.Traced() {
+		h.e.Tracev(h.cfg.Name, "retry", "retry: %s qp%d NAK, resend from psn %d", h.cfg.Name, qp.QPN, pkt.PSN)
 	}
 	h.resendFrom(qp, pkt.PSN)
 }
@@ -196,8 +196,8 @@ func (h *HCA) handleRnrNak(qp *QP, pkt Packet) {
 		return
 	}
 	backoff := h.cfg.Rel.RnrBackoff << (r.rnrCount - 1)
-	if h.e.Trace != nil {
-		h.e.Tracef("retry: %s qp%d RNR NAK #%d, backoff %v", h.cfg.Name, qp.QPN, r.rnrCount, backoff)
+	if h.e.Traced() {
+		h.e.Tracev(h.cfg.Name, "retry", "retry: %s qp%d RNR NAK #%d, backoff %v", h.cfg.Name, qp.QPN, r.rnrCount, backoff)
 	}
 	// Hold the timer past the backoff window, then resend.
 	r.deadline = h.e.Now().Add(backoff + h.cfg.Rel.RetxTimeout)
@@ -215,8 +215,8 @@ func (h *HCA) handleRnrNak(qp *QP, pkt Packet) {
 func (h *HCA) fatalQP(qp *QP, status int) {
 	r := qp.rel
 	h.stats.RetryExhausted++
-	if h.e.Trace != nil {
-		h.e.Tracef("retry: %s qp%d retries exhausted (status %d) -> ERR", h.cfg.Name, qp.QPN, status)
+	if h.e.Traced() {
+		h.e.Tracev(h.cfg.Name, "retry", "retry: %s qp%d retries exhausted (status %d) -> ERR", h.cfg.Name, qp.QPN, status)
 	}
 	if len(r.unacked) > 0 {
 		en := r.unacked[0]
@@ -257,8 +257,8 @@ func (h *HCA) responderAdmit(p *sim.Proc, qp *QP, pkt Packet) bool {
 		if !r.nakSent {
 			r.nakSent = true
 			h.stats.NaksSent++
-			if h.e.Trace != nil {
-				h.e.Tracef("retry: %s qp%d gap (got psn %d, want %d), NAK", h.cfg.Name, qp.QPN, pkt.PSN, r.ePSN)
+			if h.e.Traced() {
+				h.e.Tracev(h.cfg.Name, "retry", "retry: %s qp%d gap (got psn %d, want %d), NAK", h.cfg.Name, qp.QPN, pkt.PSN, r.ePSN)
 			}
 			h.tx.Send(Packet{Opcode: opNak, SrcQPN: qp.QPN, DstQPN: qp.remoteQPN, PSN: r.ePSN}, PktHeader)
 		}
@@ -268,8 +268,8 @@ func (h *HCA) responderAdmit(p *sim.Proc, qp *QP, pkt Packet) bool {
 	// the requester replays the same packet after backoff.
 	if (pkt.Opcode == OpSend || pkt.Opcode == OpRDMAWriteImm) && qp.rqHeadHW >= qp.rqTailHW {
 		h.stats.RnrNaksSent++
-		if h.e.Trace != nil {
-			h.e.Tracef("retry: %s qp%d RNR (psn %d)", h.cfg.Name, qp.QPN, pkt.PSN)
+		if h.e.Traced() {
+			h.e.Tracev(h.cfg.Name, "retry", "retry: %s qp%d RNR (psn %d)", h.cfg.Name, qp.QPN, pkt.PSN)
 		}
 		h.tx.Send(Packet{Opcode: opRnrNak, SrcQPN: qp.QPN, DstQPN: qp.remoteQPN, PSN: pkt.PSN}, PktHeader)
 		return false

@@ -153,8 +153,8 @@ func (f *Fabric) faultDelay(at sim.Time, n int) sim.Duration {
 	if drop || corrupt {
 		f.replays++
 		extra += f.replayPenalty
-		if f.e.Trace != nil {
-			f.e.Tracef("fault: pcie replay (%dB, +%v)", n, f.replayPenalty)
+		if f.e.Traced() {
+			f.e.Tracev("pcie", "fault", "fault: pcie replay (%dB, +%v)", n, f.replayPenalty)
 		}
 	}
 	return extra
@@ -238,13 +238,20 @@ func (f *Fabric) PostedWrite(src *Endpoint, addr memspace.Addr, data []byte) sim
 		deliver = src.lastDeliver
 	}
 	src.lastDeliver = deliver
+	if f.e.Observing() {
+		// The span covers issue through delivery: the MMIO/doorbell flight
+		// the paper's per-stage breakdown charges to PCIe.
+		id := f.e.SpanOpen("pcie", "write",
+			sim.Attr{Key: "bytes", Val: int64(len(data))})
+		f.e.SpanCloseAt(id, deliver)
+	}
 	f.e.At(deliver, func() { f.deliverWrite(o, addr, data) })
 	return deliver
 }
 
 func (f *Fabric) deliverWrite(o ownerEntry, addr memspace.Addr, data []byte) {
-	if f.e.Trace != nil {
-		f.e.Tracef("pcie: write %dB -> %s @%#x", len(data), o.ep.name, uint64(addr))
+	if f.e.Traced() {
+		f.e.Tracev("pcie", "write", "pcie: write %dB -> %s @%#x", len(data), o.ep.name, uint64(addr))
 	}
 	switch o.kind {
 	case ownMMIO:
@@ -274,8 +281,8 @@ func (f *Fabric) Read(p *sim.Proc, src *Endpoint, addr memspace.Addr, buf []byte
 	o := f.owner(addr)
 	src.stats.Reads++
 	src.stats.BytesRead += uint64(len(buf))
-	if f.e.Trace != nil {
-		f.e.Tracef("pcie: %s reads %dB from %s @%#x", src.name, len(buf), o.ep.name, uint64(addr))
+	if f.e.Traced() {
+		f.e.Tracev("pcie", "read", "pcie: %s reads %dB from %s @%#x", src.name, len(buf), o.ep.name, uint64(addr))
 	}
 	// Request TLP on our egress; reads do not pass earlier writes.
 	src.egress.Transfer(p, TLPHeader)

@@ -63,7 +63,63 @@ type Engine struct {
 	// Trace, when non-nil, receives a line per traced event. Models call
 	// Tracef to emit them.
 	Trace func(t Time, msg string)
+
+	// TraceEv, when non-nil, receives structured trace lines: the emitting
+	// component and the event kind travel beside the text instead of being
+	// re-derived from it. Models call Tracev to emit them.
+	TraceEv func(t Time, comp, kind, msg string)
+
+	// obs receives span open/close and metric samples; nil disables the
+	// structured observability layer entirely (the common case — every
+	// instrumentation site guards on Observing, so a run without an
+	// observer allocates and formats nothing).
+	obs     Observer
+	spanSeq uint64
 }
+
+// Attr is one key=value attribute on a span.
+type Attr struct {
+	Key string
+	Val int64
+}
+
+// SpanID identifies one span within its engine. The zero SpanID is the
+// "observability disabled" sentinel: SpanOpen returns it when no observer
+// is installed, and SpanClose ignores it, so instrumentation sites need no
+// guard around the close path.
+type SpanID uint64
+
+// Observer receives the structured observability stream: typed spans
+// bracketing pipeline stages and virtual-clock metric samples. All calls
+// happen under the engine's single-threaded handoff discipline, in a
+// deterministic order for a given simulation.
+type Observer interface {
+	// SpanOpen announces a span. at may lie in the future when the stage's
+	// schedule is known at open time (cut-through wire occupancy).
+	SpanOpen(id SpanID, at Time, comp, kind string, attrs []Attr)
+	// SpanClose ends a span. at may lie in the future (see SpanCloseAt).
+	SpanClose(id SpanID, at Time)
+	// MetricSample records one point of a virtual-time series.
+	MetricSample(at Time, comp, name string, value float64)
+	// Shutdown is called by Engine.Shutdown so observers can force-close
+	// spans still open when a simulation is torn down.
+	Shutdown(at Time)
+}
+
+// teeObserver fans the stream out to two observers, letting a second
+// Attach coexist with an earlier one.
+type teeObserver struct{ a, b Observer }
+
+func (t teeObserver) SpanOpen(id SpanID, at Time, comp, kind string, attrs []Attr) {
+	t.a.SpanOpen(id, at, comp, kind, attrs)
+	t.b.SpanOpen(id, at, comp, kind, attrs)
+}
+func (t teeObserver) SpanClose(id SpanID, at Time) { t.a.SpanClose(id, at); t.b.SpanClose(id, at) }
+func (t teeObserver) MetricSample(at Time, comp, name string, v float64) {
+	t.a.MetricSample(at, comp, name, v)
+	t.b.MetricSample(at, comp, name, v)
+}
+func (t teeObserver) Shutdown(at Time) { t.a.Shutdown(at); t.b.Shutdown(at) }
 
 // engineSeq hands out engine ids for affinity diagnostics.
 var engineSeq atomic.Uint64
@@ -122,6 +178,9 @@ func (e *Engine) untouch() { e.busy.Store(0) }
 // not be running. The engine remains usable only for inspection afterward.
 func (e *Engine) Shutdown() {
 	e.dead = true
+	if e.obs != nil {
+		e.obs.Shutdown(e.now)
+	}
 	for p := range e.live {
 		if p.done {
 			continue
@@ -140,6 +199,83 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Tracef(format string, args ...interface{}) {
 	if e.Trace != nil {
 		e.Trace(e.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// Traced reports whether any trace hook is installed; models use it to
+// skip formatting work on untraced runs.
+func (e *Engine) Traced() bool { return e.Trace != nil || e.TraceEv != nil }
+
+// Tracev emits a structured trace line carrying the emitting component and
+// the event kind ("fault", "retry", ...). It prefers the structured hook
+// and falls back to the plain one so legacy observers still see the text.
+func (e *Engine) Tracev(comp, kind, format string, args ...interface{}) {
+	if e.TraceEv != nil {
+		e.TraceEv(e.now, comp, kind, fmt.Sprintf(format, args...))
+	} else if e.Trace != nil {
+		e.Trace(e.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// SetObserver installs obs on the engine's observability stream. A second
+// call tees to both observers rather than silently replacing the first.
+func (e *Engine) SetObserver(obs Observer) {
+	if e.obs != nil {
+		e.obs = teeObserver{e.obs, obs}
+		return
+	}
+	e.obs = obs
+}
+
+// Observing reports whether an observer is installed. Instrumentation
+// sites guard attribute construction on it so disabled runs stay free.
+func (e *Engine) Observing() bool { return e.obs != nil }
+
+// SpanOpen opens a span starting now and returns its id (0 when no
+// observer is installed). Span ids are per-engine, so concurrent isolated
+// engines produce identical streams regardless of worker interleaving.
+func (e *Engine) SpanOpen(comp, kind string, attrs ...Attr) SpanID {
+	return e.SpanOpenAt(e.now, comp, kind, attrs...)
+}
+
+// SpanOpenAt opens a span whose start time is known explicitly — possibly
+// in the future, for stages whose schedule is decided at call time (a
+// cut-through wire reservation occupies the link later). Starts before now
+// are allowed down to 0; future starts must be closed at or after them.
+func (e *Engine) SpanOpenAt(at Time, comp, kind string, attrs ...Attr) SpanID {
+	if e.obs == nil {
+		return 0
+	}
+	if at < 0 {
+		at = 0
+	}
+	e.spanSeq++
+	id := SpanID(e.spanSeq)
+	e.obs.SpanOpen(id, at, comp, kind, attrs)
+	return id
+}
+
+// SpanClose ends a span now. Closing the zero SpanID is a no-op.
+func (e *Engine) SpanClose(id SpanID) { e.SpanCloseAt(id, e.now) }
+
+// SpanCloseAt ends a span at an explicit time, possibly in the future —
+// used when a stage's completion instant is already known at scheduling
+// time (a posted write's delivery, a reserved DMA's finish).
+func (e *Engine) SpanCloseAt(id SpanID, at Time) {
+	if id == 0 || e.obs == nil {
+		return
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.obs.SpanClose(id, at)
+}
+
+// Metric records one sample of a virtual-time metric series (queue depth,
+// in-flight bytes, link utilization) when an observer is installed.
+func (e *Engine) Metric(comp, name string, value float64) {
+	if e.obs != nil {
+		e.obs.MetricSample(e.now, comp, name, value)
 	}
 }
 

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"sort"
+
+	"putget/internal/sim"
+)
+
+// StageShare is one row of a latency breakdown: the exclusive virtual time
+// a window attributes to one component/kind stage.
+type StageShare struct {
+	Comp string
+	Kind string
+	Time sim.Duration
+}
+
+// Breakdown decomposes the window [from, to] over the closed spans using a
+// sweep line: each elementary segment between span boundaries is
+// attributed to the innermost active span — the one with the latest start,
+// ties broken by the latest id (the most recently opened). Time no span
+// covers lands on the synthetic "(other)" stage, so the rows always sum
+// exactly to to-from: the property the latency-breakdown table relies on.
+//
+// class, when non-nil, ranks spans before innermost-ness: among the active
+// spans only those of the highest class compete. Callers use it to keep
+// low-level transport spans from shadowing the pipeline-stage spans that
+// wrap them. Rows appear in first-attribution order.
+func Breakdown(spans []Span, from, to sim.Time, class func(Span) int) []StageShare {
+	if to < from {
+		from, to = to, from
+	}
+	var active []Span
+	cuts := []sim.Time{from, to}
+	for _, s := range spans {
+		if s.Open() || s.End <= from || s.Start >= to || s.End == s.Start {
+			continue
+		}
+		active = append(active, s)
+		if s.Start > from {
+			cuts = append(cuts, s.Start)
+		}
+		if s.End < to {
+			cuts = append(cuts, s.End)
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	idx := map[[2]string]int{}
+	var rows []StageShare
+	add := func(comp, kind string, d sim.Duration) {
+		key := [2]string{comp, kind}
+		i, ok := idx[key]
+		if !ok {
+			i = len(rows)
+			idx[key] = i
+			rows = append(rows, StageShare{Comp: comp, Kind: kind})
+		}
+		rows[i].Time += d
+	}
+
+	for c := 1; c < len(cuts); c++ {
+		a, b := cuts[c-1], cuts[c]
+		if b == a {
+			continue
+		}
+		best := -1
+		for i, s := range active {
+			if s.Start > a || s.End < b {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			w := active[best]
+			if class != nil {
+				if cw, ci := class(w), class(s); cw != ci {
+					if ci > cw {
+						best = i
+					}
+					continue
+				}
+			}
+			if s.Start > w.Start || (s.Start == w.Start && s.ID > w.ID) {
+				best = i
+			}
+		}
+		if best < 0 {
+			add("", "(other)", b.Sub(a))
+		} else {
+			add(active[best].Comp, active[best].Kind, b.Sub(a))
+		}
+	}
+	return rows
+}

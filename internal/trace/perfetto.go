@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"putget/internal/sim"
+)
+
+// PerfettoEvent is one record of the Chrome/Perfetto trace-event JSON
+// format (https://ui.perfetto.dev loads it directly). Timestamps and
+// durations are microseconds of virtual time.
+type PerfettoEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// perfettoTs converts virtual picoseconds to the format's microseconds.
+func perfettoTs(t sim.Time) float64 { return float64(t) / 1e6 }
+
+// PerfettoEvents renders the recorder's spans, events and samples as
+// trace-event records under one process: pid names the simulation (one
+// per traced cell), and every component becomes a thread track in
+// first-seen order. Spans become complete ("X") slices, legacy events
+// instants ("i"), metric samples counter ("C") series. Output order is
+// deterministic: metadata, then spans, events and samples in record order.
+func (r *Recorder) PerfettoEvents(pid int, process string) []PerfettoEvent {
+	tids := map[string]int{}
+	order := []string{}
+	tid := func(comp string) int {
+		if comp == "" {
+			comp = "(engine)"
+		}
+		if id, ok := tids[comp]; ok {
+			return id
+		}
+		id := len(order) + 1
+		tids[comp] = id
+		order = append(order, comp)
+		return id
+	}
+	for _, s := range r.spans {
+		tid(s.Comp)
+	}
+	for _, ev := range r.events {
+		tid(ev.Cat)
+	}
+	for _, sm := range r.samples {
+		tid(sm.Comp)
+	}
+
+	var out []PerfettoEvent
+	out = append(out, PerfettoEvent{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]interface{}{"name": process},
+	})
+	for i, comp := range order {
+		out = append(out, PerfettoEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: i + 1,
+			Args: map[string]interface{}{"name": comp},
+		})
+	}
+	for _, s := range r.spans {
+		ev := PerfettoEvent{
+			Name: s.Kind, Cat: s.Comp, Ts: perfettoTs(s.Start),
+			Pid: pid, Tid: tid(s.Comp),
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = map[string]interface{}{}
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		if s.Open() {
+			// Never closed (teardown before Shutdown): emit a begin with
+			// no matching end so the tail stays visible in the UI.
+			ev.Ph = "B"
+		} else {
+			ev.Ph = "X"
+			ev.Dur = float64(s.End.Sub(s.Start)) / 1e6
+		}
+		out = append(out, ev)
+	}
+	for _, e := range r.events {
+		kind := e.Kind
+		if kind == "" {
+			kind = "event"
+		}
+		out = append(out, PerfettoEvent{
+			Name: e.Msg, Cat: kind, Ph: "i", Ts: perfettoTs(e.At),
+			Pid: pid, Tid: tid(e.Cat), S: "t",
+		})
+	}
+	for _, sm := range r.samples {
+		out = append(out, PerfettoEvent{
+			Name: sm.Name, Ph: "C", Ts: perfettoTs(sm.At),
+			Pid: pid, Tid: tid(sm.Comp),
+			Args: map[string]interface{}{"value": sm.Value},
+		})
+	}
+	return out
+}
+
+// WritePerfetto writes trace-event records as a Perfetto-loadable JSON
+// document ({"traceEvents": [...]}) — one record per line for stable,
+// diffable output.
+func WritePerfetto(w io.Writer, evs []PerfettoEvent) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range evs {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(evs)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "],\"displayTimeUnit\":\"ns\"}\n")
+	return err
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"putget/internal/sim"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	e := sim.NewEngine()
+	r := Attach(e, 0)
+	e.At(10, func() {
+		id := e.SpanOpen("nic", "outer", sim.Attr{Key: "bytes", Val: 64})
+		e.At(20, func() {
+			inner := e.SpanOpen("nic", "inner")
+			e.At(30, func() { e.SpanClose(inner) })
+		})
+		e.At(40, func() { e.SpanClose(id) })
+	})
+	e.At(50, func() {
+		// Opened but never closed: Shutdown must force-close it.
+		e.SpanOpen("gpu", "poll")
+	})
+	e.Run()
+	e.Shutdown()
+
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	if n := len(r.OpenSpans()); n != 0 {
+		t.Fatalf("%d spans still open after Shutdown", n)
+	}
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Fatalf("span %+v ends before it starts", s)
+		}
+	}
+	outer, inner, poll := spans[0], spans[1], spans[2]
+	if outer.Kind != "outer" || outer.Start != 10 || outer.End != 40 {
+		t.Fatalf("outer span: %+v", outer)
+	}
+	if len(outer.Attrs) != 1 || outer.Attrs[0].Key != "bytes" || outer.Attrs[0].Val != 64 {
+		t.Fatalf("outer attrs: %+v", outer.Attrs)
+	}
+	// Nesting: the inner span lies inside the outer one and carries a
+	// higher id (opened later).
+	if inner.Start < outer.Start || inner.End > outer.End || inner.ID <= outer.ID {
+		t.Fatalf("inner not nested in outer: %+v vs %+v", inner, outer)
+	}
+	if poll.Start != 50 || poll.End != 50 {
+		t.Fatalf("force-closed span: %+v", poll)
+	}
+}
+
+func TestSpanOpenAtFutureAndClamp(t *testing.T) {
+	e := sim.NewEngine()
+	r := Attach(e, 0)
+	e.At(10, func() {
+		// A cut-through stage whose window is known up front: scheduled
+		// entirely in the future.
+		id := e.SpanOpenAt(15, "wire", "xmit")
+		e.SpanCloseAt(id, 25)
+		// Closing in the past clamps to now.
+		id2 := e.SpanOpen("nic", "stage")
+		e.SpanCloseAt(id2, 3)
+	})
+	e.Run()
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Start != 15 || spans[0].End != 25 {
+		t.Fatalf("future span: %+v", spans[0])
+	}
+	if spans[1].Start != 10 || spans[1].End != 10 {
+		t.Fatalf("clamped span: %+v", spans[1])
+	}
+}
+
+func TestSpanCloseZeroIsNoop(t *testing.T) {
+	e := sim.NewEngine()
+	r := Attach(e, 0)
+	e.At(1, func() { e.SpanClose(0) })
+	e.Run()
+	if len(r.Spans()) != 0 {
+		t.Fatalf("spans = %+v", r.Spans())
+	}
+}
+
+func TestMetricSamples(t *testing.T) {
+	e := sim.NewEngine()
+	r := Attach(e, 0)
+	e.At(5, func() { e.Metric("wire", "depth", 2) })
+	e.At(7, func() { e.Metric("wire", "depth", 1) })
+	e.Run()
+	s := r.Samples()
+	if len(s) != 2 || s[0].At != 5 || s[0].Value != 2 || s[1].Value != 1 {
+		t.Fatalf("samples = %+v", s)
+	}
+}
+
+func mkSpan(id uint64, comp, kind string, start, end sim.Time) Span {
+	return Span{ID: id, Comp: comp, Kind: kind, Start: start, End: end}
+}
+
+func TestBreakdownInnermostAndExactSum(t *testing.T) {
+	spans := []Span{
+		mkSpan(1, "gpu", "wr.create", 0, 40),
+		mkSpan(2, "nic", "dma.fetch", 10, 30), // innermost over [10,30]
+		mkSpan(3, "gpu", "poll", 60, 90),
+	}
+	rows := Breakdown(spans, 0, 100, nil)
+	got := map[string]sim.Duration{}
+	var sum sim.Duration
+	for _, r := range rows {
+		got[r.Comp+"/"+r.Kind] = r.Time
+		sum += r.Time
+	}
+	if sum != 100 {
+		t.Fatalf("rows sum to %v, want the whole window", sum)
+	}
+	want := map[string]sim.Duration{
+		"gpu/wr.create": 20, "nic/dma.fetch": 20, "gpu/poll": 30, "/(other)": 30,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("stage %s = %v, want %v (rows %+v)", k, got[k], v, rows)
+		}
+	}
+}
+
+func TestBreakdownTieAndClass(t *testing.T) {
+	// Same start: the higher id (opened later) wins.
+	spans := []Span{
+		mkSpan(1, "x", "outer", 0, 10),
+		mkSpan(2, "y", "wrapper", 0, 10),
+	}
+	rows := Breakdown(spans, 0, 10, nil)
+	if len(rows) != 1 || rows[0].Comp != "y" {
+		t.Fatalf("tie-break rows: %+v", rows)
+	}
+	// A class function outranks innermost-ness: demote y and x wins.
+	rows = Breakdown(spans, 0, 10, func(s Span) int {
+		if s.Comp == "y" {
+			return 0
+		}
+		return 1
+	})
+	if len(rows) != 1 || rows[0].Comp != "x" {
+		t.Fatalf("class rows: %+v", rows)
+	}
+}
+
+func TestBreakdownClipsAndSkipsOpen(t *testing.T) {
+	spans := []Span{
+		mkSpan(1, "a", "pre", 0, 30),        // extends before the window
+		mkSpan(2, "b", "open", 40, openEnd), // still open: ignored
+	}
+	rows := Breakdown(spans, 20, 60, nil)
+	got := map[string]sim.Duration{}
+	for _, r := range rows {
+		got[r.Comp+"/"+r.Kind] = r.Time
+	}
+	if got["a/pre"] != 10 || got["/(other)"] != 30 {
+		t.Fatalf("rows: %+v", rows)
+	}
+}
+
+func TestPerfettoGolden(t *testing.T) {
+	e := sim.NewEngine()
+	r := Attach(e, 0)
+	e.At(1_000_000, func() {
+		id := e.SpanOpen("a.rma", "dma.fetch", sim.Attr{Key: "bytes", Val: 4096})
+		e.At(2_000_000, func() { e.SpanClose(id) })
+		e.Tracev("a.rma", "fault", "fault: wire drop")
+		e.Metric("a.rma.wire", "depth", 3)
+	})
+	e.Run()
+
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, r.PerfettoEvents(7, "extoll/4096B")); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"traceEvents":[
+{"name":"process_name","ph":"M","ts":0,"pid":7,"tid":0,"args":{"name":"extoll/4096B"}},
+{"name":"thread_name","ph":"M","ts":0,"pid":7,"tid":1,"args":{"name":"a.rma"}},
+{"name":"thread_name","ph":"M","ts":0,"pid":7,"tid":2,"args":{"name":"a.rma.wire"}},
+{"name":"dma.fetch","cat":"a.rma","ph":"X","ts":1,"dur":1,"pid":7,"tid":1,"args":{"bytes":4096}},
+{"name":"fault: wire drop","cat":"fault","ph":"i","ts":1,"pid":7,"tid":1,"s":"t"},
+{"name":"depth","ph":"C","ts":1,"pid":7,"tid":2,"args":{"value":3}}
+],"displayTimeUnit":"ns"}
+`
+	if buf.String() != golden {
+		t.Fatalf("perfetto output:\n%s\nwant:\n%s", buf.String(), golden)
+	}
+	// The document must be valid JSON end to end.
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+}

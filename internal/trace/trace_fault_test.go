@@ -47,4 +47,20 @@ func TestFaultTraceCategories(t *testing.T) {
 	if len(rec.Filter("retry")) == 0 {
 		t.Fatalf("no 'retry' trace events; categories: %v", rec.Categories())
 	}
+	// Regression: fault/retry lines must carry the emitting component, so
+	// filtering on a NIC shows ITS faults too — not only its pipeline
+	// events. Before the structured hook, the category was derived from
+	// the "fault:"/"retry:" message prefix and the component was lost.
+	var gotFault, gotRetry bool
+	for _, ev := range rec.Filter("a.rma") {
+		switch ev.Kind {
+		case "fault":
+			gotFault = true
+		case "retry":
+			gotRetry = true
+		}
+	}
+	if !gotFault || !gotRetry {
+		t.Fatalf("filter a.rma lost fault/retry events (fault=%v retry=%v)", gotFault, gotRetry)
+	}
 }

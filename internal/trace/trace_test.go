@@ -81,7 +81,85 @@ func TestWriteTextAndJSON(t *testing.T) {
 	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
 		t.Fatal(err)
 	}
-	if len(back) != 1 || back[0].Msg != "pcie: hello" {
+	// The retained event plus the synthetic drop-summary record: the JSON
+	// form must not silently lose the Dropped() count.
+	if len(back) != 2 || back[0].Msg != "pcie: hello" {
 		t.Fatalf("json round trip: %+v", back)
+	}
+	if back[1].Kind != "drops" || back[1].Dropped != 1 {
+		t.Fatalf("drop record: %+v", back[1])
+	}
+}
+
+func TestWriteJSONEmptyTraceIsArray(t *testing.T) {
+	e := sim.NewEngine()
+	r := Attach(e, 0)
+	e.Run()
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(js.String())
+	if out != "[]" {
+		t.Fatalf("empty trace renders %q, want []", out)
+	}
+}
+
+func TestFilterMatchesWholeSegments(t *testing.T) {
+	e := sim.NewEngine()
+	r := Attach(e, 0)
+	emit(e, 1, "a: short name")
+	emit(e, 2, "ack: not a match for 'a'")
+	emit(e, 3, "a.rma: sub-component")
+	emit(e, 4, "a.rma.wire: deeper sub-component")
+	e.Run()
+	if got := r.Filter("a"); len(got) != 3 {
+		t.Fatalf("filter 'a' = %d events (%+v), want 3", len(got), got)
+	}
+	if got := r.Filter("a.rma"); len(got) != 2 {
+		t.Fatalf("filter 'a.rma' = %d events, want 2", len(got))
+	}
+	if got := r.Filter("ac"); len(got) != 0 {
+		t.Fatalf("filter 'ac' matched %d events, want 0", len(got))
+	}
+}
+
+func TestFilterMatchesKind(t *testing.T) {
+	e := sim.NewEngine()
+	r := Attach(e, 0)
+	e.At(1, func() { e.Tracev("a.rma", "fault", "fault: wire drop") })
+	e.At(2, func() { e.Tracev("b.rma", "retry", "retry: resend") })
+	e.Run()
+	if got := r.Filter("fault"); len(got) != 1 || got[0].Cat != "a.rma" {
+		t.Fatalf("filter 'fault' = %+v", got)
+	}
+	// A component filter must also see that component's structured events.
+	if got := r.Filter("a.rma"); len(got) != 1 || got[0].Kind != "fault" {
+		t.Fatalf("filter 'a.rma' = %+v", got)
+	}
+}
+
+func TestAttachChains(t *testing.T) {
+	e := sim.NewEngine()
+	var prevGot []string
+	e.Trace = func(at sim.Time, msg string) { prevGot = append(prevGot, msg) }
+	r1 := Attach(e, 0)
+	r2 := Attach(e, 0)
+	emit(e, 1, "x: legacy line")
+	e.At(2, func() { e.Tracev("y", "k", "y: structured line") })
+	e.At(3, func() { e.SpanClose(e.SpanOpen("z", "stage")) })
+	e.Run()
+	// The pre-existing hook keeps receiving everything, including the
+	// structured line (forwarded as text since it predates TraceEv).
+	if len(prevGot) != 2 {
+		t.Fatalf("previous hook got %d lines: %v", len(prevGot), prevGot)
+	}
+	for _, r := range []*Recorder{r1, r2} {
+		if len(r.Events()) != 2 {
+			t.Fatalf("recorder events = %d, want 2", len(r.Events()))
+		}
+		if len(r.Spans()) != 1 || r.Spans()[0].Comp != "z" {
+			t.Fatalf("recorder spans = %+v", r.Spans())
+		}
 	}
 }

@@ -19,6 +19,7 @@ type Faults interface {
 // rate, fly for the fixed latency, and land in the receiver's inbox.
 type Link[T any] struct {
 	e       *sim.Engine
+	name    string
 	latency sim.Duration
 	srv     *sim.Server
 	inbox   *sim.Chan[T]
@@ -28,10 +29,11 @@ type Link[T any] struct {
 
 	// Egress queue accounting: packets scheduled but not yet delivered.
 	// depthCap == 0 leaves the queue unbounded (the seed behaviour).
-	depthCap int
-	inFlight int
-	maxDepth int
-	dropped  uint64
+	depthCap      int
+	inFlight      int
+	inFlightBytes int
+	maxDepth      int
+	dropped       uint64
 }
 
 // NewLink creates one direction with the given bandwidth (bytes/second)
@@ -48,6 +50,18 @@ func NewLink[T any](e *sim.Engine, bytesPerSecond float64, latency sim.Duration)
 // NewDuplex creates both directions of a cable with symmetric parameters.
 func NewDuplex[T any](e *sim.Engine, bytesPerSecond float64, latency sim.Duration) (ab, ba *Link[T]) {
 	return NewLink[T](e, bytesPerSecond, latency), NewLink[T](e, bytesPerSecond, latency)
+}
+
+// SetName labels this direction for structured traces, spans and metric
+// series ("a.rma.wire"). Unnamed links report as "wire".
+func (l *Link[T]) SetName(name string) { l.name = name }
+
+// Name returns the label set by SetName, or "wire".
+func (l *Link[T]) Name() string {
+	if l.name == "" {
+		return "wire"
+	}
+	return l.name
 }
 
 // SetFaults installs a fault injector on this direction. corrupter marks a
@@ -79,8 +93,8 @@ func (l *Link[T]) tailDrop(wireBytes int) bool {
 		return false
 	}
 	l.dropped++
-	if l.e.Trace != nil {
-		l.e.Tracef("fault: wire tail-drop (%dB, depth %d)", wireBytes, l.inFlight)
+	if l.e.Traced() {
+		l.e.Tracev(l.Name(), "fault", "fault: wire tail-drop (%dB, depth %d)", wireBytes, l.inFlight)
 	}
 	return true
 }
@@ -92,15 +106,15 @@ func (l *Link[T]) post(pkt T, wireBytes int, sent sim.Time) (deliver sim.Time, o
 		drop, corrupt, extra := l.faults.Judge(sent, wireBytes)
 		if drop {
 			l.dropped++
-			if l.e.Trace != nil {
-				l.e.Tracef("fault: wire drop (%dB at %v)", wireBytes, sent)
+			if l.e.Traced() {
+				l.e.Tracev(l.Name(), "fault", "fault: wire drop (%dB at %v)", wireBytes, sent)
 			}
 			return sent, false
 		}
 		if corrupt && l.corrupter != nil {
 			pkt = l.corrupter(pkt)
-			if l.e.Trace != nil {
-				l.e.Tracef("fault: wire corrupt (%dB at %v)", wireBytes, sent)
+			if l.e.Traced() {
+				l.e.Tracev(l.Name(), "fault", "fault: wire corrupt (%dB at %v)", wireBytes, sent)
 			}
 		}
 		sent = sent.Add(extra)
@@ -109,9 +123,31 @@ func (l *Link[T]) post(pkt T, wireBytes int, sent sim.Time) (deliver sim.Time, o
 	if l.inFlight > l.maxDepth {
 		l.maxDepth = l.inFlight
 	}
+	l.inFlightBytes += wireBytes
 	deliver = sent.Add(l.latency)
+	if l.e.Observing() {
+		// The xmit span covers this packet's own serialization window plus
+		// its flight: start when its bytes begin occupying the link (which
+		// may be in the future under cut-through or behind queued packets),
+		// end at delivery.
+		start := sent.Add(-sim.BytesAt(wireBytes, l.srv.Rate()))
+		if now := l.e.Now(); start < now {
+			start = now
+		}
+		id := l.e.SpanOpenAt(start, l.Name(), "xmit",
+			sim.Attr{Key: "bytes", Val: int64(wireBytes)})
+		l.e.SpanCloseAt(id, deliver)
+		l.e.Metric(l.Name(), "depth", float64(l.inFlight))
+		l.e.Metric(l.Name(), "inflight_bytes", float64(l.inFlightBytes))
+		l.e.Metric(l.Name(), "busy_us", l.srv.BusyTotal().Microseconds())
+	}
 	l.e.At(deliver, func() {
 		l.inFlight--
+		l.inFlightBytes -= wireBytes
+		if l.e.Observing() {
+			l.e.Metric(l.Name(), "depth", float64(l.inFlight))
+			l.e.Metric(l.Name(), "inflight_bytes", float64(l.inFlightBytes))
+		}
 		l.inbox.Send(pkt)
 	})
 	return deliver, true
