@@ -1,6 +1,7 @@
 // Command putgetbench regenerates the paper's figures and tables.
 //
 //	putgetbench -list
+//	putgetbench -experiment list              # same listing, flag-style
 //	putgetbench -experiment fig1a
 //	putgetbench -experiment all
 //	putgetbench -experiment all -parallel 8   # shard cells over 8 workers
@@ -38,7 +39,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if *list || *experiment == "" {
+	if *list || *experiment == "" || *experiment == "list" {
 		fmt.Println("available experiments:")
 		for _, r := range bench.Experiments() {
 			fmt.Printf("  %s\n", r.ID)
@@ -62,6 +63,10 @@ func main() {
 	}
 	p.FaultSeed = *seed
 	p.Parallel = *parallel
+	if err := p.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "putgetbench: %v\n", err)
+		os.Exit(1)
+	}
 
 	ids := []string{*experiment}
 	if *experiment == "all" {

@@ -29,6 +29,10 @@ func main() {
 		p = cluster.ASIC()
 	}
 	p.Parallel = *parallel
+	if err := p.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "putgetcounters: %v\n", err)
+		os.Exit(1)
+	}
 
 	cells := []runner.Cell{
 		{Name: "table1", Run: func() string { return bench.Table1(p).Format() }},

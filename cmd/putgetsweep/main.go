@@ -175,6 +175,21 @@ func main() {
 		vs = append(vs, v)
 	}
 
+	// Reject sweeps into nonsensical parameter space up front, before any
+	// simulation time is spent (a zero ring size or negative rate would
+	// otherwise surface as a panic deep inside a worker cell).
+	for _, v := range vs {
+		p := cluster.Default()
+		if *asic {
+			p = cluster.ASIC()
+		}
+		k.set(&p, v)
+		if err := p.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "putgetsweep: %s=%g: %v\n", k.name, v, err)
+			os.Exit(1)
+		}
+	}
+
 	cells := make([]runner.Cell, len(vs))
 	for i, v := range vs {
 		v := v

@@ -77,6 +77,23 @@ func main() {
 		sz = append(sz, v)
 	}
 
+	// Pre-validate the parameter sets the trace cells will build (one per
+	// size) so a bad -drop rate fails with a message, not a worker panic.
+	for _, size := range sz {
+		p := cluster.Default()
+		p.GPUDevMemSize = uint64(2*size) + (64 << 20)
+		p.HostRAMSize = 96 << 20
+		if *dropRate > 0 {
+			p.FaultInject = true
+			p.FaultSeed = *seed
+			p.FaultDropRate = *dropRate
+		}
+		if err := p.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "putgettrace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	opt := dumpOpts{json: *jsonOut, filter: *catFilter, perfetto: *perfetto != ""}
 	results, perf := runTraces(trc, *fabric, sz, *parallel, opt, *dropRate, *seed)
 

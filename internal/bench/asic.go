@@ -25,12 +25,12 @@ func ASICComparison() string {
 		fmt.Fprintf(&b, "%-34s %12.4g %12.4g  %s\n", name, f, a, unit)
 	}
 
-	for _, mode := range []ExtollMode{ExtDirect, ExtHostControlled} {
+	for _, mode := range []ControlMode{ExtDirect, ExtHostControlled} {
 		lf := ExtollPingPong(fpga, mode, 16, 10, 2).HalfRTT.Microseconds()
 		la := ExtollPingPong(asic, mode, 16, 10, 2).HalfRTT.Microseconds()
 		row("latency 16B "+mode.String(), lf, la, "us")
 	}
-	for _, mode := range []ExtollMode{ExtDirect, ExtHostControlled} {
+	for _, mode := range []ControlMode{ExtDirect, ExtHostControlled} {
 		bf := ExtollStream(fpga, mode, 256<<10, 16).BytesPerSec / 1e6
 		ba := ExtollStream(asic, mode, 256<<10, 16).BytesPerSec / 1e6
 		row("bandwidth 256KiB "+mode.String(), bf, ba, "MB/s")

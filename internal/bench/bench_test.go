@@ -11,7 +11,7 @@ import (
 
 func TestExtollPingPongAllModesComplete(t *testing.T) {
 	p := cluster.Default()
-	for _, mode := range []ExtollMode{ExtDirect, ExtPollOnGPU, ExtAssisted, ExtHostControlled} {
+	for _, mode := range []ControlMode{ExtDirect, ExtPollOnGPU, ExtAssisted, ExtHostControlled} {
 		res := ExtollPingPong(p, mode, 1024, 5, 2)
 		if res.HalfRTT <= 0 {
 			t.Fatalf("%v: nonpositive latency", mode)
@@ -26,8 +26,8 @@ func TestExtollLatencyOrderingSmallMessages(t *testing.T) {
 	// §V-A.1: host < pollOnGPU < assisted < direct for small messages;
 	// direct ≈ 2× host.
 	p := cluster.Default()
-	lat := map[ExtollMode]sim.Duration{}
-	for _, mode := range []ExtollMode{ExtDirect, ExtPollOnGPU, ExtAssisted, ExtHostControlled} {
+	lat := map[ControlMode]sim.Duration{}
+	for _, mode := range []ControlMode{ExtDirect, ExtPollOnGPU, ExtAssisted, ExtHostControlled} {
 		lat[mode] = ExtollPingPong(p, mode, 16, 10, 2).HalfRTT
 	}
 	if !(lat[ExtHostControlled] < lat[ExtPollOnGPU] &&
@@ -176,7 +176,7 @@ func TestExtollMessageRateOrderingAndScaling(t *testing.T) {
 
 func TestIBPingPongAllModesComplete(t *testing.T) {
 	p := cluster.Default()
-	for _, mode := range []IBMode{IBBufOnGPU, IBBufOnHost, IBAssisted, IBHostControlled} {
+	for _, mode := range []ControlMode{IBBufOnGPU, IBBufOnHost, IBAssisted, IBHostControlled} {
 		res := IBPingPong(p, mode, 1024, 5, 2)
 		if res.HalfRTT <= 0 || res.HalfRTT > 200*sim.Microsecond {
 			t.Fatalf("%v: implausible latency %v", mode, res.HalfRTT)

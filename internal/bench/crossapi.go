@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"putget/internal/cluster"
+	"putget/internal/runner"
+	"putget/internal/transport"
+)
+
+// CrossAPI compares the two fabrics mode-for-mode through the unified
+// transport layer — the experiment the refactor makes possible: both
+// columns of every row run the *same* harness code (PingPong/Stream over
+// transport.Endpoint), so any difference is the fabric's, not the
+// benchmark's. Rows are the six control modes; cells show 1 KiB ping-pong
+// half-RTT and 64 KiB streaming bandwidth, with "-" where a fabric does
+// not offer the mode (EXTOLL has no queue-placement choice; IB polls
+// arrival stamps rather than notification rings).
+//
+// The (mode, fabric, metric) cells are sharded across the harness worker
+// pool (p.Parallel); output bytes are identical for any worker count.
+func CrossAPI(p cluster.Params) string {
+	const (
+		latSize = 1024
+		bwSize  = 65536
+	)
+	modes := []ControlMode{
+		transport.Direct, transport.PollOnGPU,
+		transport.QueuesOnGPU, transport.QueuesOnHost,
+		transport.HostAssisted, transport.HostControlled,
+	}
+	kinds := []transport.Kind{transport.KindExtoll, transport.KindIB}
+	type cell struct {
+		mode ControlMode
+		kind transport.Kind
+		bw   bool
+	}
+	var cells []cell
+	for _, m := range modes {
+		for _, k := range kinds {
+			if !transport.Supports(k, m) {
+				continue
+			}
+			cells = append(cells, cell{m, k, false}, cell{m, k, true})
+		}
+	}
+	iters, warmup := latencyIters(latSize)
+	vals := runner.Map(p.Parallel, cells, func(_ int, c cell) float64 {
+		if c.bw {
+			return Stream(p, c.kind, c.mode, bwSize, streamMessages(bwSize)).BytesPerSec / 1e6
+		}
+		return PingPong(p, c.kind, c.mode, latSize, iters, warmup).HalfRTT.Microseconds()
+	})
+	byCell := make(map[cell]float64, len(cells))
+	for i, c := range cells {
+		byCell[c] = vals[i]
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "crossapi: one put/get API, both fabrics, mode for mode\n")
+	fmt.Fprintf(&b, "%-24s %14s %14s %16s %16s\n", "control mode",
+		"EXTOLL lat[us]", "IB lat[us]", "EXTOLL bw[MB/s]", "IB bw[MB/s]")
+	for _, m := range modes {
+		fmt.Fprintf(&b, "%-24s", m.String())
+		for _, metric := range []bool{false, true} {
+			for _, k := range kinds {
+				width := 14
+				if metric {
+					width = 16
+				}
+				if !transport.Supports(k, m) {
+					fmt.Fprintf(&b, " %*s", width, "-")
+					continue
+				}
+				fmt.Fprintf(&b, " %*.4g", width, byCell[cell{m, k, metric}])
+			}
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "(1 KiB ping-pong half-RTT; 64 KiB streaming; '-' = mode not offered by that fabric)\n")
+	return b.String()
+}

@@ -200,7 +200,7 @@ func gridSeries(p cluster.Params, seriesLabels []string, xs []int, eval func(si,
 
 // Fig1a reproduces the EXTOLL latency plot.
 func Fig1a(p cluster.Params) Figure {
-	modes := []ExtollMode{ExtDirect, ExtPollOnGPU, ExtAssisted, ExtHostControlled}
+	modes := []ControlMode{ExtDirect, ExtPollOnGPU, ExtAssisted, ExtHostControlled}
 	return Figure{ID: "Fig1a", Title: "EXTOLL RMA ping-pong latency",
 		XLabel: "size[B]", YLabel: "latency [us]",
 		Series: gridSeries(p, labels(modes), latencySizes, func(si, xi int) float64 {
@@ -212,7 +212,7 @@ func Fig1a(p cluster.Params) Figure {
 
 // Fig1b reproduces the EXTOLL bandwidth plot.
 func Fig1b(p cluster.Params) Figure {
-	modes := []ExtollMode{ExtDirect, ExtAssisted, ExtHostControlled}
+	modes := []ControlMode{ExtDirect, ExtAssisted, ExtHostControlled}
 	return Figure{ID: "Fig1b", Title: "EXTOLL RMA streaming bandwidth",
 		XLabel: "size[B]", YLabel: "bandwidth [MB/s]",
 		Series: gridSeries(p, labels(modes), bandwidthSizes, func(si, xi int) float64 {
@@ -235,8 +235,8 @@ func Fig2(p cluster.Params) Figure {
 // (ping-pong, 100 iterations, 1 KiB payload; counters from the origin
 // GPU).
 func Table1(p cluster.Params) CounterTable {
-	modes := []ExtollMode{ExtDirect, ExtPollOnGPU}
-	res := runner.Map(p.Parallel, modes, func(_ int, m ExtollMode) LatencyResult {
+	modes := []ControlMode{ExtDirect, ExtPollOnGPU}
+	res := runner.Map(p.Parallel, modes, func(_ int, m ControlMode) LatencyResult {
 		return ExtollPingPong(p, m, 1024, 100, 0)
 	})
 	return CounterTable{
@@ -249,7 +249,7 @@ func Table1(p cluster.Params) CounterTable {
 
 // Fig3 reproduces the put-time vs polling-time decomposition.
 func Fig3(p cluster.Params) Figure {
-	modes := []ExtollMode{ExtDirect, ExtPollOnGPU}
+	modes := []ControlMode{ExtDirect, ExtPollOnGPU}
 	return Figure{ID: "Fig3", Title: "EXTOLL polling time / WR generation time",
 		XLabel: "payload[B]", YLabel: "polling time / put time",
 		Series: gridSeries(p, []string{"system memory", "device memory"}, fig3Sizes,
@@ -262,7 +262,7 @@ func Fig3(p cluster.Params) Figure {
 
 // Fig4a reproduces the InfiniBand latency plot.
 func Fig4a(p cluster.Params) Figure {
-	modes := []IBMode{IBBufOnGPU, IBBufOnHost, IBAssisted, IBHostControlled}
+	modes := []ControlMode{IBBufOnGPU, IBBufOnHost, IBAssisted, IBHostControlled}
 	return Figure{ID: "Fig4a", Title: "InfiniBand Verbs ping-pong latency",
 		XLabel: "size[B]", YLabel: "latency [us]",
 		Series: gridSeries(p, labels(modes), latencySizes, func(si, xi int) float64 {
@@ -274,7 +274,7 @@ func Fig4a(p cluster.Params) Figure {
 
 // Fig4b reproduces the InfiniBand bandwidth plot.
 func Fig4b(p cluster.Params) Figure {
-	modes := []IBMode{IBBufOnGPU, IBBufOnHost, IBAssisted, IBHostControlled}
+	modes := []ControlMode{IBBufOnGPU, IBBufOnHost, IBAssisted, IBHostControlled}
 	return Figure{ID: "Fig4b", Title: "InfiniBand Verbs streaming bandwidth",
 		XLabel: "size[B]", YLabel: "bandwidth [MB/s]",
 		Series: gridSeries(p, labels(modes), bandwidthSizes, func(si, xi int) float64 {
@@ -295,8 +295,8 @@ func Fig5(p cluster.Params) Figure {
 
 // Table2 reproduces the InfiniBand buffer-placement counter comparison.
 func Table2(p cluster.Params) CounterTable {
-	modes := []IBMode{IBBufOnHost, IBBufOnGPU}
-	res := runner.Map(p.Parallel, modes, func(_ int, m IBMode) LatencyResult {
+	modes := []ControlMode{IBBufOnHost, IBBufOnGPU}
+	res := runner.Map(p.Parallel, modes, func(_ int, m ControlMode) LatencyResult {
 		return IBPingPong(p, m, 1024, 100, 0)
 	})
 	t := CounterTable{
@@ -393,6 +393,8 @@ func ExtraExperiments() []Runner {
 	return []Runner{
 		{"breakdown", "per-stage latency breakdown of a single 4KiB put (span tracing)",
 			func(p cluster.Params) string { return StageBreakdown(p) }, nil},
+		{"crossapi", "both fabrics mode-for-mode through the unified transport layer",
+			func(p cluster.Params) string { return CrossAPI(p) }, nil},
 	}
 }
 

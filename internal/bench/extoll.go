@@ -1,507 +1,31 @@
 package bench
 
 import (
-	"bytes"
-	"fmt"
-
 	"putget/internal/cluster"
-	"putget/internal/core"
-	"putget/internal/extoll"
-	"putget/internal/gpusim"
-	"putget/internal/memspace"
-	"putget/internal/sim"
+	"putget/internal/transport"
 )
 
-// extollRig is a two-node EXTOLL testbed with ping/pong buffers in GPU
-// memory on both sides, registered and connected.
-type extollRig struct {
-	tb     *cluster.Testbed
-	ra, rb *core.RMA
-
-	aSend, aRecv memspace.Addr // on GPU A
-	bSend, bRecv memspace.Addr // on GPU B
-
-	aSendN, aRecvN extoll.NLA // registered at A
-	bSendN, bRecvN extoll.NLA // registered at B
-}
-
-// fitParams shrinks the simulated memories to what an experiment needs:
-// testbeds are rebuilt per measurement and Go would otherwise touch
-// hundreds of megabytes of zeroed pages per point.
-func fitParams(p cluster.Params, bufBytes uint64) cluster.Params {
-	if need := 2*bufBytes + (64 << 20); p.GPUDevMemSize > need {
-		p.GPUDevMemSize = need
-	}
-	if need := uint64(96 << 20); p.HostRAMSize > need {
-		p.HostRAMSize = need
-	}
-	return p
-}
-
-func newExtollRig(p cluster.Params, bufSize uint64) *extollRig {
-	tb := cluster.NewExtollPair(fitParams(p, bufSize))
-	ra, rb := core.NewRMA(tb.A), core.NewRMA(tb.B)
-	r := &extollRig{tb: tb, ra: ra, rb: rb}
-	r.aSend = tb.A.AllocDev(bufSize)
-	r.aRecv = tb.A.AllocDev(bufSize)
-	r.bSend = tb.B.AllocDev(bufSize)
-	r.bRecv = tb.B.AllocDev(bufSize)
-	r.aSendN = ra.Register(r.aSend, bufSize)
-	r.aRecvN = ra.Register(r.aRecv, bufSize)
-	r.bSendN = rb.Register(r.bSend, bufSize)
-	r.bRecvN = rb.Register(r.bRecv, bufSize)
-	return r
-}
-
-// openPorts opens and connects ports 0..n-1 pairwise.
-func (r *extollRig) openPorts(n int) {
-	for i := 0; i < n; i++ {
-		r.ra.OpenPort(i)
-		r.rb.OpenPort(i)
-		extoll.ConnectPorts(r.tb.A.Extoll, i, r.tb.B.Extoll, i)
-	}
-}
-
-// fillPayload initializes both send buffers with a deterministic pattern.
-func (r *extollRig) fillPayload(size int) []byte {
-	payload := make([]byte, size)
-	for i := range payload {
-		payload[i] = byte(i*31 + 7)
-	}
-	mustWrite(r.tb.A.GPU.HostWrite(r.aSend, payload))
-	mustWrite(r.tb.B.GPU.HostWrite(r.bSend, payload))
-	return payload
-}
-
-func mustWrite(err error) {
-	if err != nil {
-		panic(fmt.Sprintf("bench: %v", err))
-	}
-}
-
-func mustDone(c *sim.Completion, what string) {
-	if !c.Done() {
-		panic("bench: deadlock: " + what + " did not complete")
-	}
-}
+// The EXTOLL benchmark entry points are thin bindings of the generic
+// harness (harness.go) to the EXTOLL transport adapter; the per-mode
+// behavior lives in the harness's control-mode table.
 
 // ExtollPingPong runs the §V-A.1 latency experiment: `iters` measured
 // ping-pong exchanges of `size` bytes after `warmup` unmeasured ones,
 // between the two GPUs, under the given control mode. The returned
 // counters cover GPU A over the measured iterations.
-func ExtollPingPong(p cluster.Params, mode ExtollMode, size, iters, warmup int) LatencyResult {
-	buf := uint64(size)
-	if buf < 8 {
-		buf = 8
-	}
-	r := newExtollRig(p, buf)
-	defer r.tb.Shutdown()
-	r.openPorts(1)
-	payload := r.fillPayload(size)
-	total := warmup + iters
-	mask := seqMask(size)
-	off := memspace.Addr(stampOff(size))
-
-	var tStart, tEnd sim.Time
-	var putSum, pollSum sim.Duration
-
-	switch mode {
-	case ExtDirect, ExtPollOnGPU:
-		flags := 0
-		if mode == ExtDirect {
-			flags = extoll.FlagReqNotif | extoll.FlagCompNotif
-		}
-		doneA := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			for i := 1; i <= total; i++ {
-				if i == warmup+1 {
-					r.tb.A.GPU.ResetCounters()
-					tStart = w.Now()
-				}
-				t0 := w.Now()
-				if mode == ExtPollOnGPU {
-					w.StGlobalU64(r.aSend+off, uint64(i))
-				}
-				r.ra.DevPut(w, 0, r.aSendN, r.bRecvN, size, flags)
-				t1 := w.Now()
-				if mode == ExtDirect {
-					r.ra.DevWaitNotif(w, 0, extoll.ClassRequester)
-					r.ra.DevWaitNotif(w, 0, extoll.ClassCompleter) // pong arrived
-				} else {
-					r.ra.DevPollU64Masked(w, r.aRecv+off, uint64(i)&mask, mask)
-				}
-				t2 := w.Now()
-				if i > warmup {
-					putSum += t1.Sub(t0)
-					pollSum += t2.Sub(t1)
-				}
-			}
-			tEnd = w.Now()
-		})
-		doneB := r.tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			for i := 1; i <= total; i++ {
-				if mode == ExtDirect {
-					r.rb.DevWaitNotif(w, 0, extoll.ClassCompleter) // ping arrived
-				} else {
-					r.rb.DevPollU64Masked(w, r.bRecv+off, uint64(i)&mask, mask)
-					w.StGlobalU64(r.bSend+off, uint64(i))
-				}
-				r.rb.DevPut(w, 0, r.bSendN, r.aRecvN, size, flags)
-				if mode == ExtDirect {
-					r.rb.DevWaitNotif(w, 0, extoll.ClassRequester)
-				}
-			}
-		})
-		r.tb.E.Run()
-		mustDone(doneA, "extoll ping-pong kernel A")
-		mustDone(doneB, "extoll ping-pong kernel B")
-
-	case ExtAssisted:
-		flagsA := core.NewAssistFlags(r.tb.A)
-		flagsB := core.NewAssistFlags(r.tb.B)
-		doneA := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			for i := 1; i <= total; i++ {
-				if i == warmup+1 {
-					r.tb.A.GPU.ResetCounters()
-					tStart = w.Now()
-				}
-				t0 := w.Now()
-				w.StGlobalU64(r.aSend+off, uint64(i))
-				core.DevRequestAssist(w, flagsA, uint64(i))
-				t1 := w.Now()
-				r.ra.DevPollU64Masked(w, r.aRecv+off, uint64(i)&mask, mask)
-				t2 := w.Now()
-				if i > warmup {
-					putSum += t1.Sub(t0)
-					pollSum += t2.Sub(t1)
-				}
-			}
-			tEnd = w.Now()
-		})
-		doneB := r.tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			for i := 1; i <= total; i++ {
-				r.rb.DevPollU64Masked(w, r.bRecv+off, uint64(i)&mask, mask)
-				w.StGlobalU64(r.bSend+off, uint64(i))
-				core.DevRequestAssist(w, flagsB, uint64(i))
-			}
-		})
-		r.tb.E.Spawn("a.cpu.assist", func(p *sim.Proc) {
-			for i := 1; i <= total; i++ {
-				core.HostAwaitAssistReq(p, r.tb.A.CPU, flagsA, uint64(i))
-				r.ra.HostPut(p, 0, r.aSendN, r.bRecvN, size, extoll.FlagReqNotif)
-				r.ra.HostWaitNotif(p, 0, extoll.ClassRequester)
-			}
-		})
-		r.tb.E.Spawn("b.cpu.assist", func(p *sim.Proc) {
-			for i := 1; i <= total; i++ {
-				core.HostAwaitAssistReq(p, r.tb.B.CPU, flagsB, uint64(i))
-				r.rb.HostPut(p, 0, r.bSendN, r.aRecvN, size, extoll.FlagReqNotif)
-				r.rb.HostWaitNotif(p, 0, extoll.ClassRequester)
-			}
-		})
-		r.tb.E.Run()
-		mustDone(doneA, "extoll assisted kernel A")
-		mustDone(doneB, "extoll assisted kernel B")
-
-	case ExtHostControlled:
-		flags := extoll.FlagReqNotif | extoll.FlagCompNotif
-		doneA := sim.NewCompletion(r.tb.E)
-		r.tb.E.Spawn("a.cpu", func(p *sim.Proc) {
-			for i := 1; i <= total; i++ {
-				if i == warmup+1 {
-					tStart = p.Now()
-				}
-				t0 := p.Now()
-				r.ra.HostPut(p, 0, r.aSendN, r.bRecvN, size, flags)
-				t1 := p.Now()
-				r.ra.HostWaitNotif(p, 0, extoll.ClassRequester)
-				r.ra.HostWaitNotif(p, 0, extoll.ClassCompleter) // pong arrived
-				t2 := p.Now()
-				if i > warmup {
-					putSum += t1.Sub(t0)
-					pollSum += t2.Sub(t1)
-				}
-			}
-			tEnd = p.Now()
-			doneA.Complete()
-		})
-		doneB := sim.NewCompletion(r.tb.E)
-		r.tb.E.Spawn("b.cpu", func(p *sim.Proc) {
-			for i := 1; i <= total; i++ {
-				r.rb.HostWaitNotif(p, 0, extoll.ClassCompleter)
-				r.rb.HostPut(p, 0, r.bSendN, r.aRecvN, size, flags)
-				r.rb.HostWaitNotif(p, 0, extoll.ClassRequester)
-			}
-			doneB.Complete()
-		})
-		r.tb.E.Run()
-		mustDone(doneA, "extoll host-controlled A")
-		mustDone(doneB, "extoll host-controlled B")
-
-	default:
-		panic("bench: unknown EXTOLL mode")
-	}
-
-	// Verify delivery: the final ping payload must equal the source.
-	got := make([]byte, size)
-	mustWrite(r.tb.B.GPU.HostRead(r.bRecv, got))
-	if mode == ExtDirect || mode == ExtHostControlled {
-		if !bytes.Equal(got, payload[:size]) {
-			panic("bench: extoll ping-pong corrupted payload")
-		}
-	}
-
-	return LatencyResult{
-		Size:     size,
-		Iters:    iters,
-		HalfRTT:  tEnd.Sub(tStart) / sim.Duration(2*iters),
-		PutTime:  putSum / sim.Duration(iters),
-		PollTime: pollSum / sim.Duration(iters),
-		Counters: r.tb.A.GPU.Counters(),
-		Rel:      extollRel(r.tb),
-	}
+func ExtollPingPong(p cluster.Params, mode ControlMode, size, iters, warmup int) LatencyResult {
+	return PingPong(p, transport.KindExtoll, mode, size, iters, warmup)
 }
 
 // ExtollStream runs the §V-A.1 bandwidth experiment: `messages` puts of
 // `size` bytes A→B; throughput is measured from the first post on A to
 // the arrival of the final payload at B.
-func ExtollStream(p cluster.Params, mode ExtollMode, size, messages int) BandwidthResult {
-	buf := uint64(size)
-	if buf < 8 {
-		buf = 8
-	}
-	r := newExtollRig(p, buf)
-	defer r.tb.Shutdown()
-	r.openPorts(1)
-	r.fillPayload(size)
-	mask := seqMask(size)
-	off := memspace.Addr(stampOff(size))
-	final := uint64(messages) & mask
-
-	var tStart, tEnd sim.Time
-	endSeen := sim.NewCompletion(r.tb.E)
-
-	// Receiver-side end detection.
-	switch mode {
-	case ExtHostControlled:
-		r.tb.E.Spawn("b.cpu.end", func(p *sim.Proc) {
-			r.rb.HostWaitNotif(p, 0, extoll.ClassCompleter)
-			tEnd = p.Now()
-			endSeen.Complete()
-		})
-	default:
-		r.tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			r.rb.DevPollU64Masked(w, r.bRecv+off, final, mask)
-			tEnd = w.Now()
-			endSeen.Complete()
-		})
-	}
-
-	switch mode {
-	case ExtDirect:
-		r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			tStart = w.Now()
-			for i := 1; i <= messages; i++ {
-				if i == messages {
-					w.StGlobalU64(r.aSend+off, uint64(i))
-				}
-				r.ra.DevPut(w, 0, r.aSendN, r.bRecvN, size, extoll.FlagReqNotif)
-				r.ra.DevWaitNotif(w, 0, extoll.ClassRequester)
-			}
-		})
-	case ExtPollOnGPU:
-		// Without notifications there is no flow-control signal; the
-		// paper's bandwidth plot therefore only shows direct, assisted
-		// and host-controlled. We accept the mode here for completeness
-		// by falling back to requester notifications.
-		return ExtollStream(p, ExtDirect, size, messages)
-	case ExtAssisted:
-		flagsA := core.NewAssistFlags(r.tb.A)
-		r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			tStart = w.Now()
-			for i := 1; i <= messages; i++ {
-				core.DevRequestAssist(w, flagsA, uint64(i))
-				core.DevAwaitAssistAck(w, flagsA, uint64(i))
-			}
-		})
-		r.tb.E.Spawn("a.cpu.assist", func(p *sim.Proc) {
-			for i := 1; i <= messages; i++ {
-				core.HostAwaitAssistReq(p, r.tb.A.CPU, flagsA, uint64(i))
-				if i == messages {
-					r.tb.A.CPU.WriteU64(p, r.aSend+off, uint64(i))
-				}
-				r.ra.HostPut(p, 0, r.aSendN, r.bRecvN, size, extoll.FlagReqNotif)
-				r.ra.HostWaitNotif(p, 0, extoll.ClassRequester)
-				core.HostAckAssist(p, r.tb.A.CPU, flagsA, uint64(i))
-			}
-		})
-	case ExtHostControlled:
-		r.tb.E.Spawn("a.cpu", func(p *sim.Proc) {
-			tStart = p.Now()
-			for i := 1; i <= messages; i++ {
-				flags := extoll.FlagReqNotif
-				if i == messages {
-					r.tb.A.CPU.WriteU64(p, r.aSend+off, uint64(i))
-					flags |= extoll.FlagCompNotif
-				}
-				r.ra.HostPut(p, 0, r.aSendN, r.bRecvN, size, flags)
-				r.ra.HostWaitNotif(p, 0, extoll.ClassRequester)
-			}
-		})
-	}
-
-	r.tb.E.Run()
-	mustDone(endSeen, "extoll stream end detection")
-	elapsed := tEnd.Sub(tStart)
-	return BandwidthResult{
-		Size:        size,
-		Messages:    messages,
-		Elapsed:     elapsed,
-		BytesPerSec: float64(size) * float64(messages) / elapsed.Seconds(),
-		Rel:         extollRel(r.tb),
-	}
+func ExtollStream(p cluster.Params, mode ControlMode, size, messages int) BandwidthResult {
+	return Stream(p, transport.KindExtoll, mode, size, messages)
 }
 
 // ExtollMessageRate runs the §V-A.2 experiment: `pairs` connection pairs
 // each send `perPair` 64-byte messages over their own RMA port.
 func ExtollMessageRate(p cluster.Params, method RateMethod, pairs, perPair int) RateResult {
-	const msgSize = 64
-	slot := uint64(256) // per-pair buffer slot
-	r := newExtollRig(p, slot*uint64(pairs))
-	defer r.tb.Shutdown()
-	r.openPorts(pairs)
-	r.fillPayload(msgSize)
-
-	starts := make([]sim.Time, pairs)
-	ends := make([]sim.Time, pairs)
-	srcN := func(b int) extoll.NLA { return r.aSendN + extoll.NLA(uint64(b)*slot) }
-	dstN := func(b int) extoll.NLA { return r.bRecvN + extoll.NLA(uint64(b)*slot) }
-
-	gpuBody := func(w *gpusim.Warp) {
-		b := w.Block
-		starts[b] = w.Now()
-		for m := 0; m < perPair; m++ {
-			r.ra.DevPut(w, b, srcN(b), dstN(b), msgSize, extoll.FlagReqNotif)
-			r.ra.DevWaitNotif(w, b, extoll.ClassRequester)
-		}
-		ends[b] = w.Now()
-	}
-
-	switch method {
-	case RateBlocks:
-		done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: pairs}, gpuBody)
-		r.tb.E.Run()
-		mustDone(done, "extoll message-rate blocks kernel")
-	case RateKernels:
-		dones := make([]*sim.Completion, pairs)
-		for b := 0; b < pairs; b++ {
-			st := r.tb.A.GPU.NewStream()
-			b := b
-			dones[b] = r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1, Stream: st}, func(w *gpusim.Warp) {
-				starts[b] = w.Now()
-				for m := 0; m < perPair; m++ {
-					r.ra.DevPut(w, b, srcN(b), dstN(b), msgSize, extoll.FlagReqNotif)
-					r.ra.DevWaitNotif(w, b, extoll.ClassRequester)
-				}
-				ends[b] = w.Now()
-			})
-		}
-		r.tb.E.Run()
-		for b, d := range dones {
-			mustDone(d, fmt.Sprintf("extoll message-rate kernel %d", b))
-		}
-	case RateAssisted:
-		flags := make([]core.AssistFlags, pairs)
-		for b := range flags {
-			flags[b] = core.NewAssistFlags(r.tb.A)
-		}
-		done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: pairs}, func(w *gpusim.Warp) {
-			b := w.Block
-			starts[b] = w.Now()
-			for m := 1; m <= perPair; m++ {
-				core.DevRequestAssist(w, flags[b], uint64(m))
-				core.DevAwaitAssistAck(w, flags[b], uint64(m))
-			}
-			ends[b] = w.Now()
-		})
-		// One CPU thread serves every pair: while it handles one request,
-		// all other aspirants block — the §V-A.2 bottleneck.
-		cpuDone := sim.NewCompletion(r.tb.E)
-		r.tb.E.Spawn("a.cpu.assist", func(p *sim.Proc) {
-			served := make([]uint64, pairs)
-			remaining := pairs * perPair
-			for remaining > 0 {
-				progress := false
-				for b := 0; b < pairs; b++ {
-					if served[b] == uint64(perPair) {
-						continue
-					}
-					req := r.tb.A.CPU.ReadU64(p, flags[b].Req)
-					if req > served[b] {
-						r.ra.HostPut(p, b, srcN(b), dstN(b), msgSize, extoll.FlagReqNotif)
-						r.ra.HostWaitNotif(p, b, extoll.ClassRequester)
-						served[b] = req
-						core.HostAckAssist(p, r.tb.A.CPU, flags[b], req)
-						remaining--
-						progress = true
-					}
-				}
-				if !progress {
-					// Nothing pending: wait for the next GPU request flag.
-					r.tb.A.CPU.Compute(p, 200*sim.Nanosecond)
-				}
-			}
-			cpuDone.Complete()
-		})
-		r.tb.E.Run()
-		mustDone(done, "extoll assisted rate kernel")
-		mustDone(cpuDone, "extoll assisted rate CPU")
-	case RateHostControlled:
-		done := sim.NewCompletion(r.tb.E)
-		r.tb.E.Spawn("a.cpu", func(p *sim.Proc) {
-			starts[0] = p.Now()
-			posted := make([]int, pairs)
-			inflight := make([]bool, pairs)
-			remaining := pairs * perPair
-			for remaining > 0 {
-				for b := 0; b < pairs; b++ {
-					if inflight[b] {
-						if _, ok := r.ra.HostTryConsumeNotif(p, b, extoll.ClassRequester); ok {
-							inflight[b] = false
-							remaining--
-						}
-					} else if posted[b] < perPair {
-						r.ra.HostPut(p, b, srcN(b), dstN(b), msgSize, extoll.FlagReqNotif)
-						posted[b]++
-						inflight[b] = true
-					}
-				}
-			}
-			ends[0] = p.Now()
-			done.Complete()
-		})
-		r.tb.E.Run()
-		mustDone(done, "extoll host-controlled rate CPU")
-		for b := 1; b < pairs; b++ {
-			starts[b], ends[b] = starts[0], ends[0]
-		}
-	}
-
-	var minStart, maxEnd sim.Time
-	minStart = starts[0]
-	for b := 0; b < pairs; b++ {
-		if starts[b] < minStart {
-			minStart = starts[b]
-		}
-		if ends[b] > maxEnd {
-			maxEnd = ends[b]
-		}
-	}
-	elapsed := maxEnd.Sub(minStart)
-	total := pairs * perPair
-	return RateResult{
-		Pairs:      pairs,
-		Messages:   total,
-		Elapsed:    elapsed,
-		MsgsPerSec: float64(total) / elapsed.Seconds(),
-	}
+	return MessageRate(p, transport.KindExtoll, method, pairs, perPair)
 }

@@ -108,8 +108,8 @@ func faultParams(p cluster.Params, seed uint64, dropRate float64) cluster.Params
 // testbed, and the report is assembled in fixed matrix order, so the
 // output bytes never depend on the worker count.
 func FaultSweep(p cluster.Params, seed uint64) string {
-	extModes := []ExtollMode{ExtDirect, ExtHostControlled}
-	ibModes := []IBMode{IBBufOnHost, IBHostControlled}
+	extModes := []ControlMode{ExtDirect, ExtHostControlled}
+	ibModes := []ControlMode{IBBufOnHost, IBHostControlled}
 	sections := []string{
 		"EXTOLL " + extModes[0].String(), "EXTOLL " + extModes[1].String(),
 		"InfiniBand " + ibModes[0].String(), "InfiniBand " + ibModes[1].String(),

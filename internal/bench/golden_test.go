@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"putget/internal/cluster"
+)
+
+// The golden tests pin the shipped experiment bytes: the transport
+// refactor (and any future one) must leave `putgetbench -experiment all`
+// stdout byte-identical. The goldens hold exactly what the CLI prints to
+// stdout — each experiment's Run output followed by the blank line
+// fmt.Println appends; the wall-time progress lines go to stderr and are
+// not part of the contract.
+
+func readGolden(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with putgetbench): %v", err)
+	}
+	return string(data)
+}
+
+// diffLine locates the first differing line for a readable failure.
+func diffLine(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n  got:  %q\n  want: %q", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: got %d, want %d", len(g), len(w))
+}
+
+// TestGoldenBreakdown pins the per-stage latency attribution of a single
+// 4 KiB put on both fabrics — the most sensitive single number in the
+// repo, since every simulated stage contributes to it.
+func TestGoldenBreakdown(t *testing.T) {
+	p := cluster.Default()
+	got := StageBreakdown(p) + "\n"
+	if want := readGolden(t, "golden_breakdown.txt"); got != want {
+		t.Fatalf("breakdown output drifted from golden:\n%s", diffLine(got, want))
+	}
+}
+
+// TestGoldenAll replays every experiment of `-experiment all` and
+// compares the concatenated stdout byte-for-byte against the
+// pre-refactor capture. Skipped under -short (the full evaluation takes
+// a few minutes of wall time).
+func TestGoldenAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full -experiment all replay takes minutes; run without -short to pin the bytes")
+	}
+	p := cluster.Default()
+	p.Parallel = 0 // GOMAXPROCS; output is worker-count invariant
+	var b strings.Builder
+	for _, r := range Experiments() {
+		b.WriteString(r.Run(p))
+		b.WriteString("\n")
+	}
+	got := b.String()
+	if want := readGolden(t, "golden_all.txt"); got != want {
+		t.Fatalf("-experiment all output drifted from golden:\n%s", diffLine(got, want))
+	}
+}

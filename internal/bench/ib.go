@@ -1,559 +1,33 @@
 package bench
 
 import (
-	"bytes"
-	"fmt"
-
 	"putget/internal/cluster"
-	"putget/internal/core"
-	"putget/internal/gpusim"
-	"putget/internal/ibsim"
-	"putget/internal/memspace"
-	"putget/internal/sim"
+	"putget/internal/transport"
 )
 
-// ibRig is a two-node InfiniBand testbed with data buffers in GPU memory
-// on both sides and one connected QP (more can be added for msg rate).
-type ibRig struct {
-	tb     *cluster.Testbed
-	va, vb *core.Verbs
-
-	aSend, aRecv memspace.Addr // on GPU A
-	bSend, bRecv memspace.Addr // on GPU B
-
-	aSendMR, aRecvMR *ibsim.MR // registered at A
-	bSendMR, bRecvMR *ibsim.MR // registered at B
-}
-
-func newIBRig(p cluster.Params, bufSize uint64) *ibRig {
-	tb := cluster.NewIBPair(fitParams(p, bufSize))
-	va, vb := core.NewVerbs(tb.A), core.NewVerbs(tb.B)
-	r := &ibRig{tb: tb, va: va, vb: vb}
-	r.aSend = tb.A.AllocDev(bufSize)
-	r.aRecv = tb.A.AllocDev(bufSize)
-	r.bSend = tb.B.AllocDev(bufSize)
-	r.bRecv = tb.B.AllocDev(bufSize)
-	r.aSendMR = va.RegMR(r.aSend, bufSize)
-	r.aRecvMR = va.RegMR(r.aRecv, bufSize)
-	r.bSendMR = vb.RegMR(r.bSend, bufSize)
-	r.bRecvMR = vb.RegMR(r.bRecv, bufSize)
-	return r
-}
-
-func (r *ibRig) fillPayload(size int) []byte {
-	payload := make([]byte, size)
-	for i := range payload {
-		payload[i] = byte(i*13 + 5)
-	}
-	mustWrite(r.tb.A.GPU.HostWrite(r.aSend, payload))
-	mustWrite(r.tb.B.GPU.HostWrite(r.bSend, payload))
-	return payload
-}
-
-// pingWQE builds A's ping descriptor.
-func (r *ibRig) pingWQE(size int, flags int, wrid uint64) ibsim.WQE {
-	return ibsim.WQE{
-		Opcode: ibsim.OpRDMAWrite, Flags: flags, WRID: wrid,
-		LAddr: uint64(r.aSend), LKey: r.aSendMR.LKey, Length: size,
-		RAddr: uint64(r.bRecv), RKey: r.bRecvMR.RKey,
-	}
-}
-
-// pongWQE builds B's pong descriptor.
-func (r *ibRig) pongWQE(size int, flags int, wrid uint64) ibsim.WQE {
-	return ibsim.WQE{
-		Opcode: ibsim.OpRDMAWrite, Flags: flags, WRID: wrid,
-		LAddr: uint64(r.bSend), LKey: r.bSendMR.LKey, Length: size,
-		RAddr: uint64(r.aRecv), RKey: r.aRecvMR.RKey,
-	}
-}
+// The InfiniBand benchmark entry points are thin bindings of the generic
+// harness (harness.go) to the Verbs transport adapter; the per-mode
+// behavior lives in the harness's control-mode table.
 
 // IBPingPong runs the §V-B.1 latency experiment. For the GPU-controlled
 // modes the pong is detected by polling the last received element in
 // device memory (the paper avoids write-with-immediate on the GPU); the
 // host-controlled mode uses write-with-immediate and receive CQEs.
-func IBPingPong(p cluster.Params, mode IBMode, size, iters, warmup int) LatencyResult {
-	buf := uint64(size)
-	if buf < 8 {
-		buf = 8
-	}
-	r := newIBRig(p, buf)
-	defer r.tb.Shutdown()
-	total := warmup + iters
-	mask := seqMask(size)
-	off := memspace.Addr(stampOff(size))
-
-	var tStart, tEnd sim.Time
-	var putSum, pollSum sim.Duration
-
-	switch mode {
-	case IBBufOnGPU, IBBufOnHost:
-		onGPU := mode == IBBufOnGPU
-		qa := r.va.CreateQP(512, 64, 512, onGPU)
-		qb := r.vb.CreateQP(512, 64, 512, onGPU)
-		core.ConnectVQPs(qa, qb)
-		doneA := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			for i := 1; i <= total; i++ {
-				if i == warmup+1 {
-					r.tb.A.GPU.ResetCounters()
-					tStart = w.Now()
-				}
-				t0 := w.Now()
-				w.StGlobalU64(r.aSend+off, uint64(i))
-				r.va.DevPostSend(w, qa, r.pingWQE(size, ibsim.FlagSignaled, uint64(i)))
-				t1 := w.Now()
-				r.va.DevPollCQ(w, qa.SendCQ) // reap local completion
-				w.PollGlobalU64Masked(r.aRecv+off, uint64(i)&mask, mask)
-				t2 := w.Now()
-				if i > warmup {
-					putSum += t1.Sub(t0)
-					pollSum += t2.Sub(t1)
-				}
-			}
-			tEnd = w.Now()
-		})
-		doneB := r.tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			for i := 1; i <= total; i++ {
-				w.PollGlobalU64Masked(r.bRecv+off, uint64(i)&mask, mask)
-				w.StGlobalU64(r.bSend+off, uint64(i))
-				r.vb.DevPostSend(w, qb, r.pongWQE(size, ibsim.FlagSignaled, uint64(i)))
-				r.vb.DevPollCQ(w, qb.SendCQ)
-			}
-		})
-		r.tb.E.Run()
-		mustDone(doneA, "IB ping-pong kernel A")
-		mustDone(doneB, "IB ping-pong kernel B")
-
-	case IBAssisted:
-		qa := r.va.CreateQP(512, 64, 512, false)
-		qb := r.vb.CreateQP(512, 64, 512, false)
-		core.ConnectVQPs(qa, qb)
-		flagsA := core.NewAssistFlags(r.tb.A)
-		flagsB := core.NewAssistFlags(r.tb.B)
-		doneA := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			for i := 1; i <= total; i++ {
-				if i == warmup+1 {
-					r.tb.A.GPU.ResetCounters()
-					tStart = w.Now()
-				}
-				t0 := w.Now()
-				w.StGlobalU64(r.aSend+off, uint64(i))
-				core.DevRequestAssist(w, flagsA, uint64(i))
-				t1 := w.Now()
-				w.PollGlobalU64Masked(r.aRecv+off, uint64(i)&mask, mask)
-				t2 := w.Now()
-				if i > warmup {
-					putSum += t1.Sub(t0)
-					pollSum += t2.Sub(t1)
-				}
-			}
-			tEnd = w.Now()
-		})
-		doneB := r.tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			for i := 1; i <= total; i++ {
-				w.PollGlobalU64Masked(r.bRecv+off, uint64(i)&mask, mask)
-				w.StGlobalU64(r.bSend+off, uint64(i))
-				core.DevRequestAssist(w, flagsB, uint64(i))
-			}
-		})
-		r.tb.E.Spawn("a.cpu.assist", func(p *sim.Proc) {
-			for i := 1; i <= total; i++ {
-				core.HostAwaitAssistReq(p, r.tb.A.CPU, flagsA, uint64(i))
-				r.va.HostPostSend(p, qa, r.pingWQE(size, ibsim.FlagSignaled, uint64(i)))
-				r.va.HostPollCQ(p, qa.SendCQ)
-			}
-		})
-		r.tb.E.Spawn("b.cpu.assist", func(p *sim.Proc) {
-			for i := 1; i <= total; i++ {
-				core.HostAwaitAssistReq(p, r.tb.B.CPU, flagsB, uint64(i))
-				r.vb.HostPostSend(p, qb, r.pongWQE(size, ibsim.FlagSignaled, uint64(i)))
-				r.vb.HostPollCQ(p, qb.SendCQ)
-			}
-		})
-		r.tb.E.Run()
-		mustDone(doneA, "IB assisted kernel A")
-		mustDone(doneB, "IB assisted kernel B")
-
-	case IBHostControlled:
-		// Write-with-immediate both ways; receive CQEs synchronize the
-		// two hosts (the Mellanox patch does not allow host polls on GPU
-		// memory, §V-B.1).
-		qa := r.va.CreateQP(512, total+8, 512, false)
-		qb := r.vb.CreateQP(512, total+8, 512, false)
-		core.ConnectVQPs(qa, qb)
-		doneA := sim.NewCompletion(r.tb.E)
-		r.tb.E.Spawn("a.cpu", func(p *sim.Proc) {
-			for i := 0; i < total; i++ { // pre-post receives for pongs
-				r.va.HostPostRecv(p, qa, ibsim.RecvWQE{WRID: uint64(i)})
-			}
-			for i := 1; i <= total; i++ {
-				if i == warmup+1 {
-					tStart = p.Now()
-				}
-				t0 := p.Now()
-				wqe := r.pingWQE(size, 0, uint64(i))
-				wqe.Opcode = ibsim.OpRDMAWriteImm
-				wqe.Imm = uint32(i)
-				r.va.HostPostSend(p, qa, wqe)
-				t1 := p.Now()
-				cqe := r.va.HostPollCQ(p, qa.RecvCQ) // pong immediate
-				if cqe.Imm != uint32(i) {
-					panic(fmt.Sprintf("bench: pong imm %d at iteration %d", cqe.Imm, i))
-				}
-				t2 := p.Now()
-				if i > warmup {
-					putSum += t1.Sub(t0)
-					pollSum += t2.Sub(t1)
-				}
-			}
-			tEnd = p.Now()
-			doneA.Complete()
-		})
-		doneB := sim.NewCompletion(r.tb.E)
-		r.tb.E.Spawn("b.cpu", func(p *sim.Proc) {
-			for i := 0; i < total; i++ {
-				r.vb.HostPostRecv(p, qb, ibsim.RecvWQE{WRID: uint64(i)})
-			}
-			for i := 1; i <= total; i++ {
-				r.vb.HostPollCQ(p, qb.RecvCQ) // ping immediate
-				wqe := r.pongWQE(size, 0, uint64(i))
-				wqe.Opcode = ibsim.OpRDMAWriteImm
-				wqe.Imm = uint32(i)
-				r.vb.HostPostSend(p, qb, wqe)
-			}
-			doneB.Complete()
-		})
-		r.tb.E.Run()
-		mustDone(doneA, "IB host-controlled A")
-		mustDone(doneB, "IB host-controlled B")
-
-	default:
-		panic("bench: unknown IB mode")
-	}
-
-	return LatencyResult{
-		Size:     size,
-		Iters:    iters,
-		HalfRTT:  tEnd.Sub(tStart) / sim.Duration(2*iters),
-		PutTime:  putSum / sim.Duration(iters),
-		PollTime: pollSum / sim.Duration(iters),
-		Counters: r.tb.A.GPU.Counters(),
-		Rel:      ibRel(r.tb),
-	}
+func IBPingPong(p cluster.Params, mode ControlMode, size, iters, warmup int) LatencyResult {
+	return PingPong(p, transport.KindIB, mode, size, iters, warmup)
 }
 
 // IBStream runs the §V-B.1 bandwidth experiment: a window of RDMA writes
-// A→B with completion moderation (every sigEvery-th WQE signaled, as
-// ib_write_bw does), reaping completions to refill the window; throughput
-// measured to the arrival of the final payload at B.
-func IBStream(p cluster.Params, mode IBMode, size, messages int) BandwidthResult {
-	const window = 4   // outstanding *signaled* WQEs
-	const sigEvery = 4 // CQ moderation interval
-	buf := uint64(size)
-	if buf < 8 {
-		buf = 8
-	}
-	r := newIBRig(p, buf)
-	defer r.tb.Shutdown()
-	payload := r.fillPayload(size)
-	_ = payload
-	mask := seqMask(size)
-	off := memspace.Addr(stampOff(size))
-	final := uint64(messages) & mask
-
-	var tStart, tEnd sim.Time
-	endSeen := sim.NewCompletion(r.tb.E)
-
-	switch mode {
-	case IBBufOnGPU, IBBufOnHost:
-		onGPU := mode == IBBufOnGPU
-		qa := r.va.CreateQP(512, 64, 512, onGPU)
-		qb := r.vb.CreateQP(512, 64, 512, onGPU)
-		core.ConnectVQPs(qa, qb)
-		r.tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			w.PollGlobalU64Masked(r.bRecv+off, final, mask)
-			tEnd = w.Now()
-			endSeen.Complete()
-		})
-		r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			tStart = w.Now()
-			outstanding := 0
-			for i := 1; i <= messages; i++ {
-				flags := 0
-				if i%sigEvery == 0 || i == messages {
-					flags = ibsim.FlagSignaled
-				}
-				if i == messages {
-					w.StGlobalU64(r.aSend+off, uint64(i))
-				}
-				r.va.DevPostSend(w, qa, r.pingWQE(size, flags, uint64(i)))
-				if flags != 0 {
-					outstanding++
-				}
-				if outstanding >= window {
-					r.va.DevPollCQ(w, qa.SendCQ)
-					outstanding--
-				}
-			}
-			for outstanding > 0 {
-				r.va.DevPollCQ(w, qa.SendCQ)
-				outstanding--
-			}
-		})
-		_ = qb
-	case IBAssisted:
-		qa := r.va.CreateQP(512, 64, 512, false)
-		qb := r.vb.CreateQP(512, 64, 512, false)
-		core.ConnectVQPs(qa, qb)
-		_ = qb
-		r.tb.B.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			w.PollGlobalU64Masked(r.bRecv+off, final, mask)
-			tEnd = w.Now()
-			endSeen.Complete()
-		})
-		flagsA := core.NewAssistFlags(r.tb.A)
-		r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
-			tStart = w.Now()
-			for i := 1; i <= messages; i++ {
-				core.DevRequestAssist(w, flagsA, uint64(i))
-				core.DevAwaitAssistAck(w, flagsA, uint64(i))
-			}
-		})
-		r.tb.E.Spawn("a.cpu.assist", func(p *sim.Proc) {
-			outstanding := 0
-			for i := 1; i <= messages; i++ {
-				core.HostAwaitAssistReq(p, r.tb.A.CPU, flagsA, uint64(i))
-				if i == messages {
-					r.tb.A.CPU.WriteU64(p, r.aSend+off, uint64(i))
-				}
-				flags := 0
-				if i%sigEvery == 0 || i == messages {
-					flags = ibsim.FlagSignaled
-				}
-				r.va.HostPostSend(p, qa, r.pingWQE(size, flags, uint64(i)))
-				if flags != 0 {
-					outstanding++
-				}
-				if outstanding >= window {
-					r.va.HostPollCQ(p, qa.SendCQ)
-					outstanding--
-				}
-				core.HostAckAssist(p, r.tb.A.CPU, flagsA, uint64(i))
-			}
-		})
-	case IBHostControlled:
-		qa := r.va.CreateQP(512, 16, 512, false)
-		qb := r.vb.CreateQP(512, 16, 512, false)
-		core.ConnectVQPs(qa, qb)
-		r.tb.E.Spawn("b.cpu.end", func(p *sim.Proc) {
-			r.vb.HostPostRecv(p, qb, ibsim.RecvWQE{WRID: 1})
-			cqe := r.vb.HostPollCQ(p, qb.RecvCQ)
-			if cqe.Imm != uint32(messages) {
-				panic("bench: wrong final immediate")
-			}
-			tEnd = p.Now()
-			endSeen.Complete()
-		})
-		r.tb.E.Spawn("a.cpu", func(p *sim.Proc) {
-			tStart = p.Now()
-			outstanding := 0
-			for i := 1; i <= messages; i++ {
-				flags := 0
-				if i%sigEvery == 0 || i == messages {
-					flags = ibsim.FlagSignaled
-				}
-				wqe := r.pingWQE(size, flags, uint64(i))
-				if i == messages {
-					r.tb.A.CPU.WriteU64(p, r.aSend+off, uint64(i))
-					wqe.Opcode = ibsim.OpRDMAWriteImm
-					wqe.Imm = uint32(i)
-				}
-				r.va.HostPostSend(p, qa, wqe)
-				if flags != 0 {
-					outstanding++
-				}
-				if outstanding >= window {
-					r.va.HostPollCQ(p, qa.SendCQ)
-					outstanding--
-				}
-			}
-			for outstanding > 0 {
-				r.va.HostPollCQ(p, qa.SendCQ)
-				outstanding--
-			}
-		})
-	}
-
-	r.tb.E.Run()
-	mustDone(endSeen, "IB stream end detection")
-	elapsed := tEnd.Sub(tStart)
-
-	// Verify the final payload arrived intact (modulo the stamp word).
-	got := make([]byte, size)
-	mustWrite(r.tb.B.GPU.HostRead(r.bRecv, got))
-	want := make([]byte, size)
-	mustWrite(r.tb.A.GPU.HostRead(r.aSend, want))
-	if !bytes.Equal(got, want) {
-		panic("bench: IB stream corrupted payload")
-	}
-
-	return BandwidthResult{
-		Size:        size,
-		Messages:    messages,
-		Elapsed:     elapsed,
-		BytesPerSec: float64(size) * float64(messages) / elapsed.Seconds(),
-		Rel:         ibRel(r.tb),
-	}
+// A→B with completion moderation (every 4th WQE signaled, as ib_write_bw
+// does), reaping completions to refill the window; throughput measured to
+// the arrival of the final payload at B.
+func IBStream(p cluster.Params, mode ControlMode, size, messages int) BandwidthResult {
+	return Stream(p, transport.KindIB, mode, size, messages)
 }
 
 // IBMessageRate runs the §V-B.2 experiment: `pairs` QP connections, one
 // per CUDA block / kernel / CPU agent, each sending `perPair` 64-byte
 // messages with a window of one signaled write.
 func IBMessageRate(p cluster.Params, method RateMethod, pairs, perPair int) RateResult {
-	const msgSize = 64
-	slot := uint64(256)
-	r := newIBRig(p, slot*uint64(pairs))
-	defer r.tb.Shutdown()
-	r.fillPayload(msgSize)
-
-	onGPU := method == RateBlocks || method == RateKernels
-	qas := make([]*core.VQP, pairs)
-	for b := 0; b < pairs; b++ {
-		qa := r.va.CreateQP(256, 16, 256, onGPU)
-		qb := r.vb.CreateQP(256, 16, 256, onGPU)
-		core.ConnectVQPs(qa, qb)
-		qas[b] = qa
-	}
-	wqeFor := func(b int, wrid uint64) ibsim.WQE {
-		return ibsim.WQE{
-			Opcode: ibsim.OpRDMAWrite, Flags: ibsim.FlagSignaled, WRID: wrid,
-			LAddr: uint64(r.aSend) + uint64(b)*slot, LKey: r.aSendMR.LKey, Length: msgSize,
-			RAddr: uint64(r.bRecv) + uint64(b)*slot, RKey: r.bRecvMR.RKey,
-		}
-	}
-
-	starts := make([]sim.Time, pairs)
-	ends := make([]sim.Time, pairs)
-
-	gpuBody := func(w *gpusim.Warp, b int) {
-		starts[b] = w.Now()
-		for m := 1; m <= perPair; m++ {
-			r.va.DevPostSend(w, qas[b], wqeFor(b, uint64(m)))
-			r.va.DevPollCQ(w, qas[b].SendCQ)
-		}
-		ends[b] = w.Now()
-	}
-
-	switch method {
-	case RateBlocks:
-		done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: pairs}, func(w *gpusim.Warp) {
-			gpuBody(w, w.Block)
-		})
-		r.tb.E.Run()
-		mustDone(done, "IB message-rate blocks kernel")
-	case RateKernels:
-		dones := make([]*sim.Completion, pairs)
-		for b := 0; b < pairs; b++ {
-			st := r.tb.A.GPU.NewStream()
-			b := b
-			dones[b] = r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1, Stream: st}, func(w *gpusim.Warp) {
-				gpuBody(w, b)
-			})
-		}
-		r.tb.E.Run()
-		for b, d := range dones {
-			mustDone(d, fmt.Sprintf("IB message-rate kernel %d", b))
-		}
-	case RateAssisted:
-		flags := make([]core.AssistFlags, pairs)
-		for b := range flags {
-			flags[b] = core.NewAssistFlags(r.tb.A)
-		}
-		done := r.tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: pairs}, func(w *gpusim.Warp) {
-			b := w.Block
-			starts[b] = w.Now()
-			for m := 1; m <= perPair; m++ {
-				core.DevRequestAssist(w, flags[b], uint64(m))
-				core.DevAwaitAssistAck(w, flags[b], uint64(m))
-			}
-			ends[b] = w.Now()
-		})
-		cpuDone := sim.NewCompletion(r.tb.E)
-		r.tb.E.Spawn("a.cpu.assist", func(p *sim.Proc) {
-			served := make([]uint64, pairs)
-			remaining := pairs * perPair
-			for remaining > 0 {
-				progress := false
-				for b := 0; b < pairs; b++ {
-					if served[b] == uint64(perPair) {
-						continue
-					}
-					req := r.tb.A.CPU.ReadU64(p, flags[b].Req)
-					if req > served[b] {
-						r.va.HostPostSend(p, qas[b], wqeFor(b, req))
-						r.va.HostPollCQ(p, qas[b].SendCQ)
-						served[b] = req
-						core.HostAckAssist(p, r.tb.A.CPU, flags[b], req)
-						remaining--
-						progress = true
-					}
-				}
-				if !progress {
-					r.tb.A.CPU.Compute(p, 200*sim.Nanosecond)
-				}
-			}
-			cpuDone.Complete()
-		})
-		r.tb.E.Run()
-		mustDone(done, "IB assisted rate kernel")
-		mustDone(cpuDone, "IB assisted rate CPU")
-	case RateHostControlled:
-		done := sim.NewCompletion(r.tb.E)
-		r.tb.E.Spawn("a.cpu", func(p *sim.Proc) {
-			starts[0] = p.Now()
-			posted := make([]int, pairs)
-			inflight := make([]bool, pairs)
-			remaining := pairs * perPair
-			for remaining > 0 {
-				for b := 0; b < pairs; b++ {
-					if inflight[b] {
-						if _, ok := r.va.HostTryPollCQ(p, qas[b].SendCQ); ok {
-							inflight[b] = false
-							remaining--
-						}
-					} else if posted[b] < perPair {
-						posted[b]++
-						r.va.HostPostSend(p, qas[b], wqeFor(b, uint64(posted[b])))
-						inflight[b] = true
-					}
-				}
-			}
-			ends[0] = p.Now()
-			done.Complete()
-		})
-		r.tb.E.Run()
-		mustDone(done, "IB host-controlled rate CPU")
-		for b := 1; b < pairs; b++ {
-			starts[b], ends[b] = starts[0], ends[0]
-		}
-	}
-
-	var minStart, maxEnd sim.Time
-	minStart = starts[0]
-	for b := 0; b < pairs; b++ {
-		if starts[b] < minStart {
-			minStart = starts[b]
-		}
-		if ends[b] > maxEnd {
-			maxEnd = ends[b]
-		}
-	}
-	elapsed := maxEnd.Sub(minStart)
-	total := pairs * perPair
-	return RateResult{
-		Pairs:      pairs,
-		Messages:   total,
-		Elapsed:    elapsed,
-		MsgsPerSec: float64(total) / elapsed.Seconds(),
-	}
+	return MessageRate(p, transport.KindIB, method, pairs, perPair)
 }

@@ -10,69 +10,38 @@ import (
 
 	"putget/internal/gpusim"
 	"putget/internal/sim"
+	"putget/internal/transport"
 )
 
-// ExtollMode selects the control path for EXTOLL experiments (§V-A).
-type ExtollMode int
+// ControlMode selects who drives the put/get control path; it is the
+// transport layer's fabric-agnostic mode enum (its String values are the
+// paper's series names). The former per-fabric ExtollMode/IBMode pairs
+// are retained below as named aliases.
+type ControlMode = transport.ControlMode
 
 const (
 	// ExtDirect posts WRs from the GPU and polls notifications in system
-	// memory (dev2dev-direct).
-	ExtDirect ExtollMode = iota
+	// memory (dev2dev-direct). EXTOLL only.
+	ExtDirect = transport.Direct
 	// ExtPollOnGPU posts WRs from the GPU and polls the last received
-	// element in device memory (dev2dev-pollOnGPU).
-	ExtPollOnGPU
+	// element in device memory (dev2dev-pollOnGPU). EXTOLL only.
+	ExtPollOnGPU = transport.PollOnGPU
 	// ExtAssisted has the GPU trigger the CPU through a host-memory flag;
 	// the CPU performs the transfer (dev2dev-assisted).
-	ExtAssisted
+	ExtAssisted = transport.HostAssisted
 	// ExtHostControlled keeps all control flow on the CPU
 	// (dev2dev-hostControlled); data still moves GPU-to-GPU.
-	ExtHostControlled
-)
+	ExtHostControlled = transport.HostControlled
 
-// String implements fmt.Stringer with the paper's series names.
-func (m ExtollMode) String() string {
-	switch m {
-	case ExtDirect:
-		return "dev2dev-direct"
-	case ExtPollOnGPU:
-		return "dev2dev-pollOnGPU"
-	case ExtAssisted:
-		return "dev2dev-assisted"
-	case ExtHostControlled:
-		return "dev2dev-hostControlled"
-	}
-	return fmt.Sprintf("ExtollMode(%d)", int(m))
-}
-
-// IBMode selects the control path for InfiniBand experiments (§V-B).
-type IBMode int
-
-const (
-	// IBBufOnGPU: GPU-controlled, queues in GPU device memory.
-	IBBufOnGPU IBMode = iota
-	// IBBufOnHost: GPU-controlled, queues in host memory.
-	IBBufOnHost
+	// IBBufOnGPU: GPU-controlled, queues in GPU device memory. IB only.
+	IBBufOnGPU = transport.QueuesOnGPU
+	// IBBufOnHost: GPU-controlled, queues in host memory. IB only.
+	IBBufOnHost = transport.QueuesOnHost
 	// IBAssisted: GPU triggers the CPU via a flag.
-	IBAssisted
+	IBAssisted = transport.HostAssisted
 	// IBHostControlled: CPU-controlled with write-with-immediate.
-	IBHostControlled
+	IBHostControlled = transport.HostControlled
 )
-
-// String implements fmt.Stringer with the paper's series names.
-func (m IBMode) String() string {
-	switch m {
-	case IBBufOnGPU:
-		return "dev2dev-bufOnGPU"
-	case IBBufOnHost:
-		return "dev2dev-bufOnHost"
-	case IBAssisted:
-		return "dev2dev-assisted"
-	case IBHostControlled:
-		return "dev2dev-hostControlled"
-	}
-	return fmt.Sprintf("IBMode(%d)", int(m))
-}
 
 // RateMethod selects how the message-rate agents are organized (§V-A.2).
 type RateMethod int
@@ -142,21 +111,4 @@ type RateResult struct {
 	Messages   int
 	Elapsed    sim.Duration
 	MsgsPerSec float64
-}
-
-// seqMask returns the comparison mask for a size-byte sequence stamp.
-func seqMask(size int) uint64 {
-	if size >= 8 {
-		return ^uint64(0)
-	}
-	return (uint64(1) << (8 * uint(size))) - 1
-}
-
-// stampOff returns the in-buffer offset of the 8-byte stamp word for a
-// message of the given size (the last full word, or 0 for tiny messages).
-func stampOff(size int) int {
-	if size >= 8 {
-		return size - 8
-	}
-	return 0
 }

@@ -68,7 +68,7 @@ func TestModeStrings(t *testing.T) {
 	if RateKernels.String() != "dev2dev-kernels" {
 		t.Fatal("rate method names wrong")
 	}
-	if !strings.HasPrefix(ExtollMode(99).String(), "ExtollMode(") {
+	if !strings.HasPrefix(ControlMode(99).String(), "ControlMode(") {
 		t.Fatal("unknown mode should degrade gracefully")
 	}
 }

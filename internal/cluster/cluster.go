@@ -167,7 +167,11 @@ func attachPCIeFaults(p Params, a, b *Node) {
 }
 
 // NewExtollPair builds the EXTOLL testbed: two nodes with Galibier NICs.
+// Panics if p fails Validate.
 func NewExtollPair(p Params) *Testbed {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
 	e := sim.NewEngine()
 	a := newNode(e, "a", p)
 	b := newNode(e, "b", p)
@@ -225,7 +229,11 @@ func NewExtollPair(p Params) *Testbed {
 }
 
 // NewIBPair builds the InfiniBand testbed: two nodes with FDR HCAs.
+// Panics if p fails Validate.
 func NewIBPair(p Params) *Testbed {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
 	e := sim.NewEngine()
 	a := newNode(e, "a", p)
 	b := newNode(e, "b", p)

@@ -1,0 +1,95 @@
+package cluster
+
+import "fmt"
+
+// Validate checks the parameter set for values that cannot describe a
+// physical testbed — zero-sized notification rings, negative fault
+// probabilities, buffers larger than the memories that hold them — and
+// returns a descriptive error for the first violation found. The profile
+// constructors (Default, ASIC, Modern) always validate cleanly; the check
+// exists so hand-edited sweeps and CLI overrides fail fast with a message
+// instead of deadlocking the simulation or panicking deep in a substrate.
+func (p Params) Validate() error {
+	type check struct {
+		ok  bool
+		msg string
+	}
+	checks := []check{
+		// ---- GPU ----
+		{p.GPUSMs > 0, fmt.Sprintf("GPUSMs must be positive, got %d", p.GPUSMs)},
+		{p.GPUIssue > 0, fmt.Sprintf("GPUIssue must be positive, got %v", p.GPUIssue)},
+		{p.GPUL2Hit > 0, fmt.Sprintf("GPUL2Hit must be positive, got %v", p.GPUL2Hit)},
+		{p.GPUDevMemLat > 0, fmt.Sprintf("GPUDevMemLat must be positive, got %v", p.GPUDevMemLat)},
+		{p.GPUPCIeSlots > 0, fmt.Sprintf("GPUPCIeSlots must be positive, got %d", p.GPUPCIeSlots)},
+		{p.GPUIssueShare > 0, fmt.Sprintf("GPUIssueShare must be positive, got %d", p.GPUIssueShare)},
+		{p.GPUL2Bytes > 0, fmt.Sprintf("GPUL2Bytes must be positive, got %d", p.GPUL2Bytes)},
+		{p.GPUL2Assoc > 0, fmt.Sprintf("GPUL2Assoc must be positive, got %d", p.GPUL2Assoc)},
+		{p.GPUL2Sector > 0, fmt.Sprintf("GPUL2Sector must be positive, got %d", p.GPUL2Sector)},
+		{p.GPUDevMemSize > 0, "GPUDevMemSize must be positive"},
+		{p.GPUEgress > 0, fmt.Sprintf("GPUEgress must be positive, got %g", p.GPUEgress)},
+		{p.P2PReadSmall > 0, fmt.Sprintf("P2PReadSmall must be positive, got %g", p.P2PReadSmall)},
+		{p.P2PReadLarge > 0, fmt.Sprintf("P2PReadLarge must be positive, got %g", p.P2PReadLarge)},
+
+		// ---- host ----
+		{p.HostRAMSize > 0, "HostRAMSize must be positive"},
+		{p.HostMemLat > 0, fmt.Sprintf("HostMemLat must be positive, got %v", p.HostMemLat)},
+		{p.HostEgress > 0, fmt.Sprintf("HostEgress must be positive, got %g", p.HostEgress)},
+		{p.CPUEgress > 0, fmt.Sprintf("CPUEgress must be positive, got %g", p.CPUEgress)},
+
+		// ---- EXTOLL ----
+		{p.ExtClock > 0, fmt.Sprintf("ExtClock must be positive, got %g", p.ExtClock)},
+		{p.ExtDatapath > 0, fmt.Sprintf("ExtDatapath must be positive, got %d", p.ExtDatapath)},
+		{p.ExtPorts > 0, fmt.Sprintf("ExtPorts must be positive, got %d", p.ExtPorts)},
+		{p.ExtNotifEntries > 0, fmt.Sprintf("ExtNotifEntries must be positive, got %d", p.ExtNotifEntries)},
+		{p.ExtDMACtx > 0, fmt.Sprintf("ExtDMACtx must be positive, got %d", p.ExtDMACtx)},
+		{p.ExtEgress > 0, fmt.Sprintf("ExtEgress must be positive, got %g", p.ExtEgress)},
+		{p.ExtWireBW > 0, fmt.Sprintf("ExtWireBW must be positive, got %g", p.ExtWireBW)},
+
+		// ---- InfiniBand ----
+		{p.IBFetchBatch > 0, fmt.Sprintf("IBFetchBatch must be positive, got %d", p.IBFetchBatch)},
+		{p.IBDMACtx > 0, fmt.Sprintf("IBDMACtx must be positive, got %d", p.IBDMACtx)},
+		{p.IBEgress > 0, fmt.Sprintf("IBEgress must be positive, got %g", p.IBEgress)},
+		{p.IBWireBW > 0, fmt.Sprintf("IBWireBW must be positive, got %g", p.IBWireBW)},
+
+		// ---- fault injection ----
+		{p.FaultDropRate >= 0 && p.FaultDropRate <= 1,
+			fmt.Sprintf("FaultDropRate must be in [0,1], got %g", p.FaultDropRate)},
+		{p.FaultCorruptRate >= 0 && p.FaultCorruptRate <= 1,
+			fmt.Sprintf("FaultCorruptRate must be in [0,1], got %g", p.FaultCorruptRate)},
+		{p.FaultPCIeReplayRate >= 0 && p.FaultPCIeReplayRate <= 1,
+			fmt.Sprintf("FaultPCIeReplayRate must be in [0,1], got %g", p.FaultPCIeReplayRate)},
+		{p.FaultDelayMax >= 0, fmt.Sprintf("FaultDelayMax must be non-negative, got %v", p.FaultDelayMax)},
+		{p.FaultPCIeReplayPenalty >= 0,
+			fmt.Sprintf("FaultPCIeReplayPenalty must be non-negative, got %v", p.FaultPCIeReplayPenalty)},
+		{p.FaultBlackoutEnd >= p.FaultBlackoutStart,
+			fmt.Sprintf("FaultBlackoutEnd (%v) must not precede FaultBlackoutStart (%v)",
+				p.FaultBlackoutEnd, p.FaultBlackoutStart)},
+		{p.WireDepthCap >= 0, fmt.Sprintf("WireDepthCap must be non-negative, got %d", p.WireDepthCap)},
+
+		// ---- harness ----
+		{p.Parallel >= 0, fmt.Sprintf("Parallel must be non-negative, got %d", p.Parallel)},
+	}
+	for _, c := range checks {
+		if !c.ok {
+			return fmt.Errorf("cluster: invalid Params: %s", c.msg)
+		}
+	}
+	// Cross-field sanity: the EXTOLL notification rings live in host RAM
+	// (or in a 32 MiB carve-out at the top of device memory under the
+	// ExtNotifInDevMem ablation) — the ring area must fit its backing
+	// memory. Layout mirrors extoll.NIC: ExtPorts x 3 classes rings, each
+	// ExtNotifEntries 16-byte notifications plus a 16-byte write pointer.
+	ringBytes := uint64(p.ExtPorts) * 3 * (uint64(p.ExtNotifEntries)*16 + 16)
+	if p.ExtNotifInDevMem {
+		if ringBytes > 32<<20 {
+			return fmt.Errorf("cluster: invalid Params: notification rings (%d bytes) exceed the 32 MiB device-memory carve-out", ringBytes)
+		}
+		if p.GPUDevMemSize < 32<<20 {
+			return fmt.Errorf("cluster: invalid Params: GPUDevMemSize (%d) too small for the notification-ring carve-out", p.GPUDevMemSize)
+		}
+	} else if uint64(NotifArea)+ringBytes > p.HostRAMSize {
+		return fmt.Errorf("cluster: invalid Params: notification rings (%d bytes at %#x) exceed HostRAMSize (%d)",
+			ringBytes, uint64(NotifArea), p.HostRAMSize)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"putget/internal/sim"
+)
+
+func TestValidateAcceptsProfiles(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    Params
+	}{
+		{"default", Default()},
+		{"asic", ASIC()},
+		{"modern", Modern()},
+	} {
+		if err := tc.p.Validate(); err != nil {
+			t.Errorf("%s profile should validate: %v", tc.name, err)
+		}
+	}
+}
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Params)
+		want string
+	}{
+		{"zero ring entries", func(p *Params) { p.ExtNotifEntries = 0 }, "ExtNotifEntries"},
+		{"negative SMs", func(p *Params) { p.GPUSMs = -1 }, "GPUSMs"},
+		{"zero dev mem", func(p *Params) { p.GPUDevMemSize = 0 }, "GPUDevMemSize"},
+		{"negative drop rate", func(p *Params) { p.FaultDropRate = -0.1 }, "FaultDropRate"},
+		{"drop rate above one", func(p *Params) { p.FaultDropRate = 1.5 }, "FaultDropRate"},
+		{"negative corrupt rate", func(p *Params) { p.FaultCorruptRate = -1 }, "FaultCorruptRate"},
+		{"negative delay", func(p *Params) { p.FaultDelayMax = -sim.Nanosecond }, "FaultDelayMax"},
+		{"inverted blackout", func(p *Params) {
+			p.FaultBlackoutStart = sim.Time(100)
+			p.FaultBlackoutEnd = sim.Time(50)
+		}, "FaultBlackout"},
+		{"negative wire cap", func(p *Params) { p.WireDepthCap = -2 }, "WireDepthCap"},
+		{"negative parallel", func(p *Params) { p.Parallel = -1 }, "Parallel"},
+		{"zero wire bw", func(p *Params) { p.ExtWireBW = 0 }, "ExtWireBW"},
+		{"rings exceed host RAM", func(p *Params) { p.HostRAMSize = 16 << 20 }, "notification rings"},
+		{"rings exceed carve-out", func(p *Params) {
+			p.ExtNotifInDevMem = true
+			p.ExtNotifEntries = 1 << 20
+		}, "carve-out"},
+	} {
+		p := Default()
+		tc.mut(&p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestNewPairPanicsOnInvalidParams(t *testing.T) {
+	p := Default()
+	p.ExtNotifEntries = 0
+	for _, tc := range []struct {
+		name string
+		make func(Params) *Testbed
+	}{
+		{"extoll", NewExtollPair},
+		{"ib", NewIBPair},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewPair should panic on invalid params", tc.name)
+				}
+			}()
+			tc.make(p)
+		}()
+	}
+}

@@ -43,6 +43,7 @@ type Stats struct {
 	RNRDrops       uint64 // sends/write-imms arriving with an empty RQ
 	ProtectionErrs uint64
 	ReadsServed    uint64 // RDMA READ requests answered
+	AtomicsServed  uint64 // atomic fetch-add requests answered
 	FlushedWQEs    uint64 // WQEs completed with flush error on an ERR QP
 	DroppedOnErrQP uint64 // packets dropped because the QP was in ERR
 
@@ -73,7 +74,10 @@ type Packet struct {
 	// LAddr echoes the requester's landing address on RDMA READ requests
 	// so the response can be scattered without extra origin state.
 	LAddr uint64
-	Data  []byte
+	// Add carries the fetch-and-add operand on OpAtomicFAdd requests
+	// (real IB's AtomicETH field).
+	Add  uint64
+	Data []byte
 	// PSN sequences request packets when the reliability protocol is on;
 	// ACK/NAK packets carry the next expected PSN here, read responses the
 	// request PSN they answer.
@@ -87,6 +91,8 @@ type Packet struct {
 const (
 	// opReadResp is an RDMA READ response packet.
 	opReadResp = 100
+	// opAtomicResp answers an atomic fetch-add with the pre-add value.
+	opAtomicResp = 104
 	// opAck acknowledges all PSNs below Packet.PSN.
 	opAck = 101
 	// opNak reports a sequence gap: resend from Packet.PSN.
@@ -559,6 +565,13 @@ func (h *HCA) execute(qp *QP, wqe WQE) {
 				h.stats.ProtectionErrs++
 				status = StatusErr
 			}
+		case wqe.Opcode == OpAtomicFAdd:
+			// Atomics carry the operand in the descriptor, no payload DMA;
+			// validate the 8-byte landing buffer for the old value now.
+			if _, ok := h.lookupLKey(wqe.LKey, wqe.LAddr, 8); !ok {
+				h.stats.ProtectionErrs++
+				status = StatusErr
+			}
 		case wqe.Length > 0:
 			if _, ok := h.lookupLKey(wqe.LKey, wqe.LAddr, wqe.Length); !ok {
 				h.stats.ProtectionErrs++
@@ -591,6 +604,13 @@ func (h *HCA) execute(qp *QP, wqe WQE) {
 				// length in RAddr-relative terms via the packet length.
 				pkt.Imm = uint32(wqe.Length)
 				wb = PktHeader
+			}
+			if wqe.Opcode == OpAtomicFAdd {
+				// An atomic request is header + 8-byte operand (AtomicETH).
+				pkt.LAddr = wqe.LAddr
+				pkt.Data = nil
+				pkt.Add = wqe.Add
+				wb = PktHeader + 8
 			}
 			if qp.rel != nil {
 				// PSNs are stamped at transmit time, after the ordering
@@ -627,10 +647,11 @@ func (h *HCA) execute(qp *QP, wqe WQE) {
 			})
 			return
 		}
-		// RDMA READ completes only when the response lands (see
-		// completeReadResp). Under the reliability protocol everything
-		// else completes on ACK; on the perfect wire, locally.
-		if qp.rel == nil && wqe.Opcode != OpRDMARead && wqe.Flags&FlagSignaled != 0 {
+		// RDMA READ and atomics complete only when the response lands (see
+		// completeReadResp/completeAtomicResp). Under the reliability
+		// protocol everything else completes on ACK; on the perfect wire,
+		// locally.
+		if qp.rel == nil && wqe.Opcode != OpRDMARead && wqe.Opcode != OpAtomicFAdd && wqe.Flags&FlagSignaled != 0 {
 			qp.SendCQ.push(CQE{
 				Opcode: wqe.Opcode, WRID: wqe.WRID, ByteLen: wqe.Length,
 				QPN: qp.QPN, Status: status,
@@ -678,7 +699,7 @@ func (h *HCA) receive(p *sim.Proc, pkt Packet) {
 		h.stats.DroppedOnErrQP++
 		return
 	}
-	if qp.rel != nil && pkt.Opcode != opReadResp {
+	if qp.rel != nil && pkt.Opcode != opReadResp && pkt.Opcode != opAtomicResp {
 		if !h.responderAdmit(p, qp, pkt) {
 			return
 		}
@@ -703,8 +724,12 @@ func (h *HCA) receive(p *sim.Proc, pkt Packet) {
 		h.completeReceive(p, qp, pkt, 1)
 	case OpRDMARead:
 		h.serveRead(p, qp, pkt)
+	case OpAtomicFAdd:
+		h.serveAtomic(p, qp, pkt)
 	case opReadResp:
 		h.completeReadResp(p, qp, pkt)
+	case opAtomicResp:
+		h.completeAtomicResp(p, qp, pkt)
 	default:
 		panic(fmt.Sprintf("ibsim: %s: bad opcode %d", h.cfg.Name, pkt.Opcode))
 	}
@@ -730,6 +755,58 @@ func (h *HCA) serveRead(p *sim.Proc, qp *QP, pkt Packet) {
 		Opcode: opReadResp, Flags: pkt.Flags, SrcQPN: qp.QPN, DstQPN: pkt.SrcQPN,
 		LAddr: pkt.LAddr, WRID: pkt.WRID, Data: data, PSN: pkt.PSN,
 	}, h.wireBytes(length))
+}
+
+// serveAtomic answers a remote fetch-and-add: an atomic read-modify-write
+// of one 8-byte word through the responder's DMA engine, returning the
+// pre-add value. Unlike reads, atomics are not idempotent, so under the
+// reliability protocol the response is cached for duplicate-request replay
+// (responderAdmit must not re-execute the add). Verbs permits one
+// outstanding atomic per QP, so a one-deep cache is exact.
+func (h *HCA) serveAtomic(p *sim.Proc, qp *QP, pkt Packet) {
+	if _, ok := h.lookupRKey(pkt.RKey, pkt.RAddr, 8); !ok {
+		h.stats.ProtectionErrs++
+		return
+	}
+	buf := make([]byte, 8)
+	h.dmaSlots.Acquire(p)
+	h.f.ReadBulk(p, h.ep, memspace.Addr(pkt.RAddr), buf)
+	old := binary.LittleEndian.Uint64(buf)
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], old+pkt.Add)
+	h.f.WriteBulk(p, h.ep, memspace.Addr(pkt.RAddr), sum[:])
+	h.dmaSlots.Release()
+	h.stats.AtomicsServed++
+	resp := Packet{
+		Opcode: opAtomicResp, Flags: pkt.Flags, SrcQPN: qp.QPN, DstQPN: pkt.SrcQPN,
+		LAddr: pkt.LAddr, WRID: pkt.WRID, Data: buf, PSN: pkt.PSN,
+	}
+	if qp.rel != nil {
+		qp.rel.atomicRespValid = true
+		qp.rel.atomicRespPSN = pkt.PSN
+		qp.rel.atomicResp = resp
+	}
+	h.tx.Send(resp, h.wireBytes(8))
+}
+
+// completeAtomicResp lands the pre-add value at the origin and completes
+// the atomic WQE into the send CQ. Like a read response, it doubles as a
+// cumulative ACK under the reliability protocol.
+func (h *HCA) completeAtomicResp(p *sim.Proc, qp *QP, pkt Packet) {
+	if qp.rel != nil {
+		h.ackUpTo(qp, pkt.PSN+1)
+	}
+	var land sim.SpanID
+	if h.e.Observing() {
+		land = h.e.SpanOpen(h.cfg.Name, "complete", sim.Attr{Key: "bytes", Val: int64(len(pkt.Data))})
+	}
+	h.e.SpanCloseAt(land, h.f.WriteBulk(p, h.ep, memspace.Addr(pkt.LAddr), pkt.Data))
+	if pkt.Flags&FlagSignaled != 0 {
+		qp.SendCQ.push(CQE{
+			Opcode: OpAtomicFAdd, WRID: pkt.WRID, ByteLen: len(pkt.Data),
+			QPN: qp.QPN, Status: StatusOK,
+		})
+	}
 }
 
 // completeReadResp lands read data at the origin and completes the read

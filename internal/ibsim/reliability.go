@@ -66,6 +66,14 @@ type qpRel struct {
 	nakSent    bool // one NAK per expected-PSN value
 	ackPending int
 	ackGen     int
+
+	// Atomic duplicate-replay cache: atomics are not idempotent, so a
+	// replayed request re-sends the cached response instead of re-executing
+	// the add. Verbs allows one outstanding atomic per QP, so the cache is
+	// one-deep.
+	atomicRespValid bool
+	atomicRespPSN   uint32
+	atomicResp      Packet
 }
 
 func newQPRel(e *sim.Engine) *qpRel {
@@ -138,8 +146,8 @@ func (h *HCA) resendFrom(qp *QP, psn uint32) {
 }
 
 // ackUpTo releases every unacked packet with PSN < psn: signaled writes
-// and sends complete into the send CQ; reads complete separately when
-// their response data lands.
+// and sends complete into the send CQ; reads and atomics complete
+// separately when their response data lands.
 func (h *HCA) ackUpTo(qp *QP, psn uint32) {
 	r := qp.rel
 	n := 0
@@ -148,7 +156,7 @@ func (h *HCA) ackUpTo(qp *QP, psn uint32) {
 			break
 		}
 		n++
-		if en.pkt.Opcode != OpRDMARead && en.signaled {
+		if en.pkt.Opcode != OpRDMARead && en.pkt.Opcode != OpAtomicFAdd && en.signaled {
 			qp.SendCQ.push(CQE{
 				Opcode: en.pkt.Opcode, WRID: en.pkt.WRID, ByteLen: en.length,
 				QPN: qp.QPN, Status: StatusOK,
@@ -248,6 +256,16 @@ func (h *HCA) responderAdmit(p *sim.Proc, qp *QP, pkt Packet) bool {
 				h.serveRead(p, qp, pkt)
 				return false
 			}
+			if pkt.Opcode == OpAtomicFAdd {
+				// Replay the cached response — re-executing would apply
+				// the add twice.
+				if r.atomicRespValid && r.atomicRespPSN == pkt.PSN {
+					h.tx.Send(r.atomicResp, h.wireBytes(8))
+				} else {
+					h.sendAck(qp)
+				}
+				return false
+			}
 			h.sendAck(qp)
 			return false
 		}
@@ -276,8 +294,8 @@ func (h *HCA) responderAdmit(p *sim.Proc, qp *QP, pkt Packet) bool {
 	}
 	r.ePSN++
 	r.nakSent = false
-	if pkt.Opcode == OpRDMARead {
-		// The read response doubles as a cumulative ACK; cancel any
+	if pkt.Opcode == OpRDMARead || pkt.Opcode == OpAtomicFAdd {
+		// The read/atomic response doubles as a cumulative ACK; cancel any
 		// pending coalesced ACK.
 		r.ackPending = 0
 		r.ackGen++

@@ -20,6 +20,7 @@ const (
 	OpRDMAWriteImm = 2 // remote write + immediate (consumes a recv WQE)
 	OpSend         = 3 // two-sided send (consumes a recv WQE for the address)
 	OpRDMARead     = 4 // one-sided remote read
+	OpAtomicFAdd   = 5 // one-sided 8-byte fetch-and-add; old value lands at LAddr
 )
 
 // WQE flags.
@@ -58,6 +59,9 @@ type WQE struct {
 	RAddr  uint64
 	RKey   uint32
 	Imm    uint32
+	// Add is the OpAtomicFAdd operand; it travels in the descriptor (and
+	// the request header on the wire), like real IB's AtomicETH.
+	Add uint64
 	// Inline carries the payload for FlagInline WQEs (≤ InlineMax bytes);
 	// it occupies the local-address fields in the hardware layout.
 	Inline []byte
@@ -91,6 +95,7 @@ func EncodeWQE(w WQE, buf []byte) {
 	binary.BigEndian.PutUint32(buf[40:], w.RKey)
 	binary.BigEndian.PutUint32(buf[44:], w.Imm)
 	binary.BigEndian.PutUint32(buf[48:], WQEOwnerMagic)
+	binary.BigEndian.PutUint64(buf[52:], w.Add)
 }
 
 // DecodeWQE parses the hardware layout back into a WQE, checking the
@@ -110,6 +115,7 @@ func DecodeWQE(buf []byte) (WQE, error) {
 		RAddr:  binary.BigEndian.Uint64(buf[32:]),
 		RKey:   binary.BigEndian.Uint32(buf[40:]),
 		Imm:    binary.BigEndian.Uint32(buf[44:]),
+		Add:    binary.BigEndian.Uint64(buf[52:]),
 	}
 	if w.Flags&FlagInline != 0 {
 		if w.Length > InlineMax {

@@ -9,42 +9,46 @@
 //     from device code; descriptor writes can use the warp-collective path;
 //   - claim 3 (minimal PCIe control traffic): all completion detection
 //     polls device memory (pollOnGPU) or uses immediate puts; the
-//     system-memory notification rings are touched only by Quiet.
+//     fabric's completion streams are touched only by Quiet.
 //
 // The library spans the repository's two-node testbed: two processing
-// elements (PEs), one per GPU, over the EXTOLL fabric. Every data object
-// lives in a symmetric heap at identical offsets on both PEs, so remote
-// addresses are derived, never exchanged.
+// elements (PEs), one per GPU, over either fabric — it is written against
+// the transport.Endpoint abstraction, so the same code runs SHMEM over
+// EXTOLL RMA or over InfiniBand Verbs (NewWorldOn selects). Every data
+// object lives in a symmetric heap at identical offsets on both PEs, so
+// remote addresses are derived, never exchanged.
 package shmem
 
 import (
 	"fmt"
 
 	"putget/internal/cluster"
-	"putget/internal/core"
-	"putget/internal/extoll"
 	"putget/internal/gpusim"
 	"putget/internal/memspace"
+	"putget/internal/transport"
 )
 
-// World is a two-PE SHMEM job over an EXTOLL testbed.
+// World is a two-PE SHMEM job over a two-node testbed.
 type World struct {
-	TB  *cluster.Testbed
-	PEs [2]*PE
+	TB        *cluster.Testbed
+	Transport transport.Transport
+	PEs       [2]*PE
 }
 
 // PE is one processing element: a GPU plus its communication state.
 type PE struct {
 	Rank int
 	Node *cluster.Node
-	RMA  *core.RMA
 
 	heapBase memspace.Addr // symmetric heap in local device memory
 	heapSize uint64
 	heapBrk  uint64
 
-	localNLA extoll.NLA // local heap registered at the local NIC
-	peerNLA  extoll.NLA // peer heap registered at the peer NIC
+	local transport.Region // local heap, registered with the fabric
+	peer  transport.Region // peer heap, as a remote put/get target
+
+	data transport.Endpoint // bulk puts and gets
+	sync transport.Endpoint // barrier immediates and atomics
 
 	// internal symmetric objects (offsets into the heap)
 	barrierOff  uint64 // arrival flag written by the peer
@@ -52,34 +56,56 @@ type PE struct {
 	outstanding int    // puts not yet quiesced
 }
 
-// dataPort and syncPort separate bulk puts from barrier/atomic traffic so
-// Quiet never consumes a synchronization notification.
+// dataConn and syncConn separate bulk puts from barrier/atomic traffic so
+// Quiet never consumes a synchronization completion. On EXTOLL they map to
+// two RMA ports; on InfiniBand to two queue pairs.
 const (
-	dataPort = 0
-	syncPort = 1
+	dataConn = 0
+	syncConn = 1
 )
 
-// NewWorld builds a two-PE world with the given symmetric heap size.
+// NewWorld builds a two-PE world over the EXTOLL fabric (the paper's
+// primary testbed) with the given symmetric heap size.
 func NewWorld(p cluster.Params, heapSize uint64) *World {
-	tb := cluster.NewExtollPair(p)
-	w := &World{TB: tb}
+	return NewWorldOn(transport.KindExtoll, p, heapSize)
+}
+
+// NewWorldOn builds a two-PE world over the chosen fabric. The library
+// code above the transport layer is identical for both; only descriptor
+// formats and completion mechanisms differ underneath.
+func NewWorldOn(k transport.Kind, p cluster.Params, heapSize uint64) *World {
+	var tb *cluster.Testbed
+	if k == transport.KindExtoll {
+		tb = cluster.NewExtollPair(p)
+	} else {
+		tb = cluster.NewIBPair(p)
+	}
+	tr := transport.New(k, tb)
+	w := &World{TB: tb, Transport: tr}
 	mk := func(rank int, node *cluster.Node) *PE {
-		pe := &PE{Rank: rank, Node: node, RMA: core.NewRMA(node)}
+		pe := &PE{Rank: rank, Node: node}
 		pe.heapBase = node.AllocDev(heapSize)
 		pe.heapSize = heapSize
 		return pe
 	}
 	w.PEs[0] = mk(0, tb.A)
 	w.PEs[1] = mk(1, tb.B)
-	for i, pe := range w.PEs {
-		peer := w.PEs[1-i]
-		pe.localNLA = pe.RMA.Register(pe.heapBase, heapSize)
-		pe.peerNLA = peer.RMA.Register(peer.heapBase, heapSize)
-		pe.RMA.OpenPort(dataPort)
-		pe.RMA.OpenPort(syncPort)
+	regs := [2]transport.Region{
+		tr.Register(tb.A, w.PEs[0].heapBase, heapSize),
+		tr.Register(tb.B, w.PEs[1].heapBase, heapSize),
 	}
-	extoll.ConnectPorts(tb.A.Extoll, dataPort, tb.B.Extoll, dataPort)
-	extoll.ConnectPorts(tb.A.Extoll, syncPort, tb.B.Extoll, syncPort)
+	for i, pe := range w.PEs {
+		pe.local = regs[i]
+		pe.peer = regs[1-i]
+	}
+	// On InfiniBand the queues live in GPU device memory (the paper's
+	// bufOnGPU placement — claim 3's minimal-PCIe completion detection)
+	// and the sync connection provisions the fetch-add landing buffer.
+	hint := transport.ConnHint{QueuesOnGPU: k == transport.KindIB}
+	syncHint := hint
+	syncHint.Atomics = true
+	w.PEs[0].data, w.PEs[1].data = tr.Connect(dataConn, hint)
+	w.PEs[0].sync, w.PEs[1].sync = tr.Connect(syncConn, syncHint)
 	// The barrier flag is the first symmetric allocation on every PE.
 	for _, pe := range w.PEs {
 		off := pe.alloc(8)
@@ -131,32 +157,29 @@ func (pe *PE) HostRead(off uint64, data []byte) error {
 // Put copies n bytes from the local symmetric offset src to the peer's
 // symmetric offset dst. Completion is asynchronous; call Quiet to wait.
 func (pe *PE) Put(w *gpusim.Warp, dst, src uint64, n int) {
-	pe.RMA.DevPut(w, dataPort, pe.localNLA+extoll.NLA(src), pe.peerNLA+extoll.NLA(dst),
-		n, extoll.FlagReqNotif)
+	pe.data.DevPut(w, pe.local, src, pe.peer, dst, n, transport.FlagLocalComp)
 	pe.outstanding++
 }
 
 // PutImm writes one 64-bit value to the peer's symmetric offset without
 // any source DMA (claim 3's cheapest possible transfer).
 func (pe *PE) PutImm(w *gpusim.Warp, dst uint64, value uint64) {
-	pe.RMA.DevPutImm(w, dataPort, value, pe.peerNLA+extoll.NLA(dst), 8, extoll.FlagReqNotif)
+	pe.data.DevPutImm(w, value, pe.peer, dst, 8, transport.FlagLocalComp)
 	pe.outstanding++
 }
 
 // Get copies n bytes from the peer's symmetric offset src into the local
 // offset dst and blocks until the data has arrived.
 func (pe *PE) Get(w *gpusim.Warp, dst, src uint64, n int) {
-	pe.RMA.DevGet(w, dataPort, pe.peerNLA+extoll.NLA(src), pe.localNLA+extoll.NLA(dst),
-		n, extoll.FlagCompNotif)
-	pe.RMA.DevWaitNotif(w, dataPort, extoll.ClassCompleter)
+	pe.data.DevGet(w, pe.local, dst, pe.peer, src, n)
 }
 
-// Quiet blocks until every outstanding Put has left local memory (the
-// EXTOLL requester notification — local completion, as shmem_quiet
-// requires on a fabric with in-order delivery).
+// Quiet blocks until every outstanding Put has completed locally (the
+// EXTOLL requester notification / IB send CQE — local completion, as
+// shmem_quiet requires on a fabric with in-order delivery).
 func (pe *PE) Quiet(w *gpusim.Warp) {
 	for pe.outstanding > 0 {
-		pe.RMA.DevWaitNotif(w, dataPort, extoll.ClassRequester)
+		pe.data.DevWaitComplete(w, transport.CompLocal)
 		pe.outstanding--
 	}
 }
@@ -171,22 +194,19 @@ func (pe *PE) WaitUntil(w *gpusim.Warp, off uint64, want uint64) {
 }
 
 // Barrier synchronizes both PEs: each increments its epoch, writes it to
-// the peer's barrier flag with an immediate put over the sync port, and
-// polls its own flag in device memory until the peer's epoch arrives.
+// the peer's barrier flag with an immediate put over the sync connection,
+// and polls its own flag in device memory until the peer's epoch arrives.
 func (pe *PE) Barrier(w *gpusim.Warp) {
 	pe.barrierSeq++
-	pe.RMA.DevPutImm(w, syncPort, pe.barrierSeq,
-		pe.peerNLA+extoll.NLA(pe.barrierOff), 8, extoll.FlagReqNotif)
-	pe.RMA.DevWaitNotif(w, syncPort, extoll.ClassRequester)
+	pe.sync.DevPutImm(w, pe.barrierSeq, pe.peer, pe.barrierOff, 8, transport.FlagLocalComp)
+	pe.sync.DevWaitComplete(w, transport.CompLocal)
 	pe.WaitUntil(w, pe.barrierOff, pe.barrierSeq)
 }
 
 // FetchAdd atomically adds addend to the peer's symmetric 64-bit word at
 // off and returns the previous value.
 func (pe *PE) FetchAdd(w *gpusim.Warp, off uint64, addend uint64) uint64 {
-	pe.RMA.DevFetchAdd(w, syncPort, addend, pe.peerNLA+extoll.NLA(off))
-	_, old := pe.RMA.DevWaitNotifValue(w, syncPort, extoll.ClassCompleter)
-	return old
+	return pe.sync.DevFetchAdd(w, addend, pe.peer, off)
 }
 
 // Run launches body as a single-block, full-warp kernel on every PE and

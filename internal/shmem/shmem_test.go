@@ -7,6 +7,7 @@ import (
 
 	"putget/internal/cluster"
 	"putget/internal/gpusim"
+	"putget/internal/transport"
 )
 
 func smallParams() cluster.Params {
@@ -16,147 +17,169 @@ func smallParams() cluster.Params {
 	return p
 }
 
+// forBothFabrics runs a test body as a subtest over each transport
+// backend: the SHMEM library itself is fabric-agnostic, so every
+// semantic property must hold over EXTOLL and InfiniBand alike.
+func forBothFabrics(t *testing.T, f func(t *testing.T, k transport.Kind)) {
+	for _, k := range []transport.Kind{transport.KindExtoll, transport.KindIB} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) { f(t, k) })
+	}
+}
+
 func TestPutQuietDelivers(t *testing.T) {
-	w := NewWorld(smallParams(), 1<<20)
-	buf := w.Malloc(4096)
-	payload := make([]byte, 4096)
-	for i := range payload {
-		payload[i] = byte(i * 5)
-	}
-	if err := w.PEs[0].HostWrite(buf, payload); err != nil {
-		t.Fatal(err)
-	}
-	w.Run(func(pe *PE, warp *gpusim.Warp) {
-		if pe.Rank == 0 {
-			pe.Put(warp, buf, buf, len(payload))
-			pe.Quiet(warp)
+	forBothFabrics(t, func(t *testing.T, k transport.Kind) {
+		w := NewWorldOn(k, smallParams(), 1<<20)
+		buf := w.Malloc(4096)
+		payload := make([]byte, 4096)
+		for i := range payload {
+			payload[i] = byte(i * 5)
+		}
+		if err := w.PEs[0].HostWrite(buf, payload); err != nil {
+			t.Fatal(err)
+		}
+		w.Run(func(pe *PE, warp *gpusim.Warp) {
+			if pe.Rank == 0 {
+				pe.Put(warp, buf, buf, len(payload))
+				pe.Quiet(warp)
+			}
+		})
+		got := make([]byte, len(payload))
+		if err := w.PEs[1].HostRead(buf, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("put payload corrupted")
 		}
 	})
-	got := make([]byte, len(payload))
-	if err := w.PEs[1].HostRead(buf, got); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got, payload) {
-		t.Fatal("put payload corrupted")
-	}
 }
 
 func TestGetFetchesPeerData(t *testing.T) {
-	w := NewWorld(smallParams(), 1<<20)
-	src := w.Malloc(1024)
-	dst := w.Malloc(1024)
-	payload := []byte("symmetric heap payload for shmem get")
-	if err := w.PEs[1].HostWrite(src, payload); err != nil {
-		t.Fatal(err)
-	}
-	w.Run(func(pe *PE, warp *gpusim.Warp) {
-		if pe.Rank == 0 {
-			pe.Get(warp, dst, src, len(payload))
-			// Data must be visible immediately after Get returns.
-			v := warp.LdGlobalU64(pe.Addr(dst))
-			want := binary.LittleEndian.Uint64(payload[:8])
-			if v != want {
-				t.Errorf("get returned before data arrived: %#x != %#x", v, want)
+	forBothFabrics(t, func(t *testing.T, k transport.Kind) {
+		w := NewWorldOn(k, smallParams(), 1<<20)
+		src := w.Malloc(1024)
+		dst := w.Malloc(1024)
+		payload := []byte("symmetric heap payload for shmem get")
+		if err := w.PEs[1].HostWrite(src, payload); err != nil {
+			t.Fatal(err)
+		}
+		w.Run(func(pe *PE, warp *gpusim.Warp) {
+			if pe.Rank == 0 {
+				pe.Get(warp, dst, src, len(payload))
+				// Data must be visible immediately after Get returns.
+				v := warp.LdGlobalU64(pe.Addr(dst))
+				want := binary.LittleEndian.Uint64(payload[:8])
+				if v != want {
+					t.Errorf("get returned before data arrived: %#x != %#x", v, want)
+				}
 			}
+		})
+		got := make([]byte, len(payload))
+		if err := w.PEs[0].HostRead(dst, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("get payload corrupted")
 		}
 	})
-	got := make([]byte, len(payload))
-	if err := w.PEs[0].HostRead(dst, got); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got, payload) {
-		t.Fatal("get payload corrupted")
-	}
 }
 
 func TestPutImmAndWaitUntil(t *testing.T) {
-	w := NewWorld(smallParams(), 1<<20)
-	flag := w.Malloc(8)
-	var sawAt [2]int64
-	w.Run(func(pe *PE, warp *gpusim.Warp) {
-		if pe.Rank == 0 {
-			warp.Proc().Sleep(20_000_000) // 20us
-			pe.PutImm(warp, flag, 0x77)
-			pe.Quiet(warp)
-		} else {
-			pe.WaitUntil(warp, flag, 0x77)
-			sawAt[1] = int64(warp.Now())
+	forBothFabrics(t, func(t *testing.T, k transport.Kind) {
+		w := NewWorldOn(k, smallParams(), 1<<20)
+		flag := w.Malloc(8)
+		var sawAt [2]int64
+		w.Run(func(pe *PE, warp *gpusim.Warp) {
+			if pe.Rank == 0 {
+				warp.Proc().Sleep(20_000_000) // 20us
+				pe.PutImm(warp, flag, 0x77)
+				pe.Quiet(warp)
+			} else {
+				pe.WaitUntil(warp, flag, 0x77)
+				sawAt[1] = int64(warp.Now())
+			}
+		})
+		if sawAt[1] < 20_000_000 {
+			t.Fatalf("PE1 passed WaitUntil at %d before the PutImm", sawAt[1])
 		}
 	})
-	if sawAt[1] < 20_000_000 {
-		t.Fatalf("PE1 passed WaitUntil at %d before the PutImm", sawAt[1])
-	}
 }
 
 func TestBarrierSynchronizes(t *testing.T) {
-	w := NewWorld(smallParams(), 1<<20)
-	const rounds = 5
-	var exits [2][rounds]int64
-	w.Run(func(pe *PE, warp *gpusim.Warp) {
-		for r := 0; r < rounds; r++ {
-			// Rank 1 dawdles before the barrier on even rounds, rank 0 on
-			// odd rounds: the barrier must absorb the skew either way.
-			if (r+pe.Rank)%2 == 0 {
-				warp.Proc().Sleep(30_000_000) // 30us
+	forBothFabrics(t, func(t *testing.T, k transport.Kind) {
+		w := NewWorldOn(k, smallParams(), 1<<20)
+		const rounds = 5
+		var exits [2][rounds]int64
+		w.Run(func(pe *PE, warp *gpusim.Warp) {
+			for r := 0; r < rounds; r++ {
+				// Rank 1 dawdles before the barrier on even rounds, rank 0 on
+				// odd rounds: the barrier must absorb the skew either way.
+				if (r+pe.Rank)%2 == 0 {
+					warp.Proc().Sleep(30_000_000) // 30us
+				}
+				pe.Barrier(warp)
+				exits[pe.Rank][r] = int64(warp.Now())
 			}
-			pe.Barrier(warp)
-			exits[pe.Rank][r] = int64(warp.Now())
+		})
+		for r := 0; r < rounds; r++ {
+			d := exits[0][r] - exits[1][r]
+			if d < 0 {
+				d = -d
+			}
+			// Exits must be within one fabric crossing of each other.
+			if d > 20_000_000 {
+				t.Fatalf("round %d barrier exits skewed by %dps", r, d)
+			}
+			// And a barrier exit must not precede the slow PE's arrival.
+			if r == 0 && (exits[0][0] < 30_000_000 || exits[1][0] < 30_000_000) {
+				t.Fatalf("round 0 exits (%d, %d) precede the 30us dawdle", exits[0][0], exits[1][0])
+			}
 		}
 	})
-	for r := 0; r < rounds; r++ {
-		d := exits[0][r] - exits[1][r]
-		if d < 0 {
-			d = -d
-		}
-		// Exits must be within one fabric crossing of each other.
-		if d > 20_000_000 {
-			t.Fatalf("round %d barrier exits skewed by %dps", r, d)
-		}
-		// And a barrier exit must not precede the slow PE's arrival.
-		if r == 0 && (exits[0][0] < 30_000_000 || exits[1][0] < 30_000_000) {
-			t.Fatalf("round 0 exits (%d, %d) precede the 30us dawdle", exits[0][0], exits[1][0])
-		}
-	}
 }
 
 func TestBarrierRepeats(t *testing.T) {
-	// Back-to-back barriers with no work in between must not deadlock or
-	// mix epochs.
-	w := NewWorld(smallParams(), 1<<20)
-	count := 0
-	w.Run(func(pe *PE, warp *gpusim.Warp) {
-		for i := 0; i < 20; i++ {
-			pe.Barrier(warp)
+	forBothFabrics(t, func(t *testing.T, k transport.Kind) {
+		// Back-to-back barriers with no work in between must not deadlock or
+		// mix epochs.
+		w := NewWorldOn(k, smallParams(), 1<<20)
+		count := 0
+		w.Run(func(pe *PE, warp *gpusim.Warp) {
+			for i := 0; i < 20; i++ {
+				pe.Barrier(warp)
+			}
+			count++
+		})
+		if count != 2 {
+			t.Fatalf("finished PEs = %d", count)
 		}
-		count++
 	})
-	if count != 2 {
-		t.Fatalf("finished PEs = %d", count)
-	}
 }
 
 func TestFetchAddBothPEs(t *testing.T) {
-	w := NewWorld(smallParams(), 1<<20)
-	ctr := w.Malloc(8)
-	var olds [2]uint64
-	w.Run(func(pe *PE, warp *gpusim.Warp) {
-		// Both PEs add 1 to PE-peer's counter... use a single canonical
-		// counter on PE 1: PE 0 adds 10, twice.
-		if pe.Rank == 0 {
-			olds[0] = pe.FetchAdd(warp, ctr, 10)
-			olds[1] = pe.FetchAdd(warp, ctr, 10)
+	forBothFabrics(t, func(t *testing.T, k transport.Kind) {
+		w := NewWorldOn(k, smallParams(), 1<<20)
+		ctr := w.Malloc(8)
+		var olds [2]uint64
+		w.Run(func(pe *PE, warp *gpusim.Warp) {
+			// Use a single canonical counter on PE 1: PE 0 adds 10, twice,
+			// and must see the running old values back.
+			if pe.Rank == 0 {
+				olds[0] = pe.FetchAdd(warp, ctr, 10)
+				olds[1] = pe.FetchAdd(warp, ctr, 10)
+			}
+		})
+		if olds[0] != 0 || olds[1] != 10 {
+			t.Fatalf("fetch-add old values = %v, want [0 10]", olds)
+		}
+		got := make([]byte, 8)
+		if err := w.PEs[1].HostRead(ctr, got); err != nil {
+			t.Fatal(err)
+		}
+		if v := binary.LittleEndian.Uint64(got); v != 20 {
+			t.Fatalf("counter = %d, want 20", v)
 		}
 	})
-	if olds[0] != 0 || olds[1] != 10 {
-		t.Fatalf("fetch-add old values = %v, want [0 10]", olds)
-	}
-	got := make([]byte, 8)
-	if err := w.PEs[1].HostRead(ctr, got); err != nil {
-		t.Fatal(err)
-	}
-	if v := binary.LittleEndian.Uint64(got); v != 20 {
-		t.Fatalf("counter = %d, want 20", v)
-	}
 }
 
 func TestSymmetricHeapDiscipline(t *testing.T) {
@@ -178,34 +201,36 @@ func TestSymmetricHeapDiscipline(t *testing.T) {
 }
 
 func TestPingPongLatencyReasonable(t *testing.T) {
-	// A shmem-level ping-pong should cost on the order of the pollOnGPU
-	// latency — it is built from PutImm + WaitUntil.
-	w := NewWorld(smallParams(), 1<<20)
-	flag := w.Malloc(16)
-	const iters = 10
-	var start, end int64
-	w.Run(func(pe *PE, warp *gpusim.Warp) {
-		mine := flag
-		theirs := flag + 8
-		if pe.Rank == 0 {
-			start = int64(warp.Now())
-			for i := uint64(1); i <= iters; i++ {
-				pe.PutImm(warp, theirs, i)
-				pe.Quiet(warp)
-				pe.WaitUntil(warp, mine, i)
+	forBothFabrics(t, func(t *testing.T, k transport.Kind) {
+		// A shmem-level ping-pong should cost on the order of the pollOnGPU
+		// latency — it is built from PutImm + WaitUntil.
+		w := NewWorldOn(k, smallParams(), 1<<20)
+		flag := w.Malloc(16)
+		const iters = 10
+		var start, end int64
+		w.Run(func(pe *PE, warp *gpusim.Warp) {
+			mine := flag
+			theirs := flag + 8
+			if pe.Rank == 0 {
+				start = int64(warp.Now())
+				for i := uint64(1); i <= iters; i++ {
+					pe.PutImm(warp, theirs, i)
+					pe.Quiet(warp)
+					pe.WaitUntil(warp, mine, i)
+				}
+				end = int64(warp.Now())
+			} else {
+				for i := uint64(1); i <= iters; i++ {
+					pe.WaitUntil(warp, theirs, i)
+					pe.PutImm(warp, mine, i)
+					pe.Quiet(warp)
+				}
 			}
-			end = int64(warp.Now())
-		} else {
-			for i := uint64(1); i <= iters; i++ {
-				pe.WaitUntil(warp, theirs, i)
-				pe.PutImm(warp, mine, i)
-				pe.Quiet(warp)
-			}
+		})
+		perIter := (end - start) / iters
+		// Half-RTT should be a handful of microseconds.
+		if perIter <= 0 || perIter > 40_000_000 {
+			t.Fatalf("shmem ping-pong %dps per iteration", perIter)
 		}
 	})
-	perIter := (end - start) / iters
-	// Half-RTT should be a handful of microseconds.
-	if perIter <= 0 || perIter > 40_000_000 {
-		t.Fatalf("shmem ping-pong %dps per iteration", perIter)
-	}
 }

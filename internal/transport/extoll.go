@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"putget/internal/cluster"
+	"putget/internal/core"
+	"putget/internal/extoll"
+	"putget/internal/gpusim"
+	"putget/internal/memspace"
+	"putget/internal/sim"
+)
+
+// Extoll adapts core.RMA to the Transport/Endpoint interfaces. Every
+// method is pure delegation: the RMA layer charges the exact WR-creation,
+// MMIO and notification-consume costs of the paper's EXTOLL model, so a
+// benchmark running over this adapter is cycle-identical to one written
+// against core.RMA directly.
+type Extoll struct {
+	tb     *cluster.Testbed
+	ra, rb *core.RMA
+}
+
+// NewExtoll builds the EXTOLL adapter over a testbed from
+// cluster.NewExtollPair.
+func NewExtoll(tb *cluster.Testbed) *Extoll {
+	return &Extoll{tb: tb, ra: core.NewRMA(tb.A), rb: core.NewRMA(tb.B)}
+}
+
+// Kind implements Transport.
+func (t *Extoll) Kind() Kind { return KindExtoll }
+
+// Testbed implements Transport.
+func (t *Extoll) Testbed() *cluster.Testbed { return t.tb }
+
+// RMA exposes the underlying per-node RMA binding (side 0 = node A) for
+// cost-model experiments that need the raw EXTOLL API.
+func (t *Extoll) RMA(side int) *core.RMA {
+	if side == 0 {
+		return t.ra
+	}
+	return t.rb
+}
+
+func (t *Extoll) rma(n *cluster.Node) *core.RMA {
+	switch n {
+	case t.tb.A:
+		return t.ra
+	case t.tb.B:
+		return t.rb
+	}
+	panic("transport: node not part of this testbed")
+}
+
+// Register implements Transport: the window enters node n's address
+// translation unit and becomes remotely addressable.
+func (t *Extoll) Register(n *cluster.Node, base memspace.Addr, size uint64) Region {
+	return Region{Base: base, Size: size, kind: KindExtoll, nla: t.rma(n).Register(base, size)}
+}
+
+// Connect implements Transport: port idx is opened on both NICs and
+// cabled together. EXTOLL has no per-connection rings to size, so the
+// hint only matters for its Atomics field (a no-op here — EXTOLL
+// fetch-add needs no landing buffer; the old value returns in the
+// responder notification).
+func (t *Extoll) Connect(idx int, hint ConnHint) (Endpoint, Endpoint) {
+	t.ra.OpenPort(idx)
+	t.rb.OpenPort(idx)
+	extoll.ConnectPorts(t.tb.A.Extoll, idx, t.tb.B.Extoll, idx)
+	return &extEndpoint{r: t.ra, node: t.tb.A, port: idx},
+		&extEndpoint{r: t.rb, node: t.tb.B, port: idx}
+}
+
+// extEndpoint is one side of an EXTOLL port connection.
+type extEndpoint struct {
+	r    *core.RMA
+	node *cluster.Node
+	port int
+}
+
+func extFlags(flags int) int {
+	f := 0
+	if flags&FlagLocalComp != 0 {
+		f |= extoll.FlagReqNotif
+	}
+	if flags&FlagRemoteComp != 0 {
+		f |= extoll.FlagCompNotif
+	}
+	return f
+}
+
+func extClass(c CompClass) int {
+	if c == CompLocal {
+		return extoll.ClassRequester
+	}
+	return extoll.ClassCompleter
+}
+
+// Node implements Endpoint.
+func (e *extEndpoint) Node() *cluster.Node { return e.node }
+
+// DevPut implements Endpoint.
+func (e *extEndpoint) DevPut(w *gpusim.Warp, src Region, srcOff uint64, dst Region, dstOff uint64, size, flags int) {
+	e.r.DevPut(w, e.port, src.nla+extoll.NLA(srcOff), dst.nla+extoll.NLA(dstOff), size, extFlags(flags))
+}
+
+// DevPutImm implements Endpoint.
+func (e *extEndpoint) DevPutImm(w *gpusim.Warp, value uint64, dst Region, dstOff uint64, size, flags int) {
+	e.r.DevPutImm(w, e.port, value, dst.nla+extoll.NLA(dstOff), size, extFlags(flags))
+}
+
+// DevPutCollective implements Endpoint.
+func (e *extEndpoint) DevPutCollective(w *gpusim.Warp, src Region, srcOff uint64, dst Region, dstOff uint64, size, flags int) {
+	e.r.DevPutCollective(w, e.port, src.nla+extoll.NLA(srcOff), dst.nla+extoll.NLA(dstOff), size, extFlags(flags))
+}
+
+// DevGet implements Endpoint: the get requests a completer notification
+// (EXTOLL raises it at the requesting NIC when the response data lands)
+// and consumes it before returning.
+func (e *extEndpoint) DevGet(w *gpusim.Warp, dst Region, dstOff uint64, src Region, srcOff uint64, size int) {
+	e.r.DevGet(w, e.port, src.nla+extoll.NLA(srcOff), dst.nla+extoll.NLA(dstOff), size, extoll.FlagCompNotif)
+	e.r.DevWaitNotif(w, e.port, extoll.ClassCompleter)
+}
+
+// DevFetchAdd implements Endpoint: the old value travels back in the
+// responder's completer notification cookie.
+func (e *extEndpoint) DevFetchAdd(w *gpusim.Warp, addend uint64, dst Region, dstOff uint64) uint64 {
+	e.r.DevFetchAdd(w, e.port, addend, dst.nla+extoll.NLA(dstOff))
+	_, old := e.r.DevWaitNotifValue(w, e.port, extoll.ClassCompleter)
+	return old
+}
+
+// DevTryComplete implements Endpoint.
+func (e *extEndpoint) DevTryComplete(w *gpusim.Warp, c CompClass) (Completion, bool) {
+	size, ok := e.r.DevTryConsumeNotif(w, e.port, extClass(c))
+	return Completion{Size: size}, ok
+}
+
+// DevWaitComplete implements Endpoint.
+func (e *extEndpoint) DevWaitComplete(w *gpusim.Warp, c CompClass) Completion {
+	return Completion{Size: e.r.DevWaitNotif(w, e.port, extClass(c))}
+}
+
+// DevWaitCompleteTimeout implements Endpoint.
+func (e *extEndpoint) DevWaitCompleteTimeout(w *gpusim.Warp, c CompClass, timeout sim.Duration) (Completion, bool) {
+	nr, ok := e.r.DevWaitNotifTimeout(w, e.port, extClass(c), timeout)
+	return Completion{Size: nr.Size, Err: nr.Err, Timeout: nr.Timeout}, ok
+}
+
+// HostPut implements Endpoint.
+func (e *extEndpoint) HostPut(p *sim.Proc, src Region, srcOff uint64, dst Region, dstOff uint64, size, flags int) {
+	e.r.HostPut(p, e.port, src.nla+extoll.NLA(srcOff), dst.nla+extoll.NLA(dstOff), size, extFlags(flags))
+}
+
+// HostPutImm implements Endpoint.
+func (e *extEndpoint) HostPutImm(p *sim.Proc, value uint64, dst Region, dstOff uint64, size, flags int) {
+	e.r.HostPutImm(p, e.port, value, dst.nla+extoll.NLA(dstOff), size, extFlags(flags))
+}
+
+// HostGet implements Endpoint.
+func (e *extEndpoint) HostGet(p *sim.Proc, dst Region, dstOff uint64, src Region, srcOff uint64, size int) {
+	e.r.HostGet(p, e.port, src.nla+extoll.NLA(srcOff), dst.nla+extoll.NLA(dstOff), size, extoll.FlagCompNotif)
+	e.r.HostWaitNotif(p, e.port, extoll.ClassCompleter)
+}
+
+// HostFetchAdd implements Endpoint.
+func (e *extEndpoint) HostFetchAdd(p *sim.Proc, addend uint64, dst Region, dstOff uint64) uint64 {
+	return e.r.HostFetchAdd(p, e.port, addend, dst.nla+extoll.NLA(dstOff))
+}
+
+// HostTryComplete implements Endpoint.
+func (e *extEndpoint) HostTryComplete(p *sim.Proc, c CompClass) (Completion, bool) {
+	size, ok := e.r.HostTryConsumeNotif(p, e.port, extClass(c))
+	return Completion{Size: size}, ok
+}
+
+// HostWaitComplete implements Endpoint.
+func (e *extEndpoint) HostWaitComplete(p *sim.Proc, c CompClass) Completion {
+	return Completion{Size: e.r.HostWaitNotif(p, e.port, extClass(c))}
+}
+
+// HostWaitCompleteTimeout implements Endpoint.
+func (e *extEndpoint) HostWaitCompleteTimeout(p *sim.Proc, c CompClass, timeout sim.Duration) (Completion, bool) {
+	nr, ok := e.r.HostWaitNotifTimeout(p, e.port, extClass(c), timeout)
+	return Completion{Size: nr.Size, Err: nr.Err, Timeout: nr.Timeout}, ok
+}
+
+// HostPrepostArrivals implements Endpoint: EXTOLL completer notifications
+// need no preposted descriptors.
+func (e *extEndpoint) HostPrepostArrivals(p *sim.Proc, n int) {}

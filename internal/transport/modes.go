@@ -1,0 +1,79 @@
+package transport
+
+import "fmt"
+
+// ControlMode selects who drives the put/get control path and where the
+// completion information lives — the one axis the paper sweeps for both
+// fabrics (§V). It replaces the former per-fabric ExtollMode/IBMode pairs;
+// the String values are the paper's series names, unchanged.
+type ControlMode int
+
+const (
+	// Direct: the GPU posts descriptors and polls completion information
+	// where EXTOLL puts it — notification rings in system memory
+	// (dev2dev-direct). EXTOLL only.
+	Direct ControlMode = iota
+	// PollOnGPU: the GPU posts descriptors and polls the last received
+	// payload word in device memory instead of touching notifications
+	// (dev2dev-pollOnGPU). EXTOLL only.
+	PollOnGPU
+	// QueuesOnGPU: the GPU posts to IB work queues placed in GPU device
+	// memory and polls the CQ there (dev2dev-bufOnGPU). InfiniBand only.
+	QueuesOnGPU
+	// QueuesOnHost: same control path with the IB queues in host memory,
+	// every touch crossing PCIe (dev2dev-bufOnHost). InfiniBand only.
+	QueuesOnHost
+	// HostAssisted: the GPU triggers a CPU helper thread through a
+	// host-memory flag; the CPU drives the fabric (dev2dev-assisted).
+	HostAssisted
+	// HostControlled: all control flow stays on the CPU
+	// (dev2dev-hostControlled) — the paper's baseline.
+	HostControlled
+)
+
+// String returns the paper's series label for the mode.
+func (m ControlMode) String() string {
+	switch m {
+	case Direct:
+		return "dev2dev-direct"
+	case PollOnGPU:
+		return "dev2dev-pollOnGPU"
+	case QueuesOnGPU:
+		return "dev2dev-bufOnGPU"
+	case QueuesOnHost:
+		return "dev2dev-bufOnHost"
+	case HostAssisted:
+		return "dev2dev-assisted"
+	case HostControlled:
+		return "dev2dev-hostControlled"
+	}
+	return fmt.Sprintf("ControlMode(%d)", int(m))
+}
+
+// Supports reports whether a fabric implements a control mode: the queue-
+// placement variants are IB-specific (EXTOLL's rings are driver-placed),
+// the notification/data-polling variants are EXTOLL-specific, and the two
+// host-driven modes exist everywhere.
+func Supports(k Kind, m ControlMode) bool {
+	switch m {
+	case Direct, PollOnGPU:
+		return k == KindExtoll
+	case QueuesOnGPU, QueuesOnHost:
+		return k == KindIB
+	case HostAssisted, HostControlled:
+		return true
+	}
+	return false
+}
+
+// Modes lists the control modes a fabric supports, in presentation order.
+func Modes(k Kind) []ControlMode {
+	all := []ControlMode{Direct, PollOnGPU, QueuesOnGPU, QueuesOnHost, HostAssisted, HostControlled}
+	var out []ControlMode
+	for _, m := range all {
+		if Supports(k, m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -142,7 +142,7 @@ func (t *Testbed) Kind() FabricKind { return t.kind }
 // Params returns the testbed parameters.
 func (t *Testbed) Params() Params { return t.params }
 
-func (t *Testbed) extollMode(m Mode) bench.ExtollMode {
+func (t *Testbed) extollMode(m Mode) bench.ControlMode {
 	switch m {
 	case ModeDirect:
 		return bench.ExtDirect
@@ -155,7 +155,7 @@ func (t *Testbed) extollMode(m Mode) bench.ExtollMode {
 	}
 }
 
-func (t *Testbed) ibMode(m Mode) bench.IBMode {
+func (t *Testbed) ibMode(m Mode) bench.ControlMode {
 	switch m {
 	case ModeDirect:
 		return bench.IBBufOnGPU
