@@ -1,0 +1,20 @@
+# The exact tier-1 + lint gate CI runs. `make check` before pushing.
+
+GO ?= go
+
+.PHONY: build test lint check
+
+build:
+	$(GO) build ./...
+	$(GO) build ./examples/...
+
+test:
+	$(GO) test ./...
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/putgetlint ./...
+
+check: build test lint
+	@echo "check: all gates green"

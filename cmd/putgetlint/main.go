@@ -1,0 +1,108 @@
+// Command putgetlint statically enforces the simulator's determinism
+// and engine-affinity invariants (see internal/analysis):
+//
+//	nowalltime      no wall-clock time in sim-domain packages
+//	noglobalrand    no math/rand / crypto/rand in sim-domain packages
+//	maporder        no map iteration with order-dependent effects
+//	engineaffinity  no raw goroutines / captured engine handles
+//	boundedwait     no unbounded blocking waits outside tests
+//	directive       every //putget:allow names a real analyzer + reason
+//
+// Two modes:
+//
+//	putgetlint ./...                       standalone, like a linter
+//	go vet -vettool=$(which putgetlint) ./...   as a vet tool
+//
+// Standalone exit status: 0 clean, 2 findings, 1 operational error.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"putget/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("putgetlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: putgetlint [packages]\n")
+		fmt.Fprintf(stderr, "       go vet -vettool=$(which putgetlint) [packages]\n\n")
+		fmt.Fprintf(stderr, "Analyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stderr, "  %-15s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nSuppress a finding with: //putget:allow <analyzer> -- <reason>\n")
+	}
+	version := fs.String("V", "", "print version and exit (vet tool protocol)")
+	dir := fs.String("C", ".", "run as if started in `dir`")
+	// Vet tool protocol: cmd/go probes `tool -flags` for the JSON list
+	// of analyzer flags the tool accepts. putgetlint takes none.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *version != "" {
+		return printVersion(*version, stdout, stderr)
+	}
+
+	rest := fs.Args()
+	// Vet tool protocol: a single *.cfg argument names a unit config.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return analysis.RunUnitchecker(rest[0], analysis.All(), stderr)
+	}
+
+	diags, err := analysis.Run(*dir, rest, analysis.All())
+	if err != nil {
+		fmt.Fprintf(stderr, "putgetlint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stdout, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "putgetlint: %d finding(s)\n", len(diags))
+		return 2
+	}
+	return 0
+}
+
+// printVersion implements the -V=full handshake cmd/go uses to identify
+// external tools for its action cache: name, "version", and a build ID
+// derived from the binary's own contents.
+func printVersion(mode string, stdout, stderr io.Writer) int {
+	if mode != "full" {
+		fmt.Fprintf(stderr, "putgetlint: unsupported flag value: -V=%s\n", mode)
+		return 1
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "putgetlint: %v\n", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(stderr, "putgetlint: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(stderr, "putgetlint: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "putgetlint version devel buildID=%x\n", h.Sum(nil))
+	return 0
+}

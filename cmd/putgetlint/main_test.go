@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtureModule = "../../internal/analysis/testdata/src/putget"
+
+// TestRepoIsClean is the acceptance smoke: putgetlint ./... exits 0 on
+// the repository itself, so every invariant either holds or carries a
+// written justification.
+func TestRepoIsClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "../..", "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("putgetlint ./... on the repo: exit %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}
+
+// TestFixturesAreDirty: the seeded fixture module must produce findings
+// and the findings exit code.
+func TestFixturesAreDirty(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", fixtureModule, "./..."}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("putgetlint on fixtures: exit %d, want 2\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	for _, want := range []string{
+		"nowalltime", "noglobalrand", "maporder", "engineaffinity",
+		"boundedwait", "directive",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("fixture findings missing analyzer %s:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestBadPatternIsOperationalError: an unresolvable pattern is exit 1
+// (operational), distinct from exit 2 (findings).
+func TestBadPatternIsOperationalError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./does/not/exist/..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+}
+
+// TestVersionHandshake: the -V=full protocol cmd/go uses to fingerprint
+// vet tools for its action cache.
+func TestVersionHandshake(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("-V=full: exit %d\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "putgetlint version ") || !strings.Contains(out.String(), "buildID=") {
+		t.Errorf("-V=full output %q lacks name/buildID", out.String())
+	}
+	if code := run([]string{"-V=short"}, &out, &errb); code != 1 {
+		t.Error("-V=short should be rejected")
+	}
+}
+
+// TestVetToolProtocol builds the real binary and drives it through
+// `go vet -vettool` over the fixture module: the unitchecker path must
+// report the seeded violations and fail the vet run.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "putgetlint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building putgetlint: %v\n%s", err, out)
+	}
+
+	abs, err := filepath.Abs(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+abs, "./...")
+	vet.Dir = fixtureModule
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on seeded fixtures passed; want failure\n%s", out)
+	}
+	for _, want := range []string{"nowalltime", "boundedwait"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("vet output missing %s findings:\n%s", want, out)
+		}
+	}
+
+	// And the repo itself is clean through the same path.
+	vetClean := exec.Command("go", "vet", "-vettool="+abs, "./...")
+	vetClean.Dir = "../.."
+	if out, err := vetClean.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on the repo: %v\n%s", err, out)
+	}
+}

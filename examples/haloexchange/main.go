@@ -92,7 +92,9 @@ func run(n, iters int, hostAssisted bool) sim.Duration {
 				for it := 1; it <= iters; it++ {
 					core.HostAwaitAssistReq(p, r.node.CPU, r.assist, uint64(it))
 					r.rma.HostPut(p, 0, r.outN, r.peerIn, int(haloBytes), extoll.FlagReqNotif)
-					r.rma.HostWaitNotif(p, 0, extoll.ClassRequester)
+					if _, ok := r.rma.HostWaitNotifTimeout(p, 0, extoll.ClassRequester, 10*sim.Millisecond); !ok {
+						panic("haloexchange: host requester notification timed out")
+					}
 					core.HostAckAssist(p, r.node.CPU, r.assist, uint64(it))
 				}
 			})
@@ -115,7 +117,9 @@ func run(n, iters int, hostAssisted bool) sim.Duration {
 					core.DevAwaitAssistAck(w, r.assist, uint64(it))
 				} else {
 					r.rma.DevPut(w, 0, r.outN, r.peerIn, int(haloBytes), extoll.FlagReqNotif)
-					r.rma.DevWaitNotif(w, 0, extoll.ClassRequester)
+					if _, ok := r.rma.DevWaitNotifTimeout(w, 0, extoll.ClassRequester, 10*sim.Millisecond); !ok {
+						panic("haloexchange: requester notification timed out")
+					}
 				}
 				// Wait for the neighbour's halo of this iteration.
 				w.PollGlobalU64(r.in+stamp, uint64(it))

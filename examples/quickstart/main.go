@@ -11,6 +11,7 @@ import (
 	"putget"
 	"putget/internal/extoll"
 	"putget/internal/gpusim"
+	"putget/internal/sim"
 )
 
 func main() {
@@ -40,9 +41,13 @@ func main() {
 
 	done := tb.A.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
 		// One GPU thread creates the work request (three MMIO stores) and
-		// waits for the requester notification — no CPU involved.
+		// waits for the requester notification — no CPU involved. The
+		// bounded wait turns a lost notification into a diagnosable
+		// failure instead of a hung kernel.
 		rmaA.DevPut(w, 0, srcNLA, dstNLA, size, extoll.FlagReqNotif)
-		rmaA.DevWaitNotif(w, 0, extoll.ClassRequester)
+		if _, ok := rmaA.DevWaitNotifTimeout(w, 0, extoll.ClassRequester, 10*sim.Millisecond); !ok {
+			panic("quickstart: requester notification timed out")
+		}
 	})
 	tb.E.Run()
 	if !done.Done() {

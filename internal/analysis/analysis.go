@@ -1,0 +1,169 @@
+// Package analysis is putgetlint: a suite of static analyzers that
+// enforce the simulator's determinism and engine-affinity invariants at
+// vet time instead of rediscovering them as flaky golden-test diffs.
+//
+// Every figure the repro ships is credible only because the
+// discrete-event engine is byte-deterministic across seeds, worker
+// counts and refactors. The invariants behind that determinism are
+// static properties of the code, and this package checks them as such:
+//
+//   - nowalltime: no wall-clock time (time.Now, time.Sleep, ...) in
+//     sim-domain packages — only virtual sim.Time is legal there.
+//   - noglobalrand: no math/rand or crypto/rand in sim-domain packages —
+//     randomness must flow through the seeded splitmix64 injector
+//     (internal/faults).
+//   - maporder: no iteration over a map whose body has order-dependent
+//     effects (emits output, appends to an outer slice that is never
+//     sorted, posts sim events, writes trace records).
+//   - engineaffinity: no raw go statements in sim-domain code, and no
+//     sim.Engine/sim.Proc handles captured by closures shipped to the
+//     runner pool — all concurrency goes through sim.Proc or the pool,
+//     and every shard builds its own engine.
+//   - boundedwait: no unbounded blocking waits (DevWaitComplete,
+//     HostWaitNotif, DevPollCQ, ...) outside test files — use the
+//     ...Timeout variants, or annotate why the wait cannot hang.
+//
+// A sixth analyzer, directive, validates the suppression syntax itself.
+//
+// Legitimate exceptions are annotated in-source with
+//
+//	//putget:allow <analyzer> -- <reason>
+//
+// which suppresses findings of that analyzer on the directive's line and
+// the line below it. Placed before the package clause, the directive
+// applies to the whole file. The reason is mandatory: an allow without
+// one is itself a finding.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) so the analyzers could be ported to the
+// upstream framework verbatim if the dependency ever becomes available;
+// it is reimplemented here on the standard library alone because this
+// module has no third-party dependencies.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //putget:allow directives.
+	Name string
+	// Doc is a one-paragraph description of what it enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass hands one package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos. Findings suppressed by a valid
+// //putget:allow directive are dropped by the runner.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// isTestFile reports whether pos lies in a _test.go file. Test files are
+// exempt from every analyzer: runtime tests may legitimately use
+// wall-clock deadlines, unbounded waits on known-complete schedules, and
+// unordered map walks over their own assertions.
+func (p *Pass) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// All returns the full putgetlint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoWallTime,
+		NoGlobalRand,
+		MapOrder,
+		EngineAffinity,
+		BoundedWait,
+		Directive,
+	}
+}
+
+// ByName resolves analyzer names (for directive validation).
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunPackage applies the given analyzers to one loaded package and
+// returns the surviving findings in source order. Suppression via
+// //putget:allow is applied here so every analyzer gets it uniformly.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs := parseDirectives(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		pass.report = func(d Diagnostic) {
+			if a.Name != directiveName && dirs.allows(a.Name, d.Pos) {
+				return
+			}
+			out = append(out, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.Types.Path(), a.Name, err)
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool { return diagLess(ds[i], ds[j]) })
+}
+
+func diagLess(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

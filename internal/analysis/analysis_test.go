@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSource type-checks one dependency-free source file under the
+// given filename and import path and runs the full suite on it.
+func checkSource(t *testing.T, filename, importPath, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check(importPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-checking: %v", err)
+	}
+	diags, err := RunPackage(&Package{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// TestTestFilesExempt: the identical violation is flagged in a regular
+// file and exempt in a _test.go file.
+func TestTestFilesExempt(t *testing.T) {
+	const src = `package wire
+
+func f() {
+	go func() {}()
+}
+`
+	if got := checkSource(t, "a.go", "putget/internal/wire", src); len(got) != 1 {
+		t.Fatalf("a.go: want 1 engineaffinity finding, got %v", got)
+	}
+	if got := checkSource(t, "a_test.go", "putget/internal/wire", src); len(got) != 0 {
+		t.Fatalf("a_test.go: want no findings, got %v", got)
+	}
+}
+
+// TestNonSimPackagesExemptFromDomainChecks: the same goroutine in a
+// package outside the determinism boundary is clean.
+func TestNonSimPackagesExemptFromDomainChecks(t *testing.T) {
+	const src = `package web
+
+func f() {
+	go func() {}()
+}
+`
+	if got := checkSource(t, "a.go", "putget/web", src); len(got) != 0 {
+		t.Fatalf("non-sim package: want no findings, got %v", got)
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text              string
+		wantOK            bool
+		wantName, wantWhy string
+	}{
+		{"//putget:allow nowalltime -- progress timer", true, "nowalltime", "progress timer"},
+		{"//putget:allow nowalltime", true, "nowalltime", ""},
+		{"//putget:allow", true, "", ""},
+		{"//putget:allow  boundedwait --  padded  ", true, "boundedwait", "padded"},
+		{"//putget:allowx nowalltime -- not a directive", false, "", ""},
+		{"// ordinary comment", false, "", ""},
+	}
+	for _, c := range cases {
+		name, why, ok := parseDirective(&ast.Comment{Text: c.text})
+		if ok != c.wantOK || name != c.wantName || why != c.wantWhy {
+			t.Errorf("parseDirective(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, name, why, ok, c.wantName, c.wantWhy, c.wantOK)
+		}
+	}
+}
+
+// TestDirectiveScope: a line directive covers its own line and the next;
+// two lines down is out of scope.
+func TestDirectiveScope(t *testing.T) {
+	const src = `package wire
+
+func f() {
+	//putget:allow engineaffinity -- covers the next line only
+	go func() {}()
+	go func() {}()
+}
+`
+	got := checkSource(t, "a.go", "putget/internal/wire", src)
+	if len(got) != 1 {
+		t.Fatalf("want exactly 1 finding (second goroutine), got %v", got)
+	}
+	if got[0].Pos.Line != 6 {
+		t.Errorf("finding at line %d, want line 6", got[0].Pos.Line)
+	}
+}
+
+// TestSimDomainTable spot-checks the boundary.
+func TestSimDomainTable(t *testing.T) {
+	for _, in := range []string{
+		"putget/internal/sim", "putget/internal/wire", "putget/internal/bench",
+		"putget/internal/transport", "putget/internal/runner",
+	} {
+		if !IsSimDomain(in) {
+			t.Errorf("IsSimDomain(%q) = false, want true", in)
+		}
+	}
+	for _, out := range []string{
+		"putget/cmd/putgetbench", "putget/examples/quickstart",
+		"putget/internal/analysis", "putget",
+	} {
+		if IsSimDomain(out) {
+			t.Errorf("IsSimDomain(%q) = true, want false", out)
+		}
+	}
+}
+
+// TestByName: every analyzer resolves by name; unknowns do not.
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the analyzer", a.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) != nil")
+	}
+}
+
+// TestDiagnosticOrder: sortDiagnostics orders by file, line, column,
+// analyzer.
+func TestDiagnosticOrder(t *testing.T) {
+	pos := func(f string, l, c int) token.Position { return token.Position{Filename: f, Line: l, Column: c} }
+	ds := []Diagnostic{
+		{Analyzer: "z", Pos: pos("b.go", 1, 1)},
+		{Analyzer: "a", Pos: pos("a.go", 2, 1)},
+		{Analyzer: "b", Pos: pos("a.go", 1, 5)},
+		{Analyzer: "a", Pos: pos("a.go", 1, 5)},
+	}
+	sortDiagnostics(ds)
+	var order []string
+	for _, d := range ds {
+		order = append(order, d.Pos.Filename+":"+d.Analyzer)
+	}
+	want := "a.go:a a.go:b a.go:a b.go:z"
+	if got := strings.Join(order, " "); got != want {
+		t.Errorf("order = %s, want %s", got, want)
+	}
+}
+
+func TestTimeoutBase(t *testing.T) {
+	if got := timeoutBase("DevWaitNotifValue"); got != "DevWaitNotif" {
+		t.Errorf("timeoutBase(DevWaitNotifValue) = %s", got)
+	}
+	if got := timeoutBase("DevWaitComplete"); got != "DevWaitComplete" {
+		t.Errorf("timeoutBase(DevWaitComplete) = %s", got)
+	}
+}

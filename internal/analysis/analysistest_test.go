@@ -1,0 +1,170 @@
+package analysis
+
+// This file is the fixture harness: an analysistest-style runner on the
+// standard library alone. Fixture sources under testdata/src/putget form
+// a standalone module named `putget` (so the sim-domain import paths
+// resolve), seeded with deliberate violations. Expectations are written
+// as comments in the fixtures:
+//
+//	code() // want `regex`
+//	// want+2 `regex`      (expectation for the line two below)
+//
+// Each regex is matched against "analyzer: message" of a finding on that
+// file:line. The test fails on any unmatched expectation (a seeded
+// violation the analyzer missed) and on any unexpected finding (a false
+// positive on the clean shapes).
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe parses "// want+N `re` `re` ..." comments.
+var wantRe = regexp.MustCompile("^// want(\\+[0-9]+)? (`[^`]*`(?: `[^`]*`)*)$")
+
+var wantArgRe = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	file string // absolute path
+	line int
+	re   *regexp.Regexp
+	src  token.Position // where the want comment itself sits, for messages
+}
+
+// parseExpectations walks every non-test .go file under dir.
+func parseExpectations(t *testing.T, dir string) []expectation {
+	t.Helper()
+	var exps []expectation
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parsing fixture %s: %v", path, err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] != "" {
+					off, _ := strconv.Atoi(m[1][1:])
+					line += off
+				}
+				for _, arg := range wantArgRe.FindAllStringSubmatch(m[2], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						return fmt.Errorf("%s: bad want regexp %q: %v", pos, arg[1], err)
+					}
+					exps = append(exps, expectation{file: path, line: line, re: re, src: pos})
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exps
+}
+
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "putget"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestAnalyzersOnFixtures runs the full suite over the fixture module
+// and reconciles findings against the want comments.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	dir := fixtureDir(t)
+	diags, err := Run(dir, []string{"./..."}, All())
+	if err != nil {
+		t.Fatalf("running analyzers over fixtures: %v", err)
+	}
+	exps := parseExpectations(t, dir)
+	if len(exps) == 0 {
+		t.Fatal("no want expectations found in fixtures")
+	}
+
+	matched := make([]bool, len(diags))
+	for _, exp := range exps {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != exp.file || d.Pos.Line != exp.line {
+				continue
+			}
+			if exp.re.MatchString(d.Analyzer + ": " + d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no finding matching %q at %s:%d",
+				exp.src, exp.re, filepath.Base(exp.file), exp.line)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}
+
+// TestFixtureFindingsPerAnalyzer pins that every analyzer fires at least
+// once on the fixtures — a guard against an analyzer silently becoming a
+// no-op (e.g. a renamed package emptying the sim domain).
+func TestFixtureFindingsPerAnalyzer(t *testing.T) {
+	diags, err := Run(fixtureDir(t), []string{"./..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, d := range diags {
+		got[d.Analyzer]++
+	}
+	for _, a := range All() {
+		if got[a.Name] == 0 {
+			t.Errorf("analyzer %s produced no findings on the seeded fixtures", a.Name)
+		}
+	}
+}
+
+// TestDeterministicOutput: two runs over the same tree produce identical
+// findings in identical order — the linter's own output is subject to
+// the invariant it enforces.
+func TestDeterministicOutput(t *testing.T) {
+	dir := fixtureDir(t)
+	first, err := Run(dir, []string{"./..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(dir, []string{"./..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("finding counts differ between runs: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].String() != second[i].String() {
+			t.Errorf("finding %d differs between runs:\n  %s\n  %s", i, first[i], second[i])
+		}
+	}
+}

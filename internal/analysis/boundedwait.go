@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// unboundedWaits are the blocking completion waits that spin forever if
+// the awaited notification, CQE, or completion never arrives — the
+// calls PR 1 added ...Timeout variants for. The bare forms are legal in
+// tests (which run known-complete schedules under `go test` timeouts)
+// and inside their own wrapper ladder; anywhere else they either need
+// the bounded variant or an in-source justification for why the wait
+// cannot hang.
+var unboundedWaits = map[string]bool{
+	"DevWaitComplete":   true,
+	"HostWaitComplete":  true,
+	"DevWaitNotif":      true,
+	"HostWaitNotif":     true,
+	"DevWaitNotifValue": true,
+	"DevPollCQ":         true,
+	"HostPollCQ":        true,
+}
+
+// BoundedWait flags calls to non-timeout blocking waits outside test
+// files, module-wide (cmd/* and examples/* included: an example that
+// deadlocks teaches the API wrong). A call is exempt when it appears
+// inside a function of the same name — the delegation ladder by which
+// transport adapters implement Endpoint.DevWaitComplete in terms of
+// core's DevWaitNotif is the wait's own definition, not a use of it.
+var BoundedWait = &Analyzer{
+	Name: "boundedwait",
+	Doc:  "flag unbounded blocking waits (DevWaitComplete, HostWaitNotif, DevPollCQ, ...) outside test files; use the ...Timeout variants or annotate",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			if pass.isTestFile(f.Pos()) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if unboundedWaits[fd.Name.Name] {
+					continue // the wrapper ladder defines the wait
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok || !unboundedWaits[sel.Sel.Name] {
+						return true
+					}
+					pass.Reportf(call.Pos(),
+						"unbounded blocking wait %s outside a test: use the bounded %sTimeout variant and handle the timeout, or annotate with //putget:allow boundedwait -- <reason>",
+						sel.Sel.Name, timeoutBase(sel.Sel.Name))
+					return true
+				})
+			}
+		}
+		return nil
+	},
+}
+
+// timeoutBase names the bounded variant's stem for the message:
+// DevWaitNotifValue's bounded form is DevWaitNotifTimeout.
+func timeoutBase(name string) string {
+	if name == "DevWaitNotifValue" {
+		return "DevWaitNotif"
+	}
+	return name
+}

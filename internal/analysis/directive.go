@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive:
+//
+//	//putget:allow <analyzer> -- <reason>
+//
+// Scope rules:
+//   - On or above the line of a finding (trailing comment or the line
+//     immediately above), it suppresses that analyzer's findings there.
+//   - Before the package clause, it suppresses that analyzer for the
+//     whole file (for e.g. a benchmark harness whose every measurement
+//     loop legitimately uses unbounded waits).
+//
+// The reason after " -- " is mandatory and must be non-empty: the point
+// of the directive is that every exception to an invariant is justified
+// in-source, reviewable, and greppable. Malformed directives never
+// suppress anything and are themselves findings (see Directive below).
+const directivePrefix = "//putget:allow"
+
+const directiveName = "directive"
+
+// directive is one parsed //putget:allow comment.
+type directive struct {
+	analyzer string // analyzer name, "" if missing
+	reason   string // justification after " -- ", "" if missing
+	pos      token.Position
+	fileWide bool // appeared before the package clause
+}
+
+// parseDirective splits one comment. ok is false for comments that are
+// not putget:allow directives at all.
+func parseDirective(c *ast.Comment) (analyzer, reason string, ok bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	rest := text[len(directivePrefix):]
+	// Require an exact token boundary: "//putget:allowx" is not a directive.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false
+	}
+	rest = strings.TrimSpace(rest)
+	name, reason, found := strings.Cut(rest, "--")
+	name = strings.TrimSpace(name)
+	if !found {
+		return name, "", true
+	}
+	return name, strings.TrimSpace(reason), true
+}
+
+// directiveIndex records, per file, which analyzers are allowed where.
+type directiveIndex struct {
+	// fileWide maps filename -> analyzer names allowed for the whole file.
+	fileWide map[string]map[string]bool
+	// byLine maps filename -> line -> analyzer names allowed on that line.
+	byLine map[string]map[int]map[string]bool
+	// all holds every directive (well-formed or not) for validation.
+	all []directive
+}
+
+// parseDirectives scans the comments of every file.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{
+		fileWide: map[string]map[string]bool{},
+		byLine:   map[string]map[int]map[string]bool{},
+	}
+	for _, f := range files {
+		pkgLine := fset.Position(f.Package).Line
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := directive{
+					analyzer: name,
+					reason:   reason,
+					pos:      pos,
+					fileWide: pos.Line < pkgLine,
+				}
+				idx.all = append(idx.all, d)
+				if !d.valid() {
+					continue // malformed directives never suppress
+				}
+				if d.fileWide {
+					m := idx.fileWide[pos.Filename]
+					if m == nil {
+						m = map[string]bool{}
+						idx.fileWide[pos.Filename] = m
+					}
+					m[name] = true
+				} else {
+					lines := idx.byLine[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						idx.byLine[pos.Filename] = lines
+					}
+					for _, ln := range []int{pos.Line, pos.Line + 1} {
+						m := lines[ln]
+						if m == nil {
+							m = map[string]bool{}
+							lines[ln] = m
+						}
+						m[name] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// valid reports whether the directive names a real analyzer and carries
+// a non-empty reason.
+func (d directive) valid() bool {
+	return d.analyzer != "" && d.analyzer != directiveName &&
+		ByName(d.analyzer) != nil && d.reason != ""
+}
+
+// allows reports whether a finding of the named analyzer at pos is
+// suppressed.
+func (idx *directiveIndex) allows(analyzer string, pos token.Position) bool {
+	if idx.fileWide[pos.Filename][analyzer] {
+		return true
+	}
+	return idx.byLine[pos.Filename][pos.Line][analyzer]
+}
+
+// Directive validates the suppression directives themselves: every
+// //putget:allow must name a known analyzer and carry a reason after
+// " -- ". It runs in every package (including non-sim-domain ones) so a
+// typo can never silently disable a real check.
+var Directive = &Analyzer{
+	Name: directiveName,
+	Doc:  "putget:allow directives must name a known analyzer and carry a reason",
+}
+
+// Run is attached in init to break the initialization cycle
+// Directive -> ByName -> All -> Directive.
+func init() {
+	Directive.Run = runDirective
+}
+
+func runDirective(pass *Pass) error {
+	idx := parseDirectives(pass.Fset, pass.Files)
+	for _, d := range idx.all {
+		if d.valid() {
+			continue
+		}
+		var msg string
+		switch {
+		case d.analyzer == "":
+			msg = "putget:allow needs an analyzer name: //putget:allow <analyzer> -- <reason>"
+		case d.analyzer == directiveName || ByName(d.analyzer) == nil:
+			msg = fmt.Sprintf("putget:allow names unknown analyzer %q", d.analyzer)
+		default:
+			msg = "putget:allow " + d.analyzer + " is missing its reason: append -- <why this exception is safe>"
+		}
+		pass.report(Diagnostic{Analyzer: directiveName, Pos: d.pos, Message: msg})
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package analysis
+
+// simDomain lists the packages whose code runs under (or feeds) the
+// discrete-event engine, where byte-determinism is load-bearing: only
+// virtual sim.Time may advance, all randomness flows through the seeded
+// splitmix64 injector, map iteration must not order output, and all
+// concurrency goes through sim.Proc or the runner pool.
+//
+// cmd/* and examples/* are deliberately outside the domain: they sit on
+// the far side of the determinism boundary (flag parsing, stderr
+// progress, process exit) and are covered only by the module-wide
+// checks (boundedwait, directive).
+var simDomain = map[string]bool{
+	"putget/internal/sim":       true,
+	"putget/internal/pcie":      true,
+	"putget/internal/wire":      true,
+	"putget/internal/extoll":    true,
+	"putget/internal/ibsim":     true,
+	"putget/internal/gpusim":    true,
+	"putget/internal/hostsim":   true,
+	"putget/internal/core":      true,
+	"putget/internal/faults":    true,
+	"putget/internal/transport": true,
+	"putget/internal/shmem":     true,
+	"putget/internal/trace":     true,
+	"putget/internal/bench":     true,
+	// Beyond the core list: these also execute between a seed and a
+	// figure, so the same invariants hold.
+	"putget/internal/runner":   true,
+	"putget/internal/msg":      true,
+	"putget/internal/memspace": true,
+	"putget/internal/cluster":  true,
+	"putget/internal/stats":    true,
+}
+
+// IsSimDomain reports whether the import path is inside the determinism
+// boundary.
+func IsSimDomain(path string) bool { return simDomain[path] }
+
+// simPkgPath is where the virtual-clock types live; engineaffinity uses
+// it to recognize captured engine handles.
+const simPkgPath = "putget/internal/sim"
+
+// runnerPkgPath is the sanctioned worker pool; closures shipped to it
+// must not capture engine handles from the spawning shard.
+const runnerPkgPath = "putget/internal/runner"

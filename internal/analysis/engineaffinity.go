@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EngineAffinity turns PR 2's runtime engine-affinity panics (cross-
+// engine touch, concurrent-touch CAS detector) into compile-time
+// findings. Two shapes are flagged in sim-domain packages:
+//
+//  1. Raw `go` statements. A goroutine that touches an engine from
+//     outside the engine's own scheduling discipline is exactly what
+//     the CAS detector panics on at runtime; all concurrency in the sim
+//     domain goes through sim.Proc (engine-owned coroutines) or the
+//     runner pool (isolated per-cell engines).
+//
+//  2. Closures shipped to the runner pool (any call into
+//     putget/internal/runner) that capture a *sim.Engine or *sim.Proc
+//     from the enclosing scope. Each shard must construct its own
+//     engine; a captured handle is a cross-engine touch waiting for a
+//     worker to schedule it.
+var EngineAffinity = &Analyzer{
+	Name: "engineaffinity",
+	Doc:  "flag raw go statements and engine handles captured by runner-pool closures in sim-domain code",
+	Run: func(pass *Pass) error {
+		if !IsSimDomain(pass.Pkg.Path()) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			if pass.isTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.GoStmt:
+					pass.Reportf(e.Pos(),
+						"raw go statement in sim-domain package %s: concurrency must go through sim.Proc or the runner pool (or annotate with //putget:allow engineaffinity -- <reason>)",
+						pass.Pkg.Path())
+				case *ast.CallExpr:
+					checkRunnerCapture(pass, e)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// checkRunnerCapture inspects closures passed to the runner pool for
+// captured engine handles.
+func checkRunnerCapture(pass *Pass, call *ast.CallExpr) {
+	if !isRunnerCall(pass, call) {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			// Free variable: declared before the literal begins (params
+			// and body-local variables are declared inside it).
+			if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+				return true
+			}
+			if name := engineHandleType(v.Type()); name != "" {
+				pass.Reportf(id.Pos(),
+					"%s %s captured by a closure shipped to the runner pool: each shard must construct its own engine (cross-engine touch panics at runtime)",
+					name, id.Name)
+			}
+			return true
+		})
+	}
+}
+
+// isRunnerCall reports whether the call resolves to a function in
+// putget/internal/runner (runner.Run, runner.Map, ...), including
+// generic instantiations.
+func isRunnerCall(pass *Pass, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	// Strip explicit instantiation: runner.Map[cell, string](...).
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ix.X
+	case *ast.IndexListExpr:
+		fun = ix.X
+	}
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[f]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[f.Sel]
+	default:
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == runnerPkgPath
+}
+
+// engineHandleType returns a display name if t is (a pointer to) an
+// engine-affine handle type, else "".
+func engineHandleType(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != simPkgPath {
+		return ""
+	}
+	switch named.Obj().Name() {
+	case "Engine":
+		return "sim engine handle"
+	case "Proc":
+		return "sim process handle"
+	}
+	return ""
+}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body has order-dependent
+// effects. Go randomizes map iteration order per process, so such a loop
+// is exactly the classic source of nondeterministic stdout, Perfetto
+// bytes, and event schedules that golden tests then catch as flaky
+// diffs. Effects counted as order-dependent:
+//
+//   - emitting output (fmt.Print*/Fprint*, Write/WriteString/... methods)
+//   - posting sim events or writing trace records (sim.Engine.At/After/
+//     Spawn/Tracev/Span*/Metric and trace recorder methods)
+//   - appending to a slice declared outside the loop, unless the same
+//     enclosing block sorts that slice afterwards (the sanctioned
+//     collect-keys-then-sort idiom)
+//
+// Pure reductions (sums, min/max, building another map) are
+// order-independent and not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose body emits output, posts sim events, writes trace records, or appends to an unsorted outer slice",
+	Run: func(pass *Pass) error {
+		if !IsSimDomain(pass.Pkg.Path()) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			if pass.isTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				var list []ast.Stmt
+				switch b := n.(type) {
+				case *ast.BlockStmt:
+					list = b.List
+				case *ast.CaseClause:
+					list = b.Body
+				case *ast.CommClause:
+					list = b.Body
+				default:
+					return true
+				}
+				for i, st := range list {
+					rs, ok := st.(*ast.RangeStmt)
+					if !ok {
+						continue
+					}
+					checkMapRange(pass, rs, list[i+1:])
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// checkMapRange reports rs if it ranges over a map and its body has an
+// order-dependent effect that `after` (the rest of the enclosing block)
+// does not neutralize by sorting.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, after []ast.Stmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var effect string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if effect != "" {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if why := orderedEffectCall(pass, e); why != "" {
+				effect = why
+				return false
+			}
+		case *ast.AssignStmt:
+			if why := unsortedOuterAppend(pass, e, rs, after); why != "" {
+				effect = why
+				return false
+			}
+		}
+		return true
+	})
+	if effect != "" {
+		pass.Reportf(rs.Pos(),
+			"iteration over map %s has an order-dependent effect (%s); iterate a sorted key slice instead",
+			exprString(rs.X), effect)
+	}
+}
+
+// fmtOutputFuncs emit bytes in call order. Sprint* are pure and exempt.
+var fmtOutputFuncs = map[string]bool{
+	"Print": true, "Println": true, "Printf": true,
+	"Fprint": true, "Fprintln": true, "Fprintf": true,
+}
+
+// writerMethods emit bytes in call order regardless of receiver type
+// (strings.Builder, bytes.Buffer, io.Writer, bufio.Writer, ...).
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// simPostMethods schedule events or write trace/metric records; their
+// call order is observable in the event schedule and the trace file.
+var simPostMethods = map[string]bool{
+	"At": true, "After": true, "Spawn": true, "SpawnAt": true,
+	"Tracef": true, "Tracev": true,
+	"SpanOpen": true, "SpanOpenAt": true, "SpanClose": true, "SpanCloseAt": true,
+	"Metric": true, "Event": true, "Sample": true, "Record": true,
+}
+
+// orderedEffectCall classifies a call inside a map-range body.
+func orderedEffectCall(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	// Package-level fmt output.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" && fmtOutputFuncs[name] {
+				return "calls fmt." + name
+			}
+			return ""
+		}
+	}
+	// Method calls.
+	if selInfo, ok := pass.TypesInfo.Selections[sel]; ok && selInfo.Kind() == types.MethodVal {
+		if writerMethods[name] {
+			return "writes output via " + name
+		}
+		if simPostMethods[name] && recvFromSimOrTrace(selInfo.Recv()) {
+			return "posts sim events / trace records via " + name
+		}
+	}
+	return ""
+}
+
+// recvFromSimOrTrace reports whether the method receiver is a type
+// declared in internal/sim or internal/trace.
+func recvFromSimOrTrace(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == simPkgPath || path == "putget/internal/trace"
+}
+
+// unsortedOuterAppend reports an `outer = append(outer, ...)` inside a
+// map-range body, unless a statement after the loop in the same block
+// sorts the slice.
+func unsortedOuterAppend(pass *Pass, as *ast.AssignStmt, rs *ast.RangeStmt, after []ast.Stmt) string {
+	if len(as.Lhs) != len(as.Rhs) {
+		return ""
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) {
+			continue
+		}
+		id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			continue
+		}
+		// Declared inside the loop body: per-iteration, order can't leak.
+		if v.Pos() >= rs.Pos() && v.Pos() < rs.End() {
+			continue
+		}
+		if sortedAfter(pass, v, after) {
+			continue
+		}
+		return fmt.Sprintf("appends to outer slice %s, which is never sorted in this block", id.Name)
+	}
+	return ""
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortFuncs maps package path -> function names that establish a
+// deterministic order over their first argument.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether one of the statements after the range loop
+// sorts v.
+func sortedAfter(pass *Pass, v *types.Var, after []ast.Stmt) bool {
+	for _, st := range after {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			continue
+		}
+		names := sortFuncs[pn.Imported().Path()]
+		if names == nil || !names[sel.Sel.Name] {
+			continue
+		}
+		argID, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if ok && pass.TypesInfo.Uses[argID] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders a short expression for messages.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"strconv"
+)
+
+// randPackages are the entropy sources banned inside the determinism
+// boundary. Even a locally-seeded math/rand.New is banned: the one
+// sanctioned randomness source is the splitmix64 injector in
+// internal/faults, whose streams are keyed so results are functions of
+// the -seed flag alone.
+var randPackages = map[string]string{
+	"math/rand":    "use the seeded splitmix64 injector (internal/faults) instead",
+	"math/rand/v2": "use the seeded splitmix64 injector (internal/faults) instead",
+	"crypto/rand":  "nondeterministic entropy can never appear inside the determinism boundary",
+}
+
+// NoGlobalRand forbids importing math/rand (v1 or v2) and crypto/rand
+// in sim-domain packages. The import itself is flagged — one finding
+// per file, and nothing can be called without it.
+var NoGlobalRand = &Analyzer{
+	Name: "noglobalrand",
+	Doc:  "forbid math/rand and crypto/rand in sim-domain packages; randomness flows through the seeded splitmix64 injector",
+	Run: func(pass *Pass) error {
+		if !IsSimDomain(pass.Pkg.Path()) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			if pass.isTestFile(f.Pos()) {
+				continue
+			}
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if why, banned := randPackages[path]; banned {
+					pass.Reportf(imp.Pos(),
+						"import of %s in sim-domain package %s: %s",
+						path, pass.Pkg.Path(), why)
+				}
+			}
+		}
+		return nil
+	},
+}

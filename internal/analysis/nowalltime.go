@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package-level identifiers of the time package
+// that read or wait on the host's wall clock. Pure data types
+// (time.Duration arithmetic, formatting of already-captured values) are
+// not flagged: the invariant is that no wall-clock *reading* happens in
+// the sim domain, not that the time package is unmentionable.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// NoWallTime forbids wall-clock time in sim-domain packages: results
+// must be functions of the seed alone, and the only clock that may
+// advance between a stimulus and a measurement is virtual sim.Time.
+var NoWallTime = &Analyzer{
+	Name: "nowalltime",
+	Doc:  "forbid time.Now/Sleep/Since/After etc. in sim-domain packages; only virtual sim.Time is legal there",
+	Run: func(pass *Pass) error {
+		if !IsSimDomain(pass.Pkg.Path()) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			if pass.isTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+				if !ok || pkgName.Imported().Path() != "time" {
+					return true
+				}
+				if wallClockFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock time.%s in sim-domain package %s: only virtual sim.Time may advance here (or annotate with //putget:allow nowalltime -- <reason>)",
+						sel.Sel.Name, pass.Pkg.Path())
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}

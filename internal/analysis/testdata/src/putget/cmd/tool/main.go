@@ -1,0 +1,13 @@
+// Command tool shows that boundedwait is module-wide: an unbounded wait
+// in a cmd (or example) is flagged even though cmd/* is outside the sim
+// domain — an example that can deadlock teaches the API wrong.
+package main
+
+type rig struct{}
+
+func (rig) DevWaitNotif() {}
+
+func main() {
+	var r rig
+	r.DevWaitNotif() // want `unbounded blocking wait DevWaitNotif outside a test: use the bounded DevWaitNotifTimeout variant`
+}

@@ -1,0 +1,3 @@
+module putget
+
+go 1.24

@@ -1,0 +1,50 @@
+// Fixtures for the engineaffinity analyzer: raw go statements and engine
+// handles captured by closures shipped to the runner pool.
+package core
+
+import (
+	"putget/internal/runner"
+	"putget/internal/sim"
+)
+
+func rawGoroutine() {
+	go func() {}() // want `raw go statement in sim-domain package putget/internal/core`
+}
+
+func sanctionedGoroutine() {
+	//putget:allow engineaffinity -- fixture: this helper is itself a pool implementation detail
+	go func() {}()
+}
+
+func capturesEngine(e *sim.Engine) []int {
+	return runner.Map(2, []int{1, 2}, func(i, item int) int {
+		e.Tracef("shard %d", i) // want `sim engine handle e captured by a closure shipped to the runner pool`
+		return item
+	})
+}
+
+func capturesProc(p *sim.Proc) []int {
+	return runner.Map(2, []int{1, 2}, func(i, item int) int {
+		p.Yield() // want `sim process handle p captured by a closure shipped to the runner pool`
+		return item
+	})
+}
+
+// buildsOwnEngine is the sanctioned shape: each shard constructs its own
+// engine inside the closure, so nothing is captured.
+func buildsOwnEngine() []int {
+	return runner.Map(2, []int{1, 2}, func(i, item int) int {
+		var local sim.Engine
+		local.Tracef("shard %d", i)
+		return item
+	})
+}
+
+// explicitInstantiation: the generic call is still recognized through an
+// explicit type-argument list.
+func explicitInstantiation(e *sim.Engine) []string {
+	return runner.Map[int, string](2, []int{1}, func(i, item int) string {
+		e.Tracef("shard %d", i) // want `sim engine handle e captured by a closure shipped to the runner pool`
+		return ""
+	})
+}

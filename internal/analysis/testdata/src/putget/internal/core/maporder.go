@@ -1,0 +1,87 @@
+// Fixtures for the maporder analyzer: map iteration is flagged only when
+// the loop body has an order-dependent effect; pure reductions and the
+// collect-keys-then-sort idiom stay clean.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"putget/internal/sim"
+)
+
+func printsInRange(m map[string]int) {
+	for k, v := range m { // want `iteration over map m has an order-dependent effect \(calls fmt\.Println\)`
+		fmt.Println(k, v)
+	}
+}
+
+func appendsUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to outer slice keys, which is never sorted in this block`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectThenSort is the sanctioned idiom: the sort after the loop
+// erases iteration order, so nothing is flagged.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// pureReduction is order-independent and stays clean.
+func pureReduction(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// perIterationSliceIsFine: the slice is declared inside the loop body,
+// so iteration order cannot leak through it.
+func perIterationSliceIsFine(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+func tracesInRange(e *sim.Engine, m map[string]int) {
+	for k := range m { // want `posts sim events / trace records via Tracef`
+		e.Tracef("key %s", k)
+	}
+}
+
+func writesInRange(b *strings.Builder, m map[string]int) {
+	for k := range m { // want `writes output via WriteString`
+		b.WriteString(k)
+	}
+}
+
+// sprintIsFine: Sprint* is pure; the nondeterministic order never leaves
+// the loop because the result is folded into a map.
+func sprintIsFine(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = fmt.Sprintf("%s=%d", k, v)
+	}
+	return out
+}
+
+func suppressedRange(m map[string]int) {
+	//putget:allow maporder -- fixture: output order provably independent of iteration order
+	for k := range m {
+		fmt.Println(k)
+	}
+}

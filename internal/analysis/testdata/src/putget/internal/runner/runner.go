@@ -1,0 +1,12 @@
+// Package runner is a fixture stub of the sanctioned worker pool, under
+// the canonical import path so engineaffinity recognizes calls into it.
+package runner
+
+// Map runs fn over items (stub: sequentially).
+func Map[T, R any](parallel int, items []T, fn func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	for i, it := range items {
+		out[i] = fn(i, it)
+	}
+	return out
+}

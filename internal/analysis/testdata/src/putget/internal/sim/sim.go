@@ -1,0 +1,25 @@
+// Package sim is a fixture stub of the real discrete-event engine: just
+// enough surface, under the canonical import path, for the putgetlint
+// analyzers to resolve engine handles and event-posting methods against.
+package sim
+
+// Time is the virtual clock.
+type Time int64
+
+// Duration is a span of virtual time.
+type Duration int64
+
+// Engine is the (stub) discrete-event engine.
+type Engine struct{}
+
+// Tracef records a trace line (order-observable).
+func (e *Engine) Tracef(format string, args ...interface{}) {}
+
+// At schedules fn at virtual time t (order-observable).
+func (e *Engine) At(t Time, name string, fn func()) {}
+
+// Proc is a (stub) engine-owned coroutine.
+type Proc struct{}
+
+// Yield hands control back to the engine.
+func (p *Proc) Yield() {}

@@ -1,0 +1,24 @@
+// Fixtures for the directive analyzer: malformed //putget:allow comments
+// never suppress anything and are themselves findings.
+package wire
+
+import "time"
+
+// want+1 `putget:allow names unknown analyzer "nosuchanalyzer"`
+//putget:allow nosuchanalyzer -- misspelled analyzer names must not silently disable a real check
+
+// want+1 `putget:allow boundedwait is missing its reason`
+//putget:allow boundedwait
+
+// want+1 `putget:allow needs an analyzer name`
+//putget:allow
+
+// want+1 `putget:allow names unknown analyzer "directive"`
+//putget:allow directive -- the validator itself cannot be silenced
+
+// A malformed directive suppresses nothing: the missing-reason allow
+// directly above the call does not shield the wall-clock read.
+// want+2 `putget:allow nowalltime is missing its reason`
+//
+//putget:allow nowalltime
+var bootStamp = time.Now() // want `wall-clock time\.Now in sim-domain package putget/internal/wire`

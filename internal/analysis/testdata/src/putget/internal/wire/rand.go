@@ -1,0 +1,14 @@
+// Fixtures for the noglobalrand analyzer: the import itself is the
+// finding — nothing can be called without it.
+package wire
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand in sim-domain package putget/internal/wire`
+	"math/rand"         // want `import of math/rand in sim-domain package putget/internal/wire`
+)
+
+func entropy() int {
+	var b [1]byte
+	_, _ = crand.Read(b[:])
+	return rand.Int()
+}

@@ -1,0 +1,12 @@
+// Fixture for file-wide suppression: a //putget:allow before the package
+// clause applies to the entire file, so the math/rand import below is
+// not flagged.
+//putget:allow noglobalrand -- fixture: file-wide suppression placed before the package clause
+
+package wire
+
+import "math/rand"
+
+func seededHelper() int {
+	return rand.New(rand.NewSource(1)).Int()
+}

@@ -1,0 +1,27 @@
+// Fixtures for the nowalltime analyzer: internal/wire is inside the sim
+// domain, so every wall-clock read here must be flagged. This file is
+// also the acceptance demo that a time.Now introduced into internal/wire
+// fails the lint gate.
+package wire
+
+import "time"
+
+func wallClockReads() {
+	_ = time.Now()              // want `wall-clock time\.Now in sim-domain package putget/internal/wire`
+	time.Sleep(1)               // want `wall-clock time\.Sleep in sim-domain package putget/internal/wire`
+	_ = time.Since(time.Time{}) // want `wall-clock time\.Since in sim-domain package putget/internal/wire`
+	<-time.After(1)             // want `wall-clock time\.After in sim-domain package putget/internal/wire`
+	_ = time.NewTimer(1)        // want `wall-clock time\.NewTimer in sim-domain package putget/internal/wire`
+}
+
+// pureTimeDataIsFine: time.Duration arithmetic and formatting of
+// already-captured values do not read the clock and must not be flagged.
+func pureTimeDataIsFine(t time.Time) (time.Duration, string) {
+	d := 5 * time.Millisecond
+	return d, t.Format(time.RFC3339)
+}
+
+func suppressedRead() time.Time {
+	//putget:allow nowalltime -- fixture: justified wall-clock use, suppressed on the next line
+	return time.Now()
+}

@@ -1,0 +1,24 @@
+// Package util sits outside the sim domain: the per-package analyzers
+// (nowalltime, noglobalrand, maporder, engineaffinity) must not fire
+// here. Only the module-wide checks (boundedwait, directive) apply.
+package util
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func WallClockIsFine() time.Time { return time.Now() }
+
+func RandIsFine() int { return rand.Int() }
+
+func MapRangeIsFine(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func GoroutinesAreFine() {
+	go func() {}()
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file implements the `go vet -vettool` protocol: cmd/go writes a
+// JSON config describing one compilation unit (source files plus export
+// data for every dependency it already compiled) and invokes the tool as
+//
+//	putgetlint <flags> <objdir>/vet.cfg
+//
+// The tool type-checks the unit, runs its analyzers, prints findings to
+// stderr, writes its (empty — putgetlint exchanges no facts) vetx output
+// file, and exits nonzero iff it found problems. The protocol mirrors
+// golang.org/x/tools/go/analysis/unitchecker, reimplemented on the
+// standard library.
+
+// VetConfig matches the JSON cmd/go writes to vet.cfg (see vetConfig in
+// cmd/go/internal/work/exec.go). Unknown fields are ignored.
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker executes one vet.cfg unit and returns the process exit
+// code. Findings go to stderr.
+func RunUnitchecker(cfgFile string, analyzers []*Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "putgetlint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "putgetlint: parsing vet config %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// putgetlint produces no facts, so dependency-only invocations have
+	// nothing to compute; and analyzers never fire on packages outside
+	// this module, so skip the type-check entirely for them.
+	if cfg.VetxOnly || cfg.Standard[cfg.ImportPath] {
+		return writeVetx(cfg, stderr)
+	}
+
+	pkg, err := typeCheck(cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// cmd/go hack (#18395): the compiler will report the error.
+			return writeVetx(cfg, stderr)
+		}
+		fmt.Fprintf(stderr, "putgetlint: %v\n", err)
+		return 1
+	}
+	diags, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "putgetlint: %v\n", err)
+		return 1
+	}
+	if code := writeVetx(cfg, stderr); code != 0 {
+		return code
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s\n", d)
+	}
+	return 2
+}
+
+// writeVetx writes the (empty) facts output cmd/go caches for future
+// runs. Missing output would defeat vet result caching.
+func writeVetx(cfg VetConfig, stderr io.Writer) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		fmt.Fprintf(stderr, "putgetlint: writing vetx output: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,3 +1,5 @@
+//putget:allow boundedwait -- per-stage breakdown instruments the paper's fault-free pipeline; its waits must be byte-identical to the modes they decompose, and the table's exact-sum invariant pins them
+
 package bench
 
 import (

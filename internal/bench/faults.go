@@ -1,3 +1,5 @@
+//putget:allow boundedwait -- fault experiments wait on the *reliable* fabric layer, which either delivers (retransmission) or panics the run (retry exhaustion); an application-level timeout would double-count the recovery the sweep measures
+
 package bench
 
 import (

@@ -1,3 +1,5 @@
+//putget:allow boundedwait -- generic measurement harness: ping-pong/stream/msgrate loops time completions that the fault-free rig guarantees; a timeout branch in the hot loop would distort the very instruction counts being measured (fault experiments use the bounded variants in faults.go's sweeps instead)
+
 package bench
 
 import (

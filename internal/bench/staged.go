@@ -1,3 +1,5 @@
+//putget:allow boundedwait -- staged host-assisted protocols reproduce the paper's Figure 7 timing; every notification waited on is produced by the preceding stage of the same fault-free run
+
 package bench
 
 import (

@@ -17,6 +17,8 @@
 //     envelope carrying its source address; the matching receiver pulls
 //     the payload with an RDMA READ straight into the user buffer and
 //     returns a FIN, which completes the (synchronous) send.
+//
+//putget:allow boundedwait -- two-sided protocol engine: every CQ wait is matched by a posted, signaled WQE (send reaping, tag matching, rendezvous pull), so completion is a protocol invariant, not a fabric gamble
 package msg
 
 import (

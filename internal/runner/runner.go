@@ -75,6 +75,7 @@ func Run(cells []Cell, opts Options) []Result {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//putget:allow engineaffinity -- the runner pool IS the sanctioned concurrency layer; each worker runs isolated per-cell engines
 		go func() {
 			defer wg.Done()
 			for {
@@ -99,9 +100,9 @@ func Run(cells []Cell, opts Options) []Result {
 // runCell executes one cell with panic isolation.
 func runCell(i int, c Cell) (r Result) {
 	r = Result{Index: i, Name: c.Name}
-	start := time.Now()
+	start := time.Now() //putget:allow nowalltime -- wall-clock progress timing, reported to stderr only; never feeds virtual time or results
 	defer func() {
-		r.Elapsed = time.Since(start)
+		r.Elapsed = time.Since(start) //putget:allow nowalltime -- same wall-clock progress timer; Result.Output carries only virtual-time measurements
 		if p := recover(); p != nil {
 			r.Err = fmt.Errorf("cell %q panicked: %v\n%s", c.Name, p, debug.Stack())
 		}
@@ -148,6 +149,7 @@ func Map[T, R any](parallel int, items []T, fn func(i int, item T) R) []R {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//putget:allow engineaffinity -- the runner pool IS the sanctioned concurrency layer; Map shards build their own engines inside fn
 		go func() {
 			defer wg.Done()
 			for {

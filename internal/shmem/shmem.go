@@ -179,6 +179,7 @@ func (pe *PE) Get(w *gpusim.Warp, dst, src uint64, n int) {
 // shmem_quiet requires on a fabric with in-order delivery).
 func (pe *PE) Quiet(w *gpusim.Warp) {
 	for pe.outstanding > 0 {
+		//putget:allow boundedwait -- shmem_quiet is unbounded by the OpenSHMEM spec: it waits on exactly the puts this PE issued, each of which the reliable fabric completes
 		pe.data.DevWaitComplete(w, transport.CompLocal)
 		pe.outstanding--
 	}
@@ -199,6 +200,7 @@ func (pe *PE) WaitUntil(w *gpusim.Warp, off uint64, want uint64) {
 func (pe *PE) Barrier(w *gpusim.Warp) {
 	pe.barrierSeq++
 	pe.sync.DevPutImm(w, pe.barrierSeq, pe.peer, pe.barrierOff, 8, transport.FlagLocalComp)
+	//putget:allow boundedwait -- shmem_barrier_all is unbounded by the OpenSHMEM spec: it reaps this PE's own flag put before polling the peer's epoch
 	pe.sync.DevWaitComplete(w, transport.CompLocal)
 	pe.WaitUntil(w, pe.barrierOff, pe.barrierSeq)
 }

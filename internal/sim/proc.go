@@ -30,6 +30,7 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{e: e, name: name, wake: make(chan struct{})}
 	e.procs++
 	e.live[p] = struct{}{}
+	//putget:allow engineaffinity -- this IS sim.Proc: the one goroutine birth in the sim domain; the engine serializes it via the wake/yield handshake
 	go func() {
 		defer func() {
 			if r := recover(); r != nil && r != procKilled {

@@ -117,6 +117,7 @@ func (e *extEndpoint) DevPutCollective(w *gpusim.Warp, src Region, srcOff uint64
 // and consumes it before returning.
 func (e *extEndpoint) DevGet(w *gpusim.Warp, dst Region, dstOff uint64, src Region, srcOff uint64, size int) {
 	e.r.DevGet(w, e.port, src.nla+extoll.NLA(srcOff), dst.nla+extoll.NLA(dstOff), size, extoll.FlagCompNotif)
+	//putget:allow boundedwait -- get is synchronous by definition: the wait for the response IS the operation; bounded gets go through DevTryComplete/DevWaitCompleteTimeout
 	e.r.DevWaitNotif(w, e.port, extoll.ClassCompleter)
 }
 
@@ -124,6 +125,7 @@ func (e *extEndpoint) DevGet(w *gpusim.Warp, dst Region, dstOff uint64, src Regi
 // responder's completer notification cookie.
 func (e *extEndpoint) DevFetchAdd(w *gpusim.Warp, addend uint64, dst Region, dstOff uint64) uint64 {
 	e.r.DevFetchAdd(w, e.port, addend, dst.nla+extoll.NLA(dstOff))
+	//putget:allow boundedwait -- fetch-add is synchronous by definition: its return value arrives in the completer notification it waits on
 	_, old := e.r.DevWaitNotifValue(w, e.port, extoll.ClassCompleter)
 	return old
 }
@@ -158,6 +160,7 @@ func (e *extEndpoint) HostPutImm(p *sim.Proc, value uint64, dst Region, dstOff u
 // HostGet implements Endpoint.
 func (e *extEndpoint) HostGet(p *sim.Proc, dst Region, dstOff uint64, src Region, srcOff uint64, size int) {
 	e.r.HostGet(p, e.port, src.nla+extoll.NLA(srcOff), dst.nla+extoll.NLA(dstOff), size, extoll.FlagCompNotif)
+	//putget:allow boundedwait -- get is synchronous by definition: the wait for the response IS the operation
 	e.r.HostWaitNotif(p, e.port, extoll.ClassCompleter)
 }
 

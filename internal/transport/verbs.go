@@ -199,6 +199,7 @@ func (e *ibEndpoint) DevPutCollective(w *gpusim.Warp, src Region, srcOff uint64,
 // when the response data has landed.
 func (e *ibEndpoint) DevGet(w *gpusim.Warp, dst Region, dstOff uint64, src Region, srcOff uint64, size int) {
 	e.v.DevPostSend(w, e.qp, e.getWQE(dst, dstOff, src, srcOff, size))
+	//putget:allow boundedwait -- get is synchronous by definition: the RDMA-read CQE wait IS the operation; bounded gets go through DevTryComplete/DevWaitCompleteTimeout
 	e.v.DevPollCQ(w, e.qp.SendCQ)
 }
 
@@ -206,6 +207,7 @@ func (e *ibEndpoint) DevGet(w *gpusim.Warp, dst Region, dstOff uint64, src Regio
 // value has landed in the scratch buffer, so the load below is ordered.
 func (e *ibEndpoint) DevFetchAdd(w *gpusim.Warp, addend uint64, dst Region, dstOff uint64) uint64 {
 	e.v.DevPostSend(w, e.qp, e.fetchAddWQE(addend, dst, dstOff))
+	//putget:allow boundedwait -- fetch-add is synchronous by definition: the CQE orders the old value's landing in scratch
 	e.v.DevPollCQ(w, e.qp.SendCQ)
 	return w.LdGlobalU64(e.scratch)
 }
@@ -240,12 +242,14 @@ func (e *ibEndpoint) HostPutImm(p *sim.Proc, value uint64, dst Region, dstOff ui
 // HostGet implements Endpoint.
 func (e *ibEndpoint) HostGet(p *sim.Proc, dst Region, dstOff uint64, src Region, srcOff uint64, size int) {
 	e.v.HostPostSend(p, e.qp, e.getWQE(dst, dstOff, src, srcOff, size))
+	//putget:allow boundedwait -- get is synchronous by definition: the RDMA-read CQE wait IS the operation
 	e.v.HostPollCQ(p, e.qp.SendCQ)
 }
 
 // HostFetchAdd implements Endpoint.
 func (e *ibEndpoint) HostFetchAdd(p *sim.Proc, addend uint64, dst Region, dstOff uint64) uint64 {
 	e.v.HostPostSend(p, e.qp, e.fetchAddWQE(addend, dst, dstOff))
+	//putget:allow boundedwait -- fetch-add is synchronous by definition: the CQE orders the old value's landing in scratch
 	e.v.HostPollCQ(p, e.qp.SendCQ)
 	return e.node.CPU.ReadU64(p, e.scratch)
 }
