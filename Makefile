@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test lint check
+.PHONY: build test lint check bench
 
 build:
 	$(GO) build ./...
@@ -18,3 +18,9 @@ lint:
 
 check: build test lint
 	@echo "check: all gates green"
+
+# Wall-clock simulator perf: times the kvserve serving cell and the
+# message-rate sweep, writing BENCH_kvserve.json (events/sec, ns/op,
+# allocs/op) for commit-over-commit tracking.
+bench:
+	$(GO) run ./cmd/putgetperf -o BENCH_kvserve.json

@@ -1,0 +1,107 @@
+// Command putgetperf times the simulator itself — wall-clock cost, not
+// virtual-time results — and emits a machine-readable BENCH_*.json so
+// the perf trajectory of the engine can be tracked commit over commit.
+//
+//	putgetperf                      # writes BENCH_kvserve.json
+//	putgetperf -o /tmp/bench.json
+//
+// Each entry runs one workload under testing.Benchmark: the kvserve
+// serving cell on both fabrics (the heaviest multi-replica scenario, all
+// simulation layers engaged) and the EXTOLL message-rate sweep cell from
+// the paper evaluation. Virtual-event throughput (events/sec) is the
+// headline: simulated events executed per wall-clock second, the number
+// optimization work on internal/sim moves.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"putget/internal/bench"
+	"putget/internal/cluster"
+	"putget/internal/kv"
+	"putget/internal/transport"
+)
+
+// entry is one benchmark's result.
+type entry struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	WallNsPerOp int64  `json:"wall_ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// EventsPerOp is the virtual events one run executes; EventsPerSec
+	// divides it by wall time. Zero for workloads that don't report it.
+	EventsPerOp  uint64  `json:"events_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+func run(name string, events func() uint64) entry {
+	var ev uint64
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev = events()
+		}
+	})
+	e := entry{
+		Name:        name,
+		Iterations:  res.N,
+		WallNsPerOp: res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		EventsPerOp: ev,
+	}
+	if ev > 0 && res.NsPerOp() > 0 {
+		e.EventsPerSec = float64(ev) / (float64(res.NsPerOp()) / 1e9)
+	}
+	return e
+}
+
+func main() {
+	var (
+		out  = flag.String("o", "BENCH_kvserve.json", "output file")
+		seed = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	p := cluster.Default()
+	p.FaultInject = true
+	p.FaultSeed = *seed
+	cfg := kv.DefaultConfig(*seed)
+
+	entries := []entry{
+		run("kvserve/extoll", func() uint64 {
+			return kv.Run(transport.KindExtoll, p, cfg).Events
+		}),
+		run("kvserve/ib", func() uint64 {
+			return kv.Run(transport.KindIB, p, cfg).Events
+		}),
+		run("msgrate/extoll", func() uint64 {
+			bench.ExtollMessageRate(cluster.Default(), bench.RateHostControlled, 32, 80)
+			return 0
+		}),
+	}
+
+	doc, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "putgetperf: %v\n", err)
+		os.Exit(1)
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "putgetperf: %v\n", err)
+		os.Exit(1)
+	}
+	for _, e := range entries {
+		fmt.Printf("%-16s %10d ns/op %9d allocs/op", e.Name, e.WallNsPerOp, e.AllocsPerOp)
+		if e.EventsPerSec > 0 {
+			fmt.Printf(" %12.0f events/s", e.EventsPerSec)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -31,6 +31,7 @@ var simDomain = map[string]bool{
 	"putget/internal/memspace": true,
 	"putget/internal/cluster":  true,
 	"putget/internal/stats":    true,
+	"putget/internal/kv":       true,
 }
 
 // IsSimDomain reports whether the import path is inside the determinism

@@ -66,12 +66,14 @@ func TestStageBreakdownParallelDeterminism(t *testing.T) {
 // TestExtraExperimentsRegistered: the diagnostics resolve by id but stay
 // out of the paper set, so `-experiment all` output is unchanged.
 func TestExtraExperimentsRegistered(t *testing.T) {
-	if _, ok := Lookup("breakdown"); !ok {
-		t.Fatal("breakdown experiment not resolvable")
-	}
-	for _, r := range Experiments() {
-		if r.ID == "breakdown" {
-			t.Fatal("breakdown leaked into the paper experiment set")
+	for _, id := range []string{"breakdown", "crossapi", "kvserve"} {
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("%s experiment not resolvable", id)
+		}
+		for _, r := range Experiments() {
+			if r.ID == id {
+				t.Fatalf("%s leaked into the paper experiment set", id)
+			}
 		}
 	}
 }

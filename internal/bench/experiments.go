@@ -395,6 +395,8 @@ func ExtraExperiments() []Runner {
 			func(p cluster.Params) string { return StageBreakdown(p) }, nil},
 		{"crossapi", "both fabrics mode-for-mode through the unified transport layer",
 			func(p cluster.Params) string { return CrossAPI(p) }, nil},
+		{"kvserve", "replicated put/get KV serving: quorums, failover, fault-sweep SLOs",
+			func(p cluster.Params) string { return KVServe(p) }, nil},
 	}
 }
 

@@ -1,0 +1,14 @@
+package bench
+
+import (
+	"putget/internal/cluster"
+	"putget/internal/kv"
+)
+
+// KVServe renders the replicated put/get serving sweep (internal/kv): the
+// default cell under the default fault plans on both fabrics, as an SLO
+// table. The master seed follows the -seed flag like faultsweep does,
+// defaulting to 42 so the table is reproducible out of the box.
+func KVServe(p cluster.Params) string {
+	return kv.Sweep(p, kv.DefaultConfig(faultSweepSeed(p)), kv.DefaultPlans())
+}

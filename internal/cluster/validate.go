@@ -25,13 +25,13 @@ func (p Params) Validate() error {
 		{p.GPUL2Bytes > 0, fmt.Sprintf("GPUL2Bytes must be positive, got %d", p.GPUL2Bytes)},
 		{p.GPUL2Assoc > 0, fmt.Sprintf("GPUL2Assoc must be positive, got %d", p.GPUL2Assoc)},
 		{p.GPUL2Sector > 0, fmt.Sprintf("GPUL2Sector must be positive, got %d", p.GPUL2Sector)},
-		{p.GPUDevMemSize > 0, "GPUDevMemSize must be positive"},
+		{p.GPUDevMemSize > 0, fmt.Sprintf("GPUDevMemSize must be positive, got %d", p.GPUDevMemSize)},
 		{p.GPUEgress > 0, fmt.Sprintf("GPUEgress must be positive, got %g", p.GPUEgress)},
 		{p.P2PReadSmall > 0, fmt.Sprintf("P2PReadSmall must be positive, got %g", p.P2PReadSmall)},
 		{p.P2PReadLarge > 0, fmt.Sprintf("P2PReadLarge must be positive, got %g", p.P2PReadLarge)},
 
 		// ---- host ----
-		{p.HostRAMSize > 0, "HostRAMSize must be positive"},
+		{p.HostRAMSize > 0, fmt.Sprintf("HostRAMSize must be positive, got %d", p.HostRAMSize)},
 		{p.HostMemLat > 0, fmt.Sprintf("HostMemLat must be positive, got %v", p.HostMemLat)},
 		{p.HostEgress > 0, fmt.Sprintf("HostEgress must be positive, got %g", p.HostEgress)},
 		{p.CPUEgress > 0, fmt.Sprintf("CPUEgress must be positive, got %g", p.CPUEgress)},

@@ -61,6 +61,39 @@ func TestValidateRejectsNonsense(t *testing.T) {
 	}
 }
 
+// TestValidateMessagesCarryOffendingValue pins the contract that every
+// rejection names the offending field AND the value it held — a sweep
+// that fails halfway through a hand-edited matrix must be debuggable
+// from the error string alone.
+func TestValidateMessagesCarryOffendingValue(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Params)
+		want []string
+	}{
+		{"zero dev mem", func(p *Params) { p.GPUDevMemSize = 0 }, []string{"GPUDevMemSize", "got 0"}},
+		{"zero host ram", func(p *Params) { p.HostRAMSize = 0 }, []string{"HostRAMSize", "got 0"}},
+		{"negative SMs", func(p *Params) { p.GPUSMs = -3 }, []string{"GPUSMs", "got -3"}},
+		{"drop rate above one", func(p *Params) { p.FaultDropRate = 1.5 }, []string{"FaultDropRate", "got 1.5"}},
+		{"negative delay", func(p *Params) { p.FaultDelayMax = -5 * sim.Nanosecond }, []string{"FaultDelayMax", "got"}},
+		{"negative parallel", func(p *Params) { p.Parallel = -7 }, []string{"Parallel", "got -7"}},
+		{"zero egress", func(p *Params) { p.ExtEgress = 0 }, []string{"ExtEgress", "got 0"}},
+	} {
+		p := Default()
+		tc.mut(&p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+			continue
+		}
+		for _, w := range tc.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("%s: error %q does not contain %q", tc.name, err, w)
+			}
+		}
+	}
+}
+
 func TestNewPairPanicsOnInvalidParams(t *testing.T) {
 	p := Default()
 	p.ExtNotifEntries = 0

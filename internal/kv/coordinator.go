@@ -1,0 +1,357 @@
+package kv
+
+import (
+	"putget/internal/faults"
+	"putget/internal/sim"
+)
+
+// target records one send of the current attempt: which preference-list
+// slot it should satisfy and which connection (replica) it went to — the
+// two differ for hinted writes.
+type target struct {
+	member int // index into the key's preference list
+	conn   int // replica that physically received the message
+}
+
+// request is the coordinator-side state of one client operation.
+type request struct {
+	id       uint64
+	isPut    bool
+	key      int
+	ver      uint64
+	writer   uint64
+	val      uint64
+	attempt  int
+	start    sim.Time
+	done     bool
+	rerouted bool
+	got      int
+	acked    []bool // per preference-list slot
+	reps     []rec  // get replies, valid where acked
+	targets  []target
+	span     sim.SpanID
+}
+
+// coordinator is the client-side request router: it assigns versions,
+// fans attempts out to preference lists, counts quorums, detects down
+// replicas from consecutive missed deadlines, reroutes writes as hints,
+// probes for recovery, and triggers hint flushes and read-repair. It is
+// purely event-driven — control decisions charge no CPU time (the timed
+// work is in the per-connection tx/rx procs) — and all its randomness
+// comes from one seeded stream consumed in engine order.
+type coordinator struct {
+	cfg   Config
+	e     *sim.Engine
+	m     *Metrics
+	s     *server
+	ring  *Ring
+	prefs [][]int // preference list per key
+
+	latest    []uint64 // per-key version counter
+	alive     []bool
+	misses    []int
+	hintCount [][]int // [holder][target]: hinted writes routed but not yet flushed
+
+	reqs   map[uint64]*request // id → in-flight request; lookups only, never ranged
+	nextID uint64
+	rng    *faults.Splitmix64
+	tEnd   sim.Time
+}
+
+func newCoordinator(s *server) *coordinator {
+	cfg := s.cfg
+	c := &coordinator{
+		cfg:       cfg,
+		e:         s.e,
+		m:         s.m,
+		s:         s,
+		ring:      NewRing(cfg.Replicas, cfg.VNodes, cfg.RF, cfg.Seed),
+		prefs:     make([][]int, cfg.Keys),
+		latest:    make([]uint64, cfg.Keys),
+		alive:     make([]bool, cfg.Replicas),
+		misses:    make([]int, cfg.Replicas),
+		hintCount: make([][]int, cfg.Replicas),
+		reqs:      make(map[uint64]*request),
+		rng:       faults.NewSplitmix64(faults.DeriveSeed(cfg.Seed, 0xc0ffee)),
+		tEnd:      s.tEnd,
+	}
+	for k := range c.prefs {
+		c.prefs[k] = c.ring.Pref(k)
+	}
+	for r := range c.alive {
+		c.alive[r] = true
+		c.hintCount[r] = make([]int, cfg.Replicas)
+	}
+	return c
+}
+
+// launch starts one client request (runs in event context at its arrival
+// instant).
+func (c *coordinator) launch(a arrival) {
+	c.m.Requests++
+	c.nextID++
+	req := &request{
+		id:     c.nextID,
+		isPut:  a.isPut,
+		key:    a.key,
+		start:  c.e.Now(),
+		writer: uint64(a.client + 1),
+	}
+	if a.isPut {
+		c.latest[a.key]++
+		req.ver = c.latest[a.key]
+		req.val = req.id
+	}
+	pref := c.prefs[a.key]
+	req.acked = make([]bool, len(pref))
+	req.reps = make([]rec, len(pref))
+	c.reqs[req.id] = req
+	var route sim.SpanID
+	if c.e.Observing() {
+		route = c.e.SpanOpen("a.kv", "kv.route")
+		req.span = c.e.SpanOpen("a.kv", "kv.quorum")
+	}
+	req.attempt = 1
+	c.attempt(req)
+	c.e.SpanClose(route)
+}
+
+// attempt sends the current round to every unsatisfied preference-list
+// member — directly when alive, as a hinted write to a fallback when
+// down — and arms the attempt deadline.
+func (c *coordinator) attempt(req *request) {
+	pref := c.prefs[req.key]
+	req.targets = req.targets[:0]
+	var fallbacks []int
+	for i, mbr := range pref {
+		if req.acked[i] {
+			continue
+		}
+		conn := mbr
+		flg := uint64(0)
+		if !c.alive[mbr] {
+			if !req.rerouted {
+				req.rerouted = true
+				c.m.Rerouted++
+			}
+			if !req.isPut {
+				// Reads are preference-list-only: a fallback has no
+				// authoritative copy to serve.
+				continue
+			}
+			fb := c.fallback(req.key, fallbacks)
+			if fb < 0 {
+				continue // no healthy fallback; the retry/deadline budget decides
+			}
+			fallbacks = append(fallbacks, fb)
+			conn = fb
+			flg = flagHinted
+			c.hintCount[fb][mbr]++
+		}
+		op := opGet
+		if req.isPut {
+			op = opPut
+		}
+		c.send(conn, wireMsg{
+			id: req.id, op: op, key: uint64(req.key),
+			ver: req.ver, writer: req.writer, val: req.val,
+			aux: uint64(mbr), flg: flg,
+		})
+		req.targets = append(req.targets, target{member: i, conn: conn})
+	}
+	n := req.attempt
+	c.e.After(c.cfg.AttemptTimeout, func() { c.onTimeout(req, n) })
+}
+
+// fallback picks the hint holder for a down member: the next ring
+// replica outside the key's preference list that is alive and not
+// already holding a hint for this attempt.
+func (c *coordinator) fallback(key int, used []int) int {
+	pref := c.prefs[key]
+	chosen := -1
+	c.ring.Walk(key, func(r int) bool {
+		for _, p := range pref {
+			if r == p {
+				return true
+			}
+		}
+		for _, u := range used {
+			if r == u {
+				return true
+			}
+		}
+		if !c.alive[r] {
+			return true
+		}
+		chosen = r
+		return false
+	})
+	return chosen
+}
+
+// send queues a message on a connection's tx proc.
+func (c *coordinator) send(conn int, m wireMsg) {
+	c.s.conns[conn].txq.Send(m)
+}
+
+// onTimeout fires at an attempt deadline. Straggler accounting runs
+// even when the quorum already completed the request — a W-of-RF write
+// masks a dark replica, and without member-level misses the failure
+// detector would never see it. Stale deadlines (a later attempt already
+// armed) are ignored entirely.
+func (c *coordinator) onTimeout(req *request, n int) {
+	if req.attempt != n {
+		return
+	}
+	missed := false
+	for _, t := range req.targets {
+		if !req.acked[t.member] {
+			missed = true
+			c.miss(t.conn)
+		}
+	}
+	if missed {
+		c.m.Timeouts++
+	}
+	if req.done {
+		return
+	}
+	if req.attempt > c.cfg.MaxRetries {
+		req.done = true
+		c.m.QuorumFails++
+		c.e.SpanClose(req.span)
+		return
+	}
+	req.attempt++
+	c.m.Retries++
+	back := c.cfg.BackoffBase << uint(req.attempt-2)
+	back += sim.Duration(c.rng.Float64() * float64(c.cfg.BackoffBase/2))
+	c.e.After(back, func() {
+		if !req.done {
+			c.attempt(req)
+		}
+	})
+}
+
+// miss charges one missed deadline against a replica; DownAfter
+// consecutive misses mark it down and start the recovery prober.
+func (c *coordinator) miss(r int) {
+	if !c.alive[r] {
+		return
+	}
+	c.misses[r]++
+	if c.misses[r] >= c.cfg.DownAfter {
+		c.alive[r] = false
+		c.schedulePing(r)
+	}
+}
+
+// schedulePing probes a down replica every PingEvery until it answers or
+// the run ends; any reply flips it back up via markAlive.
+func (c *coordinator) schedulePing(r int) {
+	c.e.After(c.cfg.PingEvery, func() {
+		if c.alive[r] || c.e.Now() >= c.tEnd {
+			return
+		}
+		c.m.Pings++
+		c.send(r, wireMsg{op: opPing, aux: uint64(r)})
+		c.schedulePing(r)
+	})
+}
+
+// markAlive records evidence of life from replica r. On a down→up
+// transition it tells every hint holder to flush r's queued writes home;
+// the flush travels the holder's ordered connection, so it cannot
+// overtake any hint routed before it.
+func (c *coordinator) markAlive(r int) {
+	c.misses[r] = 0
+	if c.alive[r] {
+		return
+	}
+	c.alive[r] = true
+	for h := range c.hintCount {
+		if c.hintCount[h][r] > 0 {
+			c.hintCount[h][r] = 0
+			c.send(h, wireMsg{op: opFlush, aux: uint64(r), flg: flagNoReply})
+		}
+	}
+}
+
+// onReply is called by the rx procs with each reply landing on conn
+// replier. aux names the preference-list member the reply satisfies.
+func (c *coordinator) onReply(replier int, m wireMsg) {
+	c.markAlive(replier)
+	if m.op == opPingRep {
+		return
+	}
+	req := c.reqs[m.id]
+	if req == nil {
+		return
+	}
+	pref := c.prefs[req.key]
+	idx := -1
+	for i, mbr := range pref {
+		if uint64(mbr) == m.aux {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || req.acked[idx] {
+		return
+	}
+	req.acked[idx] = true
+	if req.done {
+		// Late ack on a completed request: recorded so the still-armed
+		// deadline does not charge this replica a spurious miss.
+		return
+	}
+	req.got++
+	switch m.op {
+	case opPutAck:
+		if req.isPut && req.got >= c.cfg.W {
+			c.complete(req)
+		}
+	case opGetRep:
+		req.reps[idx] = rec{ver: m.ver, writer: m.writer, val: m.val}
+		if !req.isPut && req.got >= c.cfg.R {
+			c.finishGet(req)
+		}
+	}
+}
+
+// finishGet resolves a read quorum: the newest record under LWW wins,
+// and every replier that served something older is sent a read-repair
+// write.
+func (c *coordinator) finishGet(req *request) {
+	var win rec
+	for i := range req.reps {
+		if req.acked[i] && req.reps[i].newer(win) {
+			win = req.reps[i]
+		}
+	}
+	if win.ver > 0 {
+		pref := c.prefs[req.key]
+		for i, mbr := range pref {
+			if req.acked[i] && win.newer(req.reps[i]) {
+				c.m.Repairs++
+				c.send(mbr, wireMsg{
+					op: opPut, key: uint64(req.key),
+					ver: win.ver, writer: win.writer, val: win.val,
+					aux: uint64(mbr), flg: flagNoReply | flagRepair,
+				})
+			}
+		}
+	}
+	c.complete(req)
+}
+
+// complete finishes a successful request and records its latency. The
+// request stays in the map: late replies must still find it to record
+// their acks (the map is bounded by the cell's total request count and
+// only ever looked up by id, never ranged).
+func (c *coordinator) complete(req *request) {
+	req.done = true
+	c.m.Ok++
+	c.m.Latencies = append(c.m.Latencies, c.e.Now().Sub(req.start).Microseconds())
+	c.e.SpanClose(req.span)
+}

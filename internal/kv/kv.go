@@ -1,0 +1,212 @@
+// Package kv is a sharded, replicated key-value serving workload layered
+// on the fabric-agnostic transport.Endpoint API — the paper's put/get
+// primitives promoted from microbenchmark substrate to a genuine
+// multi-replica storage protocol with graceful degradation as the
+// headline property.
+//
+// Topology: node A hosts the client population and the coordinator; node
+// B hosts N simulated replicas, one host proc per replica, each reached
+// over its own transport connection (EXTOLL port / IB queue pair), so
+// every request and reply crosses the modeled wire and is exposed to the
+// seeded fault injector. Placement is a consistent-hash ring with virtual
+// nodes; each key has a preference list of RF distinct replicas. Writes
+// carry per-key monotonic versions (last-writer-wins, ties broken by
+// writer id) and complete at W acknowledgements; reads complete at R
+// replies and return the newest version seen. Requests run under
+// per-attempt deadlines with bounded retry and deterministic seeded
+// backoff; replicas that miss consecutive deadlines are marked down and
+// rerouted around (writes go to a fallback replica as hinted handoff).
+// A ping prober detects recovery, at which point hint holders flush the
+// rerouted writes back and read-repair fixes stale replies, so a
+// recovered replica reconverges — replication lag returns to zero.
+//
+// Determinism: everything runs on one discrete-event engine per cell; all
+// randomness (Zipf key draws, open-loop interarrival gaps, retry jitter)
+// flows through seeded splitmix64 streams; the data plane indexes slices,
+// never ranges over maps. A sweep's cells shard across the runner pool
+// and assemble in fixed order, so the report is byte-identical for any
+// -parallel worker count.
+package kv
+
+import (
+	"fmt"
+
+	"putget/internal/sim"
+)
+
+// Config fixes one serving cell: cluster shape, workload, and the
+// client-visible timeout/retry policy.
+type Config struct {
+	// Replicas is the number of simulated replicas (each one transport
+	// connection and one host proc on node B).
+	Replicas int
+	// VNodes is the number of ring points per replica.
+	VNodes int
+	// RF is the replication factor: the preference-list length per key.
+	RF int
+	// R and W are the read and write quorums over RF.
+	R, W int
+
+	// Clients is the open-loop client population; each issues PerClient
+	// requests at exponentially distributed gaps of mean MeanGap.
+	Clients   int
+	PerClient int
+	MeanGap   sim.Duration
+	// PutFrac is the fraction of requests that are puts (rest are gets).
+	PutFrac float64
+
+	// Keys is the key-space size; Zipf is the skew exponent of the draw.
+	Keys int
+	Zipf float64
+
+	// SlotBytes is the wire footprint of one request/reply message (the
+	// 64-byte header plus modeled payload padding).
+	SlotBytes int
+
+	// AttemptTimeout bounds one attempt; a request retries at most
+	// MaxRetries times with exponential backoff from BackoffBase plus
+	// seeded jitter, then counts as a quorum failure.
+	AttemptTimeout sim.Duration
+	MaxRetries     int
+	BackoffBase    sim.Duration
+
+	// DownAfter consecutive missed deadlines mark a replica down;
+	// PingEvery is the prober cadence for down replicas.
+	DownAfter int
+	PingEvery sim.Duration
+
+	// Drain extends the run past the last client arrival so in-flight
+	// requests, handoff flushes and the lag monitor settle.
+	Drain sim.Duration
+	// SampleEvery is the replication-lag sampling cadence.
+	SampleEvery sim.Duration
+
+	// Seed drives every PRNG stream of the cell.
+	Seed uint64
+
+	// Observer, when non-nil, is installed on the cell's engine before
+	// the run, capturing the kv.route/kv.quorum/kv.repair/kv.handoff
+	// span stream. It never affects metrics. Leave nil in sweeps — an
+	// observer must not be shared across concurrent cells.
+	Observer sim.Observer
+
+	// Outages script KV-level replica failures (distinct from wire
+	// faults): the replica stops reaping its connection inside the
+	// window. An open-ended window (Dur == 0) is permanent death.
+	Outages []Outage
+}
+
+// Outage pauses or kills one replica. Start is an offset from load start;
+// Dur == 0 means the replica never returns.
+type Outage struct {
+	Replica int
+	Start   sim.Duration
+	Dur     sim.Duration
+}
+
+// DefaultConfig is the kvserve benchmark cell: 5 replicas, RF=3 with
+// majority-style R=W=2 quorums, a 4-client Zipf-skewed open-loop
+// population. The offered load sits below both fabrics' saturation
+// point, and the attempt deadline is sized to absorb one link-level
+// retransmission recovery (EXTOLL retx timer 15us, IB 20us) — a single
+// wire drop costs tail latency, not a spurious failover.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Replicas:       5,
+		VNodes:         16,
+		RF:             3,
+		R:              2,
+		W:              2,
+		Clients:        4,
+		PerClient:      120,
+		MeanGap:        10 * sim.Microsecond,
+		PutFrac:        0.7,
+		Keys:           256,
+		Zipf:           1.1,
+		SlotBytes:      64,
+		AttemptTimeout: 25 * sim.Microsecond,
+		MaxRetries:     2,
+		BackoffBase:    10 * sim.Microsecond,
+		DownAfter:      2,
+		PingEvery:      20 * sim.Microsecond,
+		Drain:          150 * sim.Microsecond,
+		SampleEvery:    20 * sim.Microsecond,
+		Seed:           seed,
+	}
+}
+
+// Validate rejects configurations that cannot describe a working cell.
+func (c Config) Validate() error {
+	type check struct {
+		ok  bool
+		msg string
+	}
+	checks := []check{
+		{c.Replicas > 0, fmt.Sprintf("Replicas must be positive, got %d", c.Replicas)},
+		{c.VNodes > 0, fmt.Sprintf("VNodes must be positive, got %d", c.VNodes)},
+		{c.RF > 0 && c.RF <= c.Replicas,
+			fmt.Sprintf("RF must be in [1,Replicas=%d], got %d", c.Replicas, c.RF)},
+		{c.R > 0 && c.R <= c.RF, fmt.Sprintf("R must be in [1,RF=%d], got %d", c.RF, c.R)},
+		{c.W > 0 && c.W <= c.RF, fmt.Sprintf("W must be in [1,RF=%d], got %d", c.RF, c.W)},
+		{c.Clients > 0, fmt.Sprintf("Clients must be positive, got %d", c.Clients)},
+		{c.PerClient > 0, fmt.Sprintf("PerClient must be positive, got %d", c.PerClient)},
+		{c.MeanGap > 0, fmt.Sprintf("MeanGap must be positive, got %v", c.MeanGap)},
+		{c.PutFrac >= 0 && c.PutFrac <= 1, fmt.Sprintf("PutFrac must be in [0,1], got %g", c.PutFrac)},
+		{c.Keys > 0, fmt.Sprintf("Keys must be positive, got %d", c.Keys)},
+		{c.Zipf > 0, fmt.Sprintf("Zipf must be positive, got %g", c.Zipf)},
+		{c.SlotBytes >= slotHeaderBytes,
+			fmt.Sprintf("SlotBytes must be at least the %d-byte header, got %d", slotHeaderBytes, c.SlotBytes)},
+		{c.AttemptTimeout > 0, fmt.Sprintf("AttemptTimeout must be positive, got %v", c.AttemptTimeout)},
+		{c.MaxRetries >= 0, fmt.Sprintf("MaxRetries must be non-negative, got %d", c.MaxRetries)},
+		{c.BackoffBase > 0, fmt.Sprintf("BackoffBase must be positive, got %v", c.BackoffBase)},
+		{c.DownAfter > 0, fmt.Sprintf("DownAfter must be positive, got %d", c.DownAfter)},
+		{c.PingEvery > 0, fmt.Sprintf("PingEvery must be positive, got %v", c.PingEvery)},
+		{c.Drain > 0, fmt.Sprintf("Drain must be positive, got %v", c.Drain)},
+		{c.SampleEvery > 0, fmt.Sprintf("SampleEvery must be positive, got %v", c.SampleEvery)},
+	}
+	for _, ck := range checks {
+		if !ck.ok {
+			return fmt.Errorf("kv: invalid Config: %s", ck.msg)
+		}
+	}
+	for _, o := range c.Outages {
+		if o.Replica < 0 || o.Replica >= c.Replicas {
+			return fmt.Errorf("kv: invalid Config: outage replica %d out of range [0,%d)", o.Replica, c.Replicas)
+		}
+		if o.Start < 0 || o.Dur < 0 {
+			return fmt.Errorf("kv: invalid Config: outage window (%v + %v) must be non-negative", o.Start, o.Dur)
+		}
+	}
+	return nil
+}
+
+// Metrics is one cell's outcome. Every field derives from virtual time
+// and seeded PRNG streams, so two runs of the same (fabric, params,
+// config) are identical field for field.
+type Metrics struct {
+	Requests    int // client requests issued
+	Ok          int // completed within quorum and deadline budget
+	QuorumFails int // exhausted the retry budget
+	Timeouts    int // attempt deadlines with at least one replica unacknowledged
+	Retries     int // attempts beyond each request's first
+	Rerouted    int // requests that skipped a down replica
+	Hints       int // hinted writes stored at fallback replicas
+	Handoffs    int // hinted records flushed to recovered replicas
+	Repairs     int // stale replicas fixed by read-repair
+	Pings       int // probe messages sent to down replicas
+
+	// Latencies holds each successful request's latency in microseconds,
+	// in completion order.
+	Latencies []float64
+
+	// MaxLag is the worst sampled replication lag (stale key-replica
+	// pairs over live replicas); EndLag is the final sample, after the
+	// drain window — zero means full reconvergence.
+	MaxLag int
+	EndLag int
+
+	// Elapsed spans load start to the end of the drain window; Events is
+	// the number of simulation events the cell executed.
+	Elapsed sim.Duration
+	Events  uint64
+}

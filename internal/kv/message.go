@@ -1,0 +1,77 @@
+package kv
+
+import "encoding/binary"
+
+// Message operation codes. Requests travel A→B, replies B→A.
+const (
+	opPut uint64 = iota + 1
+	opGet
+	opPing
+	opFlush
+	opPutAck
+	opGetRep
+	opPingRep
+)
+
+// Message flags.
+const (
+	// flagNoReply suppresses the replica's reply (read-repair writes,
+	// hint flushes).
+	flagNoReply uint64 = 1 << iota
+	// flagHinted marks a put rerouted to a fallback replica; aux names
+	// the intended owner, and the fallback stores the record as a hint
+	// instead of applying it locally.
+	flagHinted
+	// flagRepair marks a read-repair put (same apply path, traced as its
+	// own span kind).
+	flagRepair
+)
+
+// slotWords/slotHeaderBytes fix the wire header: eight 64-bit words.
+const (
+	slotWords       = 8
+	slotHeaderBytes = slotWords * 8
+)
+
+// wireMsg is one request or reply as it crosses the fabric. On requests
+// aux is the intended owner replica (for hinted puts: the down replica
+// the hint must eventually reach; for flushes: the recovered target); on
+// replies aux echoes the owner so the coordinator credits the right
+// quorum slot even when a fallback answered.
+type wireMsg struct {
+	id     uint64
+	op     uint64
+	key    uint64
+	ver    uint64
+	writer uint64
+	val    uint64
+	aux    uint64
+	flg    uint64
+}
+
+// encode serializes the header into b (little-endian, like the rest of
+// the simulated memory system). b must hold at least slotHeaderBytes.
+func (m wireMsg) encode(b []byte) {
+	binary.LittleEndian.PutUint64(b[0:], m.id)
+	binary.LittleEndian.PutUint64(b[8:], m.op)
+	binary.LittleEndian.PutUint64(b[16:], m.key)
+	binary.LittleEndian.PutUint64(b[24:], m.ver)
+	binary.LittleEndian.PutUint64(b[32:], m.writer)
+	binary.LittleEndian.PutUint64(b[40:], m.val)
+	binary.LittleEndian.PutUint64(b[48:], m.aux)
+	binary.LittleEndian.PutUint64(b[56:], m.flg)
+}
+
+// decodeMsg parses a header out of b.
+func decodeMsg(b []byte) wireMsg {
+	return wireMsg{
+		id:     binary.LittleEndian.Uint64(b[0:]),
+		op:     binary.LittleEndian.Uint64(b[8:]),
+		key:    binary.LittleEndian.Uint64(b[16:]),
+		ver:    binary.LittleEndian.Uint64(b[24:]),
+		writer: binary.LittleEndian.Uint64(b[32:]),
+		val:    binary.LittleEndian.Uint64(b[40:]),
+		aux:    binary.LittleEndian.Uint64(b[48:]),
+		flg:    binary.LittleEndian.Uint64(b[56:]),
+	}
+}

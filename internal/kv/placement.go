@@ -1,0 +1,89 @@
+package kv
+
+import (
+	"sort"
+
+	"putget/internal/faults"
+)
+
+// point is one virtual node on the hash circle.
+type point struct {
+	hash    uint64
+	replica int
+}
+
+// Ring is consistent-hash placement: each replica owns VNodes points on a
+// 64-bit circle, a key hashes to a position, and its preference list is
+// the first RF distinct replicas walking clockwise from there. Placement
+// is a pure function of (replicas, vnodes, rf, seed), so every component
+// — coordinator, replicas, lag monitor — derives the same view without
+// any metadata exchange.
+type Ring struct {
+	points []point
+	n      int
+	rf     int
+	seed   uint64
+}
+
+// NewRing builds the circle. Point positions come from the same
+// splitmix64 mix as the fault injectors, so placement reshuffles
+// deterministically with the seed.
+func NewRing(replicas, vnodes, rf int, seed uint64) *Ring {
+	if rf <= 0 || rf > replicas {
+		panic("kv: NewRing: rf must be in [1, replicas]")
+	}
+	pts := make([]point, 0, replicas*vnodes)
+	for r := 0; r < replicas; r++ {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, point{
+				hash:    faults.DeriveSeed(seed, uint64(r)<<20|uint64(v)),
+				replica: r,
+			})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		return pts[i].replica < pts[j].replica
+	})
+	return &Ring{points: pts, n: replicas, rf: rf, seed: seed}
+}
+
+// keyHash positions a key on the circle. The xor constant separates the
+// key stream from the vnode stream.
+func (g *Ring) keyHash(key int) uint64 {
+	return faults.DeriveSeed(g.seed^0x5bd1e995, uint64(key))
+}
+
+// Walk visits replicas in ring order starting at key's position, each
+// distinct replica once, until visit returns false or all replicas have
+// been seen.
+func (g *Ring) Walk(key int, visit func(replica int) bool) {
+	h := g.keyHash(key)
+	start := sort.Search(len(g.points), func(i int) bool { return g.points[i].hash >= h })
+	seen := make([]bool, g.n)
+	visited := 0
+	for i := 0; i < len(g.points) && visited < g.n; i++ {
+		r := g.points[(start+i)%len(g.points)].replica
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		visited++
+		if !visit(r) {
+			return
+		}
+	}
+}
+
+// Pref returns the key's preference list: the first RF distinct replicas
+// clockwise from its ring position.
+func (g *Ring) Pref(key int) []int {
+	pref := make([]int, 0, g.rf)
+	g.Walk(key, func(r int) bool {
+		pref = append(pref, r)
+		return len(pref) < g.rf
+	})
+	return pref
+}

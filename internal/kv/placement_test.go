@@ -1,0 +1,128 @@
+package kv
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRingPrefDistinctAndStable(t *testing.T) {
+	g := NewRing(5, 16, 3, 42)
+	h := NewRing(5, 16, 3, 42)
+	for key := 0; key < 512; key++ {
+		pref := g.Pref(key)
+		if len(pref) != 3 {
+			t.Fatalf("key %d: pref length = %d, want 3", key, len(pref))
+		}
+		seen := map[int]bool{}
+		for _, r := range pref {
+			if r < 0 || r >= 5 {
+				t.Fatalf("key %d: replica %d out of range", key, r)
+			}
+			if seen[r] {
+				t.Fatalf("key %d: pref %v repeats replica %d", key, pref, r)
+			}
+			seen[r] = true
+		}
+		if got := h.Pref(key); !reflect.DeepEqual(got, pref) {
+			t.Fatalf("key %d: same seed gave %v then %v", key, pref, got)
+		}
+	}
+}
+
+func TestRingSeedReshuffles(t *testing.T) {
+	a := NewRing(8, 16, 3, 1)
+	b := NewRing(8, 16, 3, 2)
+	same := 0
+	const keys = 256
+	for key := 0; key < keys; key++ {
+		if reflect.DeepEqual(a.Pref(key), b.Pref(key)) {
+			same++
+		}
+	}
+	if same == keys {
+		t.Fatalf("placement identical across seeds for all %d keys", keys)
+	}
+}
+
+func TestRingCoversAllReplicas(t *testing.T) {
+	const n = 7
+	g := NewRing(n, 16, 3, 9)
+	owned := make([]bool, n)
+	for key := 0; key < 4096; key++ {
+		owned[g.Pref(key)[0]] = true
+	}
+	for r, ok := range owned {
+		if !ok {
+			t.Fatalf("replica %d owns no key as primary over 4096 keys", r)
+		}
+	}
+}
+
+func TestRingWalkVisitsEveryReplicaOnce(t *testing.T) {
+	const n = 6
+	g := NewRing(n, 8, 2, 3)
+	for key := 0; key < 64; key++ {
+		var order []int
+		g.Walk(key, func(r int) bool {
+			order = append(order, r)
+			return true
+		})
+		if len(order) != n {
+			t.Fatalf("key %d: walk visited %d replicas, want %d", key, len(order), n)
+		}
+		seen := make([]bool, n)
+		for _, r := range order {
+			if seen[r] {
+				t.Fatalf("key %d: walk repeated replica %d", key, r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestLWWOrder(t *testing.T) {
+	cases := []struct {
+		a, b rec
+		want bool
+	}{
+		{rec{ver: 2}, rec{ver: 1}, true},
+		{rec{ver: 1}, rec{ver: 2}, false},
+		{rec{ver: 1, writer: 2}, rec{ver: 1, writer: 1}, true},
+		{rec{ver: 1, writer: 1}, rec{ver: 1, writer: 2}, false},
+		{rec{ver: 1, writer: 1}, rec{ver: 1, writer: 1}, false}, // replay is not newer
+		{rec{ver: 1}, rec{}, true},
+		{rec{}, rec{}, false},
+	}
+	for i, c := range cases {
+		if got := c.a.newer(c.b); got != c.want {
+			t.Fatalf("case %d: %+v newer than %+v = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStoreApplyAndHints(t *testing.T) {
+	s := newReplicaStore(4, 3)
+	if !s.apply(1, rec{ver: 1, writer: 1, val: 10}) {
+		t.Fatal("first write did not apply")
+	}
+	if s.apply(1, rec{ver: 1, writer: 1, val: 10}) {
+		t.Fatal("replay applied")
+	}
+	if s.apply(1, rec{ver: 0, writer: 9, val: 11}) {
+		t.Fatal("older version applied")
+	}
+	if !s.apply(1, rec{ver: 1, writer: 2, val: 12}) {
+		t.Fatal("writer tie-break did not apply")
+	}
+	if got := s.recs[1]; got != (rec{ver: 1, writer: 2, val: 12}) {
+		t.Fatalf("stored %+v", got)
+	}
+	s.addHint(2, 1, rec{ver: 3, writer: 1, val: 30})
+	s.addHint(2, 0, rec{ver: 1, writer: 1, val: 31})
+	if h := s.takeHints(2); len(h) != 2 {
+		t.Fatalf("takeHints = %d records, want 2", len(h))
+	}
+	if h := s.takeHints(2); len(h) != 0 {
+		t.Fatalf("second takeHints = %d records, want 0", len(h))
+	}
+}

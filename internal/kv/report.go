@@ -1,0 +1,97 @@
+package kv
+
+import (
+	"fmt"
+	"strings"
+
+	"putget/internal/cluster"
+	"putget/internal/faults"
+	"putget/internal/runner"
+	"putget/internal/sim"
+	"putget/internal/stats"
+	"putget/internal/transport"
+)
+
+// Plan is one fault scenario of the serving sweep: wire-level
+// probabilistic faults (cleaned up by the fabric's reliability protocol,
+// visible to the KV layer as latency) plus KV-level replica outages
+// (visible as missed deadlines, failover, and replication lag).
+type Plan struct {
+	Name        string
+	DropRate    float64
+	CorruptRate float64
+	DelayMax    sim.Duration
+	Outages     []Outage
+}
+
+// DefaultPlans is the acceptance grid: a clean wire, a lossy wire, a
+// bounded replica blackout (the recovery row — hints flush home and end
+// lag returns to zero), and a permanent replica death.
+func DefaultPlans() []Plan {
+	return []Plan{
+		{Name: "loss-free"},
+		// Drop + corrupt only: per-packet extra delay reorders the wire,
+		// which the in-order reliability protocols (EXTOLL go-back-N, IB
+		// RC) read as loss — a retransmission storm, not a lossy wire.
+		{Name: "lossy", DropRate: 0.01, CorruptRate: 0.0025},
+		{Name: "blackout", Outages: []Outage{{Replica: 2, Start: 200 * sim.Microsecond, Dur: 300 * sim.Microsecond}}},
+		{Name: "death", Outages: []Outage{{Replica: 1, Start: 200 * sim.Microsecond}}},
+	}
+}
+
+// Sweep runs the serving cell under every plan on both fabrics and
+// renders the SLO table. Cells shard across the harness worker pool
+// (p.Parallel) and assemble in fixed (fabric, plan) order, so the output
+// bytes never depend on the worker count. Every cell keeps the same
+// workload seed — plans face an identical request schedule — while each
+// draws its own derived fault-injector seed.
+func Sweep(p cluster.Params, cfg Config, plans []Plan) string {
+	kinds := []transport.Kind{transport.KindExtoll, transport.KindIB}
+	type cellSpec struct {
+		kind, plan int
+	}
+	var cells []cellSpec
+	for ki := range kinds {
+		for pi := range plans {
+			cells = append(cells, cellSpec{ki, pi})
+		}
+	}
+	results := runner.Map(p.Parallel, cells, func(i int, c cellSpec) Metrics {
+		plan := plans[c.plan]
+		fp := p
+		// Reliability protocols run in every cell — including loss-free —
+		// so rows differ only in injected faults, not in protocol overhead.
+		fp.FaultInject = true
+		fp.FaultSeed = faults.DeriveSeed(cfg.Seed, uint64(i+1))
+		fp.FaultDropRate = plan.DropRate
+		fp.FaultCorruptRate = plan.CorruptRate
+		fp.FaultDelayMax = plan.DelayMax
+		cellCfg := cfg
+		cellCfg.Outages = plan.Outages
+		return Run(kinds[c.kind], fp, cellCfg)
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "kvserve: replicated put/get serving under fault plans (seed %d)\n", cfg.Seed)
+	fmt.Fprintf(&b, "replicas %d rf %d R %d W %d; %d clients x %d requests, %.0f%% puts, zipf %.2f over %d keys\n",
+		cfg.Replicas, cfg.RF, cfg.R, cfg.W, cfg.Clients, cfg.PerClient, cfg.PutFrac*100, cfg.Zipf, cfg.Keys)
+	fmt.Fprintf(&b, "attempt timeout %v, <=%d retries, backoff from %v; lag = stale key-replica pairs\n\n",
+		cfg.AttemptTimeout, cfg.MaxRetries, cfg.BackoffBase)
+	for ki, k := range kinds {
+		fmt.Fprintf(&b, "%s\n", k)
+		fmt.Fprintf(&b, "%-10s %5s %6s %6s %6s %6s %5s %6s %5s %5s %8s %9s %9s %9s %7s %7s\n",
+			"plan", "ok", "qfail", "tmout", "retry", "rerte", "hint", "hndof", "repr", "ping",
+			"Kops/s", "P50[us]", "P99[us]", "P999[us]", "maxlag", "endlag")
+		for pi, plan := range plans {
+			m := results[ki*len(plans)+pi]
+			pct := stats.PercentileMulti(m.Latencies, 50, 99, 99.9)
+			kops := float64(m.Ok) / m.Elapsed.Seconds() / 1e3
+			fmt.Fprintf(&b, "%-10s %5d %6d %6d %6d %6d %5d %6d %5d %5d %8.1f %9.2f %9.2f %9.2f %7d %7d\n",
+				plan.Name, m.Ok, m.QuorumFails, m.Timeouts, m.Retries, m.Rerouted,
+				m.Hints, m.Handoffs, m.Repairs, m.Pings,
+				kops, pct[0], pct[1], pct[2], m.MaxLag, m.EndLag)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

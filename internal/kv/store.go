@@ -1,0 +1,59 @@
+package kv
+
+// rec is one stored version of a key. The zero rec (ver 0) means "never
+// written".
+type rec struct {
+	ver    uint64
+	writer uint64
+	val    uint64
+}
+
+// newer reports whether a supersedes b under last-writer-wins order:
+// higher version wins, version ties break on writer id. Equal records
+// are not newer, so replays are idempotent.
+func (a rec) newer(b rec) bool {
+	if a.ver != b.ver {
+		return a.ver > b.ver
+	}
+	return a.writer > b.writer
+}
+
+// hintRec is a write held on behalf of a down replica, flushed home when
+// the coordinator observes recovery.
+type hintRec struct {
+	key int
+	rec rec
+}
+
+// replicaStore is one replica's storage engine: a version-indexed record
+// per key plus hint queues per intended owner. Slices throughout — the
+// data plane never ranges over a map.
+type replicaStore struct {
+	recs  []rec
+	hints [][]hintRec
+}
+
+func newReplicaStore(keys, replicas int) *replicaStore {
+	return &replicaStore{recs: make([]rec, keys), hints: make([][]hintRec, replicas)}
+}
+
+// apply merges r into key k under LWW; reports whether the store changed.
+func (s *replicaStore) apply(k int, r rec) bool {
+	if r.newer(s.recs[k]) {
+		s.recs[k] = r
+		return true
+	}
+	return false
+}
+
+// addHint queues a write intended for the down replica target.
+func (s *replicaStore) addHint(target, key int, r rec) {
+	s.hints[target] = append(s.hints[target], hintRec{key: key, rec: r})
+}
+
+// takeHints removes and returns the queued hints for target.
+func (s *replicaStore) takeHints(target int) []hintRec {
+	h := s.hints[target]
+	s.hints[target] = nil
+	return h
+}

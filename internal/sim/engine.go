@@ -41,9 +41,10 @@ func (h *eventHeap) Pop() interface{} {
 // Calling engine methods from goroutines outside the simulation is not
 // supported.
 type Engine struct {
-	now    Time
-	events eventHeap
-	seq    uint64
+	now      Time
+	events   eventHeap
+	seq      uint64
+	executed uint64
 
 	// yield is signalled by a process when it parks or exits, handing
 	// control back to the engine loop.
@@ -315,6 +316,7 @@ func (e *Engine) Run() {
 	for !e.stopped && len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		e.now = ev.at
+		e.executed++
 		ev.fn()
 	}
 }
@@ -327,6 +329,7 @@ func (e *Engine) RunUntil(t Time) {
 	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
 		ev := heap.Pop(&e.events).(*event)
 		e.now = ev.at
+		e.executed++
 		ev.fn()
 	}
 	if e.now < t && !e.stopped {
@@ -336,6 +339,11 @@ func (e *Engine) RunUntil(t Time) {
 
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// Executed reports the total number of events the engine has run — a
+// deterministic measure of simulation work (virtual-event throughput
+// benchmarks divide it by wall time).
+func (e *Engine) Executed() uint64 { return e.executed }
 
 // Live reports the number of processes that have started but not finished.
 func (e *Engine) Live() int { return e.procs }

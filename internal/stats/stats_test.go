@@ -118,6 +118,67 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 	}
 }
 
+// Property: PercentileMulti agrees element-for-element with Percentile
+// for arbitrary inputs and percentile lists, does not mutate its input,
+// and yields all zeros for an empty sample.
+func TestPercentileMultiMatchesSingleProperty(t *testing.T) {
+	f := func(raw []int16, rawPs []uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		ps := make([]float64, len(rawPs))
+		for i, v := range rawPs {
+			ps[i] = float64(v) * 100 / 255 // cover [0,100] incl. fractional p
+		}
+		before := append([]float64(nil), xs...)
+		got := PercentileMulti(xs, ps...)
+		if len(got) != len(ps) {
+			return false
+		}
+		for i, p := range ps {
+			if got[i] != Percentile(xs, p) {
+				return false
+			}
+		}
+		for i := range xs {
+			if xs[i] != before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// P99/P999 are nearest-rank: below 100 (resp. 1000) samples they read
+// the sample maximum; at the boundary they step to the next rank down.
+func TestTailPercentileSmallSamples(t *testing.T) {
+	small := []float64{3, 1, 2}
+	if P99(small) != 3 || P999(small) != 3 {
+		t.Fatalf("tail of 3 samples = %v/%v, want the max", P99(small), P999(small))
+	}
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i) // 0..999
+	}
+	if got := P99(xs); got != 989 {
+		t.Fatalf("P99 of 0..999 = %v, want 989 (rank ceil(0.99*1000)-1)", got)
+	}
+	if got := P999(xs); got != 998 {
+		t.Fatalf("P999 of 0..999 = %v, want 998 (rank ceil(0.999*1000)-1)", got)
+	}
+	multi := PercentileMulti(xs, 50, 99, 99.9)
+	if multi[0] != 499 || multi[1] != 989 || multi[2] != 998 {
+		t.Fatalf("PercentileMulti(50,99,99.9) = %v", multi)
+	}
+	if got := PercentileMulti(nil, 50, 99); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("PercentileMulti(nil) = %v, want zeros", got)
+	}
+}
+
 // Property: Min ≤ Median ≤ Max and Min ≤ Mean ≤ Max for any input.
 func TestOrderingProperty(t *testing.T) {
 	f := func(raw []int16) bool {
