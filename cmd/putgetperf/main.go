@@ -5,11 +5,13 @@
 //	putgetperf                      # writes BENCH_kvserve.json
 //	putgetperf -o /tmp/bench.json
 //
-// Each entry runs one workload under testing.Benchmark: the kvserve
-// serving cell on both fabrics (the heaviest multi-replica scenario, all
-// simulation layers engaged) and the EXTOLL message-rate sweep cell from
-// the paper evaluation. Virtual-event throughput (events/sec) is the
-// headline: simulated events executed per wall-clock second, the number
+// Each entry runs one workload under testing.Benchmark: three engine
+// microbenchmarks isolating the hot primitives (event schedule+run,
+// timer arm/cancel churn, process handoff), the kvserve serving cell on
+// both fabrics (the heaviest multi-replica scenario, all simulation
+// layers engaged) and the EXTOLL message-rate sweep cell from the paper
+// evaluation. Virtual-event throughput (events/sec) is the headline:
+// simulated events executed per wall-clock second, the number
 // optimization work on internal/sim moves.
 package main
 
@@ -23,6 +25,7 @@ import (
 	"putget/internal/bench"
 	"putget/internal/cluster"
 	"putget/internal/kv"
+	"putget/internal/sim"
 	"putget/internal/transport"
 )
 
@@ -47,6 +50,22 @@ func run(name string, events func() uint64) entry {
 			ev = events()
 		}
 	})
+	return finish(name, res, ev)
+}
+
+// runB is run for benchmarks that need the b.N loop themselves (the
+// engine microbenchmarks amortize one engine across all iterations);
+// the callback returns the events executed per iteration.
+func runB(name string, body func(b *testing.B) uint64) entry {
+	var ev uint64
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		ev = body(b)
+	})
+	return finish(name, res, ev)
+}
+
+func finish(name string, res testing.BenchmarkResult, ev uint64) entry {
 	e := entry{
 		Name:        name,
 		Iterations:  res.N,
@@ -59,6 +78,59 @@ func run(name string, events func() uint64) entry {
 		e.EventsPerSec = float64(ev) / (float64(res.NsPerOp()) / 1e9)
 	}
 	return e
+}
+
+// benchSchedule measures the bare schedule+dispatch path: one event
+// armed and drained per op on a shared engine. This is the floor every
+// other number sits on; it must stay allocation-free.
+func benchSchedule(b *testing.B) uint64 {
+	e := sim.NewEngine()
+	defer e.Shutdown()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+1, fn)
+		e.Run()
+	}
+	b.StopTimer()
+	return 1
+}
+
+// benchTimer measures cancellable-timer churn: arm two, cancel one,
+// drain the survivor — the KV coordinator's deadline pattern.
+func benchTimer(b *testing.B) uint64 {
+	e := sim.NewEngine()
+	defer e.Shutdown()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1 := e.AfterTimer(1, fn)
+		e.AfterTimer(2, fn)
+		t1.Cancel()
+		e.Run()
+	}
+	b.StopTimer()
+	return 1
+}
+
+// benchHandoff measures one full engine→proc→engine control transfer:
+// a resident process sleeps one tick per op, so each RunUntil is wake +
+// park across the goroutine boundary.
+func benchHandoff(b *testing.B) uint64 {
+	e := sim.NewEngine()
+	e.Spawn("sleeper", func(p *sim.Proc) {
+		for {
+			p.Sleep(1)
+		}
+	})
+	e.RunUntil(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(sim.Time(i + 1))
+	}
+	b.StopTimer()
+	e.Shutdown()
+	return 1
 }
 
 func main() {
@@ -74,6 +146,9 @@ func main() {
 	cfg := kv.DefaultConfig(*seed)
 
 	entries := []entry{
+		runB("engine/schedule", benchSchedule),
+		runB("engine/timer", benchTimer),
+		runB("engine/handoff", benchHandoff),
 		run("kvserve/extoll", func() uint64 {
 			return kv.Run(transport.KindExtoll, p, cfg).Events
 		}),
@@ -81,8 +156,7 @@ func main() {
 			return kv.Run(transport.KindIB, p, cfg).Events
 		}),
 		run("msgrate/extoll", func() uint64 {
-			bench.ExtollMessageRate(cluster.Default(), bench.RateHostControlled, 32, 80)
-			return 0
+			return bench.ExtollMessageRate(cluster.Default(), bench.RateHostControlled, 32, 80).Events
 		}),
 	}
 

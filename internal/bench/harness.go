@@ -270,6 +270,7 @@ func PingPong(p cluster.Params, kind transport.Kind, mode ControlMode, size, ite
 		PutTime:  putSum / sim.Duration(iters),
 		PollTime: pollSum / sim.Duration(iters),
 		Counters: r.tb.A.GPU.Counters(),
+		Events:   r.tb.E.Executed(),
 		Rel:      r.relCounters(),
 	}
 }
@@ -440,6 +441,7 @@ func Stream(p cluster.Params, kind transport.Kind, mode ControlMode, size, messa
 		Messages:    messages,
 		Elapsed:     elapsed,
 		BytesPerSec: float64(size) * float64(messages) / elapsed.Seconds(),
+		Events:      r.tb.E.Executed(),
 		Rel:         r.relCounters(),
 	}
 }
@@ -593,5 +595,6 @@ func MessageRate(p cluster.Params, kind transport.Kind, method RateMethod, pairs
 		Messages:   total,
 		Elapsed:    elapsed,
 		MsgsPerSec: float64(total) / elapsed.Seconds(),
+		Events:     r.tb.E.Executed(),
 	}
 }

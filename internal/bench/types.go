@@ -80,6 +80,9 @@ type LatencyResult struct {
 	PutTime  sim.Duration // mean per-iteration WR-generation time (origin)
 	PollTime sim.Duration // mean per-iteration completion-wait time (origin)
 	Counters gpusim.Counters
+	// Events is the simulator's executed-event count for the whole cell
+	// (warmup included) — the denominator of the engine's events/sec rate.
+	Events uint64
 	// Rel holds reliability-protocol activity; nil unless the testbed ran
 	// with fault injection enabled.
 	Rel *RelCounters
@@ -100,6 +103,8 @@ type BandwidthResult struct {
 	Elapsed  sim.Duration
 	// BytesPerSec is payload throughput observed at the receiver.
 	BytesPerSec float64
+	// Events is the simulator's executed-event count for the whole cell.
+	Events uint64
 	// Rel holds reliability-protocol activity; nil unless the testbed ran
 	// with fault injection enabled.
 	Rel *RelCounters
@@ -111,4 +116,6 @@ type RateResult struct {
 	Messages   int
 	Elapsed    sim.Duration
 	MsgsPerSec float64
+	// Events is the simulator's executed-event count for the whole cell.
+	Events uint64
 }

@@ -30,6 +30,15 @@ type request struct {
 	reps     []rec  // get replies, valid where acked
 	targets  []target
 	span     sim.SpanID
+
+	// deadline is the current attempt's timeout; it stays armed after
+	// quorum completion while any target is still silent (stragglers feed
+	// the failure detector) and is cancelled once every target has acked.
+	// retry is the pending backoff rearm; completion cancels it. Both were
+	// previously plain After closures that sat dead in the event queue,
+	// retaining the request and inflating Pending until their instants.
+	deadline sim.Timer
+	retry    sim.Timer
 }
 
 // coordinator is the client-side request router: it assigns versions,
@@ -160,7 +169,7 @@ func (c *coordinator) attempt(req *request) {
 		req.targets = append(req.targets, target{member: i, conn: conn})
 	}
 	n := req.attempt
-	c.e.After(c.cfg.AttemptTimeout, func() { c.onTimeout(req, n) })
+	req.deadline = c.e.AfterTimer(c.cfg.AttemptTimeout, func() { c.onTimeout(req, n) })
 }
 
 // fallback picks the hint holder for a down member: the next ring
@@ -226,7 +235,7 @@ func (c *coordinator) onTimeout(req *request, n int) {
 	c.m.Retries++
 	back := c.cfg.BackoffBase << uint(req.attempt-2)
 	back += sim.Duration(c.rng.Float64() * float64(c.cfg.BackoffBase/2))
-	c.e.After(back, func() {
+	req.retry = c.e.AfterTimer(back, func() {
 		if !req.done {
 			c.attempt(req)
 		}
@@ -303,6 +312,7 @@ func (c *coordinator) onReply(replier int, m wireMsg) {
 	if req.done {
 		// Late ack on a completed request: recorded so the still-armed
 		// deadline does not charge this replica a spurious miss.
+		c.maybeDisarm(req)
 		return
 	}
 	req.got++
@@ -317,6 +327,22 @@ func (c *coordinator) onReply(replier int, m wireMsg) {
 			c.finishGet(req)
 		}
 	}
+	if req.done {
+		c.maybeDisarm(req)
+	}
+}
+
+// maybeDisarm cancels a completed request's attempt deadline once every
+// target of the current attempt has acked: with no straggler left to
+// charge, the timeout would be a pure no-op, so removing it is
+// observation-equivalent and keeps the event queue free of tombstones.
+func (c *coordinator) maybeDisarm(req *request) {
+	for _, t := range req.targets {
+		if !req.acked[t.member] {
+			return
+		}
+	}
+	req.deadline.Cancel()
 }
 
 // finishGet resolves a read quorum: the newest record under LWW wins,
@@ -351,6 +377,7 @@ func (c *coordinator) finishGet(req *request) {
 // only ever looked up by id, never ranged).
 func (c *coordinator) complete(req *request) {
 	req.done = true
+	req.retry.Cancel() // a pending backoff would only re-check done and bail
 	c.m.Ok++
 	c.m.Latencies = append(c.m.Latencies, c.e.Now().Sub(req.start).Microseconds())
 	c.e.SpanClose(req.span)

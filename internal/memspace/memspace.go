@@ -46,38 +46,79 @@ type Memory interface {
 	Size() uint64
 }
 
-// RAM is a plain byte-array memory device.
+// ramPageShift sizes RAM pages at 64 KiB: large enough that page lookups
+// are rare in bulk copies, small enough that a testbed touching a few
+// buffers materializes megabytes, not the configured gigabytes.
+const (
+	ramPageShift = 16
+	ramPageSize  = 1 << ramPageShift
+)
+
+// RAM is a byte-array memory device with copy-on-write pages: a page
+// materializes on its first write, and reads of untouched pages observe
+// zeros — exactly the bytes a freshly made []byte would hold. Testbeds
+// configure memories in the hundreds of megabytes but touch a tiny
+// working set; allocating (and zeroing) the full span per experiment
+// cell dominated cell setup cost.
 type RAM struct {
-	name string
-	data []byte
+	name  string
+	size  uint64
+	pages [][]byte
 }
 
-// NewRAM allocates a RAM device of the given size.
+// NewRAM creates a RAM device of the given size. No page storage is
+// allocated until the first write.
 func NewRAM(name string, size uint64) *RAM {
-	return &RAM{name: name, data: make([]byte, size)}
+	return &RAM{name: name, size: size, pages: make([][]byte, (size+ramPageSize-1)>>ramPageShift)}
 }
 
 // Name implements Memory.
 func (r *RAM) Name() string { return r.name }
 
 // Size implements Memory.
-func (r *RAM) Size() uint64 { return uint64(len(r.data)) }
+func (r *RAM) Size() uint64 { return r.size }
 
 // ReadAt implements Memory.
 func (r *RAM) ReadAt(off uint64, b []byte) error {
-	if off+uint64(len(b)) > uint64(len(r.data)) || off+uint64(len(b)) < off {
-		return fmt.Errorf("memspace: %s: read [%#x,%#x) out of bounds (size %#x)", r.name, off, off+uint64(len(b)), len(r.data))
+	if off+uint64(len(b)) > r.size || off+uint64(len(b)) < off {
+		return fmt.Errorf("memspace: %s: read [%#x,%#x) out of bounds (size %#x)", r.name, off, off+uint64(len(b)), r.size)
 	}
-	copy(b, r.data[off:])
+	for len(b) > 0 {
+		po := off & (ramPageSize - 1)
+		n := uint64(ramPageSize - po)
+		if uint64(len(b)) < n {
+			n = uint64(len(b))
+		}
+		if pg := r.pages[off>>ramPageShift]; pg != nil {
+			copy(b[:n], pg[po:])
+		} else {
+			clear(b[:n]) // untouched page: the bytes are zero
+		}
+		b = b[n:]
+		off += n
+	}
 	return nil
 }
 
 // WriteAt implements Memory.
 func (r *RAM) WriteAt(off uint64, b []byte) error {
-	if off+uint64(len(b)) > uint64(len(r.data)) || off+uint64(len(b)) < off {
-		return fmt.Errorf("memspace: %s: write [%#x,%#x) out of bounds (size %#x)", r.name, off, off+uint64(len(b)), len(r.data))
+	if off+uint64(len(b)) > r.size || off+uint64(len(b)) < off {
+		return fmt.Errorf("memspace: %s: write [%#x,%#x) out of bounds (size %#x)", r.name, off, off+uint64(len(b)), r.size)
 	}
-	copy(r.data[off:], b)
+	for len(b) > 0 {
+		pi := off >> ramPageShift
+		po := off & (ramPageSize - 1)
+		n := uint64(ramPageSize - po)
+		if uint64(len(b)) < n {
+			n = uint64(len(b))
+		}
+		if r.pages[pi] == nil {
+			r.pages[pi] = make([]byte, ramPageSize)
+		}
+		copy(r.pages[pi][po:], b[:n])
+		b = b[n:]
+		off += n
+	}
 	return nil
 }
 

@@ -60,8 +60,6 @@ func TestSpaceRouting(t *testing.T) {
 		t.Fatalf("dev read = %#x, %v", v, err)
 	}
 	// Same offsets in both devices must not alias.
-	hv, _ := host.data, dev.data
-	_ = hv
 	u, _ := s.ReadU64(0x1_0010)
 	if u == 0xdeadbeef {
 		t.Fatal("mappings alias")

@@ -2,15 +2,43 @@ package sim
 
 import "fmt"
 
+// Wake tokens travel the per-goroutine handoff channels.
+const (
+	wakeResume   = iota // you own the simulation: start, or return from park
+	wakeKill            // unwind via the kill sentinel (Shutdown)
+	wakeLoopDone        // (mainWake) the event loop finished; Run returns
+	wakeContinue        // (mainWake) a process died; Run's goroutine resumes the loop
+	wakePanic           // (mainWake) an event panicked; Run's goroutine re-panics
+)
+
+// Unwind codes communicate, through Engine.unwind, why the innermost loop
+// frame must return. They are set inside a dispatched event and checked by
+// the loop after each dispatch.
+const (
+	unwindNone    = iota
+	unwindResumed // the carrier process was woken: return from park
+	unwindDone    // a process finished the loop; the Run caller returns
+)
+
 // Proc is a simulation process: a goroutine that runs model code and blocks
 // on virtual time. A Proc may only execute while the engine has handed
 // control to it; it returns control by sleeping, waiting, or finishing.
+//
+// Control transfer follows the carrier discipline (see Engine.loop): a
+// parked process's own goroutine keeps running the event loop, so waking
+// the process whose wakeup is the next event — the overwhelmingly common
+// case in polling-heavy models — is a flag store, not a goroutine switch.
 type Proc struct {
 	e    *Engine
 	name string
-	wake chan struct{}
+	wake chan uint8
 	done bool
 	kill bool
+
+	// resumeF is the resume method value, built once at spawn so the hot
+	// wake paths (Sleep, Signal.Broadcast, Resource.Release, ...) schedule
+	// it without allocating a fresh closure per wakeup.
+	resumeF func()
 }
 
 // procKilled is the sentinel panic value Shutdown injects into parked
@@ -27,27 +55,34 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 // SpawnAt starts fn as a new process at absolute virtual time t.
 func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	e.mustAlive("Spawn")
-	p := &Proc{e: e, name: name, wake: make(chan struct{})}
+	p := &Proc{e: e, name: name, wake: make(chan uint8)}
+	p.resumeF = p.resume
 	e.procs++
 	e.live[p] = struct{}{}
-	//putget:allow engineaffinity -- this IS sim.Proc: the one goroutine birth in the sim domain; the engine serializes it via the wake/yield handshake
+	//putget:allow engineaffinity -- this IS sim.Proc: the one goroutine birth in the sim domain; the engine serializes it via the carrier handoff
 	go func() {
 		defer func() {
 			if r := recover(); r != nil && r != procKilled {
 				panic(r)
 			}
 			p.done = true
-			p.e.procs--
-			delete(p.e.live, p)
-			p.e.yield <- struct{}{}
+			e.procs--
+			delete(e.live, p)
+			if p.kill {
+				e.mainWake <- wakeLoopDone // Shutdown's per-kill handshake
+				return
+			}
+			// Natural exit while carrying the loop: hand it back to the
+			// Run caller's goroutine, which resumes dispatching.
+			e.carrier = nil
+			e.mainWake <- wakeContinue
 		}()
-		<-p.wake // wait for the start event
-		if p.kill {
+		if <-p.wake == wakeKill {
 			panic(procKilled)
 		}
 		fn(p)
 	}()
-	e.At(t, func() { p.resume() })
+	e.At(t, p.resumeF)
 	return p
 }
 
@@ -63,22 +98,84 @@ func (p *Proc) Now() Time { return p.e.now }
 // Done reports whether the process body has returned.
 func (p *Proc) Done() bool { return p.done }
 
-// resume transfers control from the engine loop to the process and blocks
-// the engine until the process parks again. Must be called from engine
-// (event-callback) context only.
+// resume transfers the simulation to p. It runs in dispatch context, on
+// whichever goroutine currently carries the event loop. Fast path: when p
+// itself is the carrier (it parked and its own wakeup is the event being
+// dispatched), resumption is a flag store — no goroutine switch at all.
+// Otherwise the carrier wakes p's goroutine and blocks until the
+// simulation is handed back to it.
 func (p *Proc) resume() {
-	p.wake <- struct{}{}
-	<-p.e.yield
-}
-
-// park returns control to the engine and blocks until resumed. If the
-// engine is shutting down, the process unwinds via the kill sentinel.
-func (p *Proc) park() {
-	p.e.yield <- struct{}{}
-	<-p.wake
-	if p.kill {
+	e := p.e
+	c := e.carrier
+	if c == p {
+		e.unwind = unwindResumed
+		return
+	}
+	e.carrier = p
+	p.wake <- wakeResume
+	if c == nil {
+		// We are the Run caller: blocked until the loop finishes (a
+		// carrier drained it — Run returns), a process dies carrying it
+		// (we take the loop back over), or an event panics on a carrier
+		// (we re-raise it so Run's caller sees the panic, exactly as when
+		// the event runs on this goroutine directly).
+		switch <-e.mainWake {
+		case wakeLoopDone:
+			e.unwind = unwindDone
+		case wakePanic:
+			v := e.panicVal
+			e.panicVal = nil
+			panic(v)
+		}
+		return
+	}
+	// We are a parked process: blocked until our own wakeup dispatches,
+	// or Shutdown kills us.
+	if <-c.wake == wakeKill {
 		panic(procKilled)
 	}
+	e.unwind = unwindResumed
+}
+
+// park returns control to the engine by running the event loop on this
+// goroutine until something resumes the process. If the loop finishes
+// first, completion is handed to the Run caller and the process stays
+// parked (a later Run may still wake it; Shutdown kills it). If a
+// dispatched event panics, the value is forwarded to the Run caller —
+// an event's panic must surface out of Run/RunUntil no matter whose
+// goroutine dispatched it — and the process likewise stays parked.
+func (p *Proc) park() {
+	e := p.e
+	if p.carryLoop() == unwindNone {
+		e.carrier = nil
+		e.mainWake <- wakeLoopDone
+		if <-p.wake == wakeKill {
+			panic(procKilled)
+		}
+	}
+}
+
+// carryLoop runs the event loop for park, converting a panic raised by a
+// dispatched event into a wakePanic handoff to the Run caller. The kill
+// sentinel is re-raised untouched: it means this process was terminated
+// while blocked inside a nested handoff, and must keep unwinding.
+func (p *Proc) carryLoop() (u int) {
+	e := p.e
+	defer func() {
+		if r := recover(); r != nil {
+			if r == procKilled {
+				panic(procKilled)
+			}
+			e.panicVal = r
+			e.carrier = nil
+			e.mainWake <- wakePanic
+			if <-p.wake == wakeKill {
+				panic(procKilled)
+			}
+			u = unwindResumed
+		}
+	}()
+	return e.loop()
 }
 
 // Sleep suspends the process for d of virtual time. Negative durations
@@ -87,7 +184,7 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.e.After(d, func() { p.resume() })
+	p.e.After(d, p.resumeF)
 	p.park()
 }
 
@@ -97,7 +194,7 @@ func (p *Proc) SleepUntil(t Time) {
 	if t < p.e.now {
 		panic(fmt.Sprintf("sim: %s sleeping until %v which is before now %v", p.name, t, p.e.now))
 	}
-	p.e.At(t, func() { p.resume() })
+	p.e.At(t, p.resumeF)
 	p.park()
 }
 

@@ -47,9 +47,10 @@ func (r *Resource) Release() {
 	}
 	if len(r.queue) > 0 {
 		w := r.queue[0]
+		r.queue[0] = nil // do not retain the departing proc
 		r.queue = r.queue[1:]
 		// inUse stays: the unit transfers to w.
-		r.e.At(r.e.now, func() { w.resume() })
+		r.e.At(r.e.now, w.resumeF)
 		return
 	}
 	r.inUse--

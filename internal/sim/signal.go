@@ -6,7 +6,17 @@ package sim
 // Broadcast/Pulse that happened after its Wait began.
 type Signal struct {
 	e       *Engine
-	waiters []*Proc
+	waiters []waiter
+}
+
+// waiter is one parked process plus the deadline timer a WaitUntil armed
+// (the zero Timer for plain Waits). Waking a waiter cancels its timer, so
+// a timed wait that the signal satisfies leaves nothing in the event
+// queue — previously the dead deadline event lingered until its instant,
+// retaining the *Proc and inflating Pending.
+type waiter struct {
+	p     *Proc
+	timer Timer
 }
 
 // NewSignal creates a signal bound to engine e.
@@ -16,7 +26,7 @@ func NewSignal(e *Engine) *Signal { return &Signal{e: e} }
 // must belong to the same engine as the signal (affinity guard).
 func (s *Signal) Wait(p *Proc) {
 	s.e.mustOwn(p, "Signal.Wait")
-	s.waiters = append(s.waiters, p)
+	s.waiters = append(s.waiters, waiter{p: p})
 	p.park()
 }
 
@@ -26,30 +36,30 @@ func (s *Signal) Wait(p *Proc) {
 func (s *Signal) Broadcast() {
 	ws := s.waiters
 	s.waiters = nil
-	for _, w := range ws {
-		w := w
-		s.e.At(s.e.now, func() { w.resume() })
+	for i := range ws {
+		ws[i].timer.Cancel()
+		s.e.At(s.e.now, ws[i].p.resumeF)
 	}
 }
 
 // WaitUntil parks p until the next Broadcast/Pulse or until deadline,
 // whichever comes first, and reports whether a signal (not the deadline)
 // woke the waiter. A deadline at or before the current time returns false
-// without parking.
+// without parking. When the signal wins, the deadline timer is cancelled
+// on the spot; when both land on the same instant, whichever event was
+// scheduled first decides (a Broadcast armed before this WaitUntil beats
+// the deadline, one armed after loses to it).
 func (s *Signal) WaitUntil(p *Proc, deadline Time) bool {
 	s.e.mustOwn(p, "Signal.WaitUntil")
 	if deadline <= s.e.now {
 		return false
 	}
-	s.waiters = append(s.waiters, p)
-	settled := false
 	timedOut := false
-	s.e.At(deadline, func() {
-		if settled {
-			return
-		}
-		for i, w := range s.waiters {
-			if w == p {
+	tm := s.e.AtTimer(deadline, func() {
+		// Still queued (any wake would have cancelled this timer): leave
+		// the wait queue and resume with the timeout verdict.
+		for i := range s.waiters {
+			if s.waiters[i].p == p {
 				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
 				timedOut = true
 				p.resume()
@@ -57,8 +67,8 @@ func (s *Signal) WaitUntil(p *Proc, deadline Time) bool {
 			}
 		}
 	})
+	s.waiters = append(s.waiters, waiter{p: p, timer: tm})
 	p.park()
-	settled = true
 	return !timedOut
 }
 
@@ -69,8 +79,10 @@ func (s *Signal) Pulse() bool {
 		return false
 	}
 	w := s.waiters[0]
+	s.waiters[0] = waiter{}
 	s.waiters = s.waiters[1:]
-	s.e.At(s.e.now, func() { w.resume() })
+	w.timer.Cancel()
+	s.e.At(s.e.now, w.p.resumeF)
 	return true
 }
 

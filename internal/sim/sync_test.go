@@ -304,3 +304,204 @@ func TestChanBuffersWhenNoReceiver(t *testing.T) {
 		t.Fatalf("sum = %d, want 4950", sum)
 	}
 }
+
+func TestWaitUntilSignalBeforeDeadline(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	var ok bool
+	var at Time
+	e.Spawn("w", func(p *Proc) {
+		ok = s.WaitUntil(p, 100)
+		at = p.Now()
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(50)
+		s.Broadcast()
+	})
+	e.Run()
+	if !ok || at != 50 {
+		t.Fatalf("WaitUntil = %v at %v, want true at 50", ok, at)
+	}
+	// The satisfied wait must leave no dead deadline event behind.
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after signalled WaitUntil, want 0", e.Pending())
+	}
+}
+
+func TestWaitUntilTimeout(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	var ok bool
+	var at Time
+	e.Spawn("w", func(p *Proc) {
+		ok = s.WaitUntil(p, 100)
+		at = p.Now()
+	})
+	e.Run()
+	if ok || at != 100 {
+		t.Fatalf("WaitUntil = %v at %v, want false at 100", ok, at)
+	}
+	if s.Waiting() != 0 {
+		t.Fatalf("Waiting = %d after timeout, want 0", s.Waiting())
+	}
+}
+
+func TestWaitUntilDeadlineNotInFuture(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	results := make(map[Time]bool)
+	e.Spawn("w", func(p *Proc) {
+		p.Sleep(50)
+		results[p.Now()] = s.WaitUntil(p, 50) // deadline == now
+		results[100] = s.WaitUntil(p, 20)     // deadline in the past
+	})
+	e.Run()
+	if results[50] || results[100] {
+		t.Fatalf("results = %v, want immediate false for non-future deadlines", results)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0: no timer may be armed", e.Pending())
+	}
+}
+
+func TestWaitUntilSameInstantBroadcastFirstWins(t *testing.T) {
+	// The broadcast is armed before the waiter's deadline timer, so at the
+	// shared instant the broadcast dispatches first: the wait is satisfied.
+	e := NewEngine()
+	s := NewSignal(e)
+	var ok bool
+	e.At(100, func() { s.Broadcast() })
+	e.Spawn("w", func(p *Proc) {
+		ok = s.WaitUntil(p, 100)
+	})
+	e.Run()
+	if !ok {
+		t.Fatal("broadcast armed before the deadline lost the same-instant race")
+	}
+}
+
+func TestWaitUntilSameInstantDeadlineFirstWins(t *testing.T) {
+	// Here the deadline timer is armed before the broadcast event, so at
+	// the shared instant the wait times out first.
+	e := NewEngine()
+	s := NewSignal(e)
+	var ok bool
+	e.Spawn("w", func(p *Proc) {
+		ok = s.WaitUntil(p, 100)
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(100)
+		s.Broadcast()
+	})
+	e.Run()
+	if ok {
+		t.Fatal("deadline armed before the broadcast lost the same-instant race")
+	}
+}
+
+func TestWaitUntilRewaitAfterTimeout(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	var verdicts []bool
+	e.Spawn("w", func(p *Proc) {
+		verdicts = append(verdicts, s.WaitUntil(p, 100)) // times out
+		verdicts = append(verdicts, s.WaitUntil(p, 300)) // signalled at 200
+		verdicts = append(verdicts, s.WaitUntil(p, 400)) // times out again
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(200)
+		s.Broadcast()
+	})
+	e.Run()
+	want := []bool{false, true, false}
+	if len(verdicts) != len(want) {
+		t.Fatalf("verdicts = %v, want %v", verdicts, want)
+	}
+	for i := range want {
+		if verdicts[i] != want[i] {
+			t.Fatalf("verdicts = %v, want %v", verdicts, want)
+		}
+	}
+	if e.Now() != 400 || e.Pending() != 0 {
+		t.Fatalf("Now = %v Pending = %d, want 400, 0", e.Now(), e.Pending())
+	}
+}
+
+func TestPulseCancelsTimedWaiterDeadline(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	var ok bool
+	e.Spawn("w", func(p *Proc) {
+		ok = s.WaitUntil(p, 1000)
+	})
+	e.Spawn("pulser", func(p *Proc) {
+		p.Sleep(10)
+		s.Pulse()
+	})
+	e.Run()
+	if !ok {
+		t.Fatal("pulsed timed waiter reported timeout")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v: the dead deadline event still ran the clock forward", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestChanRingReusesCapacity(t *testing.T) {
+	// Steady-state churn through a mailbox must not grow its backing ring:
+	// the former front-slicing implementation retained every consumed slot.
+	e := NewEngine()
+	c := NewChan[int](e)
+	e.At(0, func() {
+		for i := 0; i < 4; i++ {
+			c.Send(i)
+		}
+	})
+	e.Spawn("churn", func(p *Proc) {
+		for i := 0; i < 10000; i++ {
+			v := c.Recv(p)
+			c.Send(v + 4)
+		}
+	})
+	e.Run()
+	if got := len(c.buf); got != 8 {
+		t.Fatalf("ring grew to %d slots under steady occupancy 4, want 8", got)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+}
+
+func TestChanRingWrapKeepsFIFO(t *testing.T) {
+	// Force the head to wrap the ring repeatedly and across a growth.
+	e := NewEngine()
+	c := NewChan[int](e)
+	next := 0
+	var got []int
+	e.At(0, func() {
+		for i := 0; i < 6; i++ {
+			c.Send(next)
+			next++
+		}
+	})
+	e.Spawn("recv", func(p *Proc) {
+		for len(got) < 60 {
+			got = append(got, c.Recv(p))
+			// Interleave sends so head/tail chase each other around the
+			// ring, periodically overflowing it to trigger an unwrap.
+			for i := 0; i < 2 && next < 60; i++ {
+				c.Send(next)
+				next++
+			}
+		}
+	})
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO broken across wrap/growth: got[%d] = %d", i, got[i])
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+// timerSlot is the engine-side record of one cancellable event: its
+// current heap position (-1 once fired or cancelled) and a generation
+// counter. Slots are recycled through a free list, so arming a timer in
+// steady state allocates nothing; the generation makes a handle to a
+// recycled slot inert instead of cancelling someone else's timer.
+type timerSlot struct {
+	pos int32
+	gen uint32
+}
+
+// Timer is a handle to a cancellable scheduled event, returned by
+// AtTimer/AfterTimer. The zero Timer is valid and inert: Cancel and
+// Active on it return false, so callers can hold one unconditionally and
+// cancel without a nil guard. A Timer is engine state — use it only under
+// the engine's handoff discipline, like every other scheduling call.
+//
+// Timers exist because fire-and-forget deadlines leak: an event armed
+// "just in case" (a wait deadline, a retry watchdog) whose condition
+// resolves early would otherwise sit in the queue until its instant
+// passes, retaining its closure (and anything it captures, typically a
+// *Proc or a request record) and inflating Pending and the heap. Cancel
+// removes the event from the middle of the queue in O(log n); a
+// cancelled event is never executed and never counts toward Executed.
+type Timer struct {
+	e   *Engine
+	idx int32
+	gen uint32
+}
+
+// AtTimer schedules fn at absolute time t like At and returns a handle
+// that can cancel it. Scheduling in the past panics, as with At.
+func (e *Engine) AtTimer(t Time, fn func()) Timer {
+	idx := e.allocTimerSlot()
+	gen := e.timers[idx].gen
+	e.schedule(t, fn, idx)
+	return Timer{e: e, idx: idx, gen: gen}
+}
+
+// AfterTimer schedules fn d after the current time and returns a
+// cancellation handle.
+func (e *Engine) AfterTimer(d Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtTimer(e.now.Add(d), fn)
+}
+
+// Cancel removes the timer's event from the queue. It reports whether it
+// cancelled anything: false when the timer already fired, was already
+// cancelled, is the zero Timer, or its engine was shut down. Cancelling
+// releases the event's closure immediately.
+func (t Timer) Cancel() bool {
+	e := t.e
+	if e == nil || e.dead {
+		return false
+	}
+	s := &e.timers[t.idx]
+	if s.gen != t.gen || s.pos < 0 {
+		return false
+	}
+	e.touch("Timer.Cancel")
+	e.removeEvent(int(s.pos))
+	e.freeTimerSlot(t.idx)
+	e.untouch()
+	return true
+}
+
+// Active reports whether the timer's event is still queued.
+func (t Timer) Active() bool {
+	if t.e == nil || t.e.dead {
+		return false
+	}
+	s := &t.e.timers[t.idx]
+	return s.gen == t.gen && s.pos >= 0
+}
+
+// allocTimerSlot returns a free slot index, recycling cancelled/fired
+// slots before growing the table.
+func (e *Engine) allocTimerSlot() int32 {
+	if k := len(e.freeT); k > 0 {
+		idx := e.freeT[k-1]
+		e.freeT = e.freeT[:k-1]
+		return idx
+	}
+	e.timers = append(e.timers, timerSlot{})
+	return int32(len(e.timers) - 1)
+}
+
+// freeTimerSlot retires a slot when its event fires or is cancelled: the
+// generation bump invalidates outstanding handles before the slot is
+// recycled.
+func (e *Engine) freeTimerSlot(idx int32) {
+	s := &e.timers[idx]
+	s.pos = -1
+	s.gen++
+	e.freeT = append(e.freeT, idx)
+}
