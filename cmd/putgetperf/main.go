@@ -4,6 +4,8 @@
 //
 //	putgetperf                      # writes BENCH_kvserve.json
 //	putgetperf -o /tmp/bench.json
+//	putgetperf -o /tmp/bench.json -baseline BENCH_kvserve.json
+//	                                # exit 1 on >15% events/s drop
 //
 // Each entry runs one workload under testing.Benchmark: three engine
 // microbenchmarks isolating the hot primitives (event schedule+run,
@@ -133,10 +135,45 @@ func benchHandoff(b *testing.B) uint64 {
 	return 1
 }
 
+// checkBaseline compares fresh events/sec numbers against a committed
+// baseline file and reports every entry whose throughput dropped by more
+// than maxDrop (a fraction, e.g. 0.15). Entries without events/sec in
+// either document are skipped: wall-clock ns/op is too machine-sensitive
+// to gate on, but a large virtual-event-throughput drop on the same
+// machine class is a real engine regression.
+func checkBaseline(fresh []entry, baselinePath string, maxDrop float64) []string {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return []string{fmt.Sprintf("baseline unreadable: %v", err)}
+	}
+	var base []entry
+	if err := json.Unmarshal(data, &base); err != nil {
+		return []string{fmt.Sprintf("baseline unparsable: %v", err)}
+	}
+	byName := make(map[string]entry, len(base))
+	for _, e := range base {
+		byName[e.Name] = e
+	}
+	var bad []string
+	for _, e := range fresh {
+		b, ok := byName[e.Name]
+		if !ok || b.EventsPerSec <= 0 || e.EventsPerSec <= 0 {
+			continue
+		}
+		if drop := 1 - e.EventsPerSec/b.EventsPerSec; drop > maxDrop {
+			bad = append(bad, fmt.Sprintf("%s: %.0f -> %.0f events/s (-%.1f%%, limit %.0f%%)",
+				e.Name, b.EventsPerSec, e.EventsPerSec, drop*100, maxDrop*100))
+		}
+	}
+	return bad
+}
+
 func main() {
 	var (
-		out  = flag.String("o", "BENCH_kvserve.json", "output file")
-		seed = flag.Uint64("seed", 42, "workload seed")
+		out      = flag.String("o", "BENCH_kvserve.json", "output file")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		baseline = flag.String("baseline", "", "committed BENCH_*.json to guard against; exit 1 on events/s regression")
+		maxDrop  = flag.Float64("max-drop", 0.15, "events/s drop tolerated against -baseline (fraction)")
 	)
 	flag.Parse()
 
@@ -178,4 +215,15 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *baseline != "" {
+		if bad := checkBaseline(entries, *baseline, *maxDrop); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "putgetperf: events/s regression vs %s:\n", *baseline)
+			for _, line := range bad {
+				fmt.Fprintf(os.Stderr, "  %s\n", line)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("baseline %s: within %.0f%% on all events/s entries\n", *baseline, *maxDrop*100)
+	}
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckBaselineFlagsLargeDrop(t *testing.T) {
+	base := writeBaseline(t, `[
+	  {"name":"kvserve/extoll","events_per_sec":1000000},
+	  {"name":"engine/schedule","events_per_sec":500}
+	]`)
+	fresh := []entry{
+		{Name: "kvserve/extoll", EventsPerSec: 800000}, // -20%: over the limit
+		{Name: "engine/schedule", EventsPerSec: 490},   // -2%: fine
+		{Name: "brand-new", EventsPerSec: 1},           // not in baseline: skipped
+		{Name: "engine/timer"},                         // no events/s: skipped
+	}
+	bad := checkBaseline(fresh, base, 0.15)
+	if len(bad) != 1 || !strings.Contains(bad[0], "kvserve/extoll") {
+		t.Fatalf("want exactly the kvserve/extoll regression, got %v", bad)
+	}
+}
+
+func TestCheckBaselinePassesWithinTolerance(t *testing.T) {
+	base := writeBaseline(t, `[{"name":"kvserve/ib","events_per_sec":1000000}]`)
+	fresh := []entry{{Name: "kvserve/ib", EventsPerSec: 900000}} // -10%
+	if bad := checkBaseline(fresh, base, 0.15); len(bad) != 0 {
+		t.Fatalf("10%% drop under a 15%% limit must pass, got %v", bad)
+	}
+	// Improvements never trip the guard.
+	fresh[0].EventsPerSec = 2000000
+	if bad := checkBaseline(fresh, base, 0.15); len(bad) != 0 {
+		t.Fatalf("improvement must pass, got %v", bad)
+	}
+}
+
+func TestCheckBaselineReportsUnreadable(t *testing.T) {
+	bad := checkBaseline(nil, filepath.Join(t.TempDir(), "missing.json"), 0.15)
+	if len(bad) != 1 || !strings.Contains(bad[0], "baseline unreadable") {
+		t.Fatalf("missing baseline must be reported, got %v", bad)
+	}
+}

@@ -1,0 +1,89 @@
+// Collectives sums a vector across N GPUs with device-initiated put/get —
+// the multi-node collective workload the paper's put/get APIs are
+// motivated by. Each rank is one node of a switched cluster (fat-tree or
+// 3D torus); the GPU kernels themselves move the data and detect arrival
+// by polling device memory, with no CPU on the critical path.
+//
+//	go run ./examples/collectives
+//	go run ./examples/collectives -ranks 64 -topo torus -fabric ib
+//	go run ./examples/collectives -ranks 32 -alg ring -words 1024
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+
+	"putget/internal/cluster"
+	"putget/internal/gpusim"
+	"putget/internal/shmem"
+	"putget/internal/topo"
+	"putget/internal/transport"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 16, "PE count (one per cluster node)")
+	topoName := flag.String("topo", "fattree", "switch topology: fattree or torus")
+	fabric := flag.String("fabric", "extoll", "NIC family: extoll or ib")
+	algName := flag.String("alg", "rdouble", "algorithm: ring or rdouble (recursive doubling)")
+	words := flag.Int("words", 256, "vector length in 64-bit words")
+	flag.Parse()
+
+	spec := topo.Spec{Kind: topo.FatTree}
+	if *topoName == "torus" {
+		spec.Kind = topo.Torus3D
+	}
+	kind := transport.KindExtoll
+	if *fabric == "ib" {
+		kind = transport.KindIB
+	}
+	alg := shmem.RecursiveDoubling
+	if *algName == "ring" {
+		alg = shmem.Ring
+	}
+
+	p := cluster.Default()
+	p.GPUDevMemSize = 64 << 20 // shrink per-node footprints: n ranks = n GPUs
+	p.HostRAMSize = 96 << 20
+	w := shmem.NewWorldN(kind, spec, *ranks, p, 1<<20)
+	defer w.Shutdown()
+
+	vec := w.Malloc(uint64(8 * *words))
+	plan := w.NewAllReduce(alg, vec, *words) // connects its peers, allocates staging
+
+	// Seed rank r's element i with r+i+1 (host-side, zero sim time).
+	buf := make([]byte, 8**words)
+	for r, pe := range w.PEs {
+		for i := 0; i < *words; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(r+i+1))
+		}
+		if err := pe.HostWrite(vec, buf); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// SPMD: every PE runs the same kernel; the plan does the rest.
+	t0 := w.CL.E.Now()
+	w.Run(func(pe *shmem.PE, warp *gpusim.Warp) {
+		plan.Run(pe, warp)
+	})
+	elapsed := w.CL.E.Now().Sub(t0)
+
+	// Every rank must now hold element i = n*(i+1) + n*(n-1)/2.
+	n := len(w.PEs)
+	for r, pe := range w.PEs {
+		if err := pe.HostRead(vec, buf); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < *words; i++ {
+			want := uint64(n*(i+1) + n*(n-1)/2)
+			if got := binary.LittleEndian.Uint64(buf[8*i:]); got != want {
+				log.Fatalf("rank %d element %d = %d, want %d", r, i, got, want)
+			}
+		}
+	}
+	fmt.Printf("allreduce(%s) of %d x 8B over %d ranks (%s, %s): correct on every rank\n",
+		alg, *words, n, spec.Kind, kind)
+	fmt.Printf("completion time: %.1f us\n", elapsed.Microseconds())
+}

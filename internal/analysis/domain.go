@@ -14,6 +14,7 @@ var simDomain = map[string]bool{
 	"putget/internal/sim":       true,
 	"putget/internal/pcie":      true,
 	"putget/internal/wire":      true,
+	"putget/internal/topo":      true,
 	"putget/internal/extoll":    true,
 	"putget/internal/ibsim":     true,
 	"putget/internal/gpusim":    true,

@@ -397,6 +397,8 @@ func ExtraExperiments() []Runner {
 			func(p cluster.Params) string { return CrossAPI(p) }, nil},
 		{"kvserve", "replicated put/get KV serving: quorums, failover, fault-sweep SLOs",
 			func(p cluster.Params) string { return KVServe(p) }, nil},
+		{"scaling", "N-rank collectives over switched fat-tree/torus fabrics + torus fault sweep",
+			func(p cluster.Params) string { return Scaling(p) }, nil},
 	}
 }
 

@@ -28,6 +28,34 @@ func TestFaultSweepParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestScalingParallelDeterminism is the tentpole acceptance criterion
+// for the N-rank experiment: `-experiment scaling -parallel 1` and
+// `-parallel 8` must print byte-identical tables. Every cell verifies
+// its collective's result internally, so this also re-proves allreduce
+// correctness at 16-256 ranks on both topologies over both fabrics.
+// Skipped under -short (two full scaling sweeps take a couple of
+// minutes of wall time).
+func TestScalingParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full scaling sweeps take minutes; run without -short")
+	}
+	seq := cluster.Default()
+	seq.Parallel = 1
+	par := cluster.Default()
+	par.Parallel = 8
+
+	a := Scaling(seq)
+	b := Scaling(par)
+	if a != b {
+		t.Fatalf("scaling diverged between -parallel 1 and -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	for _, want := range []string{"scaling/EXTOLL", "scaling/InfiniBand", "scaling/alltoall", "dead node"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("scaling output missing %q section:\n%s", want, a)
+		}
+	}
+}
+
 // TestTableParallelDeterminism covers the counter-table path: per-cell
 // engines must leave the merged counters bit-identical for any worker
 // count.

@@ -1,0 +1,340 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"putget/internal/cluster"
+	"putget/internal/gpusim"
+	"putget/internal/runner"
+	"putget/internal/shmem"
+	"putget/internal/sim"
+	"putget/internal/topo"
+	"putget/internal/transport"
+)
+
+// This file is the N-rank scaling experiment: collectives over switched
+// fat-tree and 3D-torus fabrics at 16-256 simulated ranks, on both NIC
+// families, plus a torus fault sweep (dead cable vs dead node). Every
+// cell builds an isolated cluster on its own engine and verifies its
+// collective's result before reporting a time, so a wrong answer can
+// never hide behind a fast one; cells shard over the harness worker pool
+// and merge in fixed grid order, keeping the output byte-identical for
+// any -parallel value.
+
+// Scaling axes. Allreduce runs the full 16-256 range; alltoall stops at
+// 64 ranks because its connection graph is the full mesh — the output
+// carries an explicit note rather than silently truncating the sweep.
+var (
+	scalingRanks  = []int{16, 64, 256}
+	allToAllRanks = []int{16, 64}
+	scalingTopos  = []topo.Kind{topo.FatTree, topo.Torus3D}
+	scalingAlgs   = []shmem.AllReduceAlg{shmem.Ring, shmem.RecursiveDoubling}
+)
+
+// scalingWords is the allreduce vector length. It is divisible by every
+// rank count in the sweep, so the ring algorithm's equal-chunk
+// requirement holds throughout.
+const scalingWords = 256
+
+// scalingParams shrinks per-node footprints (a 256-node world carries
+// 256 GPUs) and provisions EXTOLL ports for the widest connection graph
+// in the sweep: the 64-rank alltoall full mesh needs one port per peer.
+func scalingParams(p cluster.Params) cluster.Params {
+	p.GPUDevMemSize = 64 << 20
+	p.HostRAMSize = 96 << 20
+	p.ExtPorts = 72
+	p.ExtNotifEntries = 128
+	return p
+}
+
+// scalingWorld builds an n-rank world on the given topology and fabric.
+func scalingWorld(p cluster.Params, k transport.Kind, spec topo.Spec, n int) *shmem.World {
+	return shmem.NewWorldN(k, spec, n, scalingParams(p), 1<<20)
+}
+
+// seedVector writes rank r's element i = r+i+1 at offset vec on all PEs.
+func seedVector(w *shmem.World, vec uint64, words int) {
+	buf := make([]byte, 8*words)
+	for r, pe := range w.PEs {
+		for i := 0; i < words; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(r+i+1))
+		}
+		if err := pe.HostWrite(vec, buf); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// checkReduced verifies every rank holds the global sums of the seed
+// pattern: element i = n*(i+1) + n*(n-1)/2.
+func checkReduced(w *shmem.World, vec uint64, words int, label string) {
+	n := len(w.PEs)
+	buf := make([]byte, 8*words)
+	for r, pe := range w.PEs {
+		if err := pe.HostRead(vec, buf); err != nil {
+			panic(err)
+		}
+		for i := 0; i < words; i++ {
+			want := uint64(n*(i+1) + n*(n-1)/2)
+			if got := binary.LittleEndian.Uint64(buf[8*i:]); got != want {
+				panic(fmt.Sprintf("bench: %s: rank %d element %d = %d, want %d", label, r, i, got, want))
+			}
+		}
+	}
+}
+
+// runAllReduce builds a world, runs one verified allreduce, and returns
+// the collective's simulated wall time.
+func runAllReduce(p cluster.Params, k transport.Kind, spec topo.Spec, n int, alg shmem.AllReduceAlg) sim.Duration {
+	w := scalingWorld(p, k, spec, n)
+	defer w.Shutdown()
+	vec := w.Malloc(8 * scalingWords)
+	plan := w.NewAllReduce(alg, vec, scalingWords)
+	seedVector(w, vec, scalingWords)
+	t0 := w.CL.E.Now()
+	w.Run(func(pe *shmem.PE, warp *gpusim.Warp) {
+		plan.Run(pe, warp)
+	})
+	elapsed := w.CL.E.Now().Sub(t0)
+	checkReduced(w, vec, scalingWords, fmt.Sprintf("scaling allreduce %s/%s/%s/n=%d", k, alg, spec.Kind, n))
+	return elapsed
+}
+
+// runAllToAll builds a world, runs one verified alltoall (one
+// scalingWords/n-word chunk per destination), and returns the simulated
+// wall time.
+func runAllToAll(p cluster.Params, k transport.Kind, spec topo.Kind, n int) sim.Duration {
+	w := scalingWorld(p, k, topo.Spec{Kind: spec}, n)
+	defer w.Shutdown()
+	chunkW := scalingWords / n
+	src := w.Malloc(uint64(8 * chunkW * n))
+	dst := w.Malloc(uint64(8 * chunkW * n))
+	plan := w.NewAllToAll(src, dst, 8*chunkW)
+	buf := make([]byte, 8*chunkW*n)
+	for r, pe := range w.PEs {
+		for d := 0; d < n; d++ {
+			for i := 0; i < chunkW; i++ {
+				binary.LittleEndian.PutUint64(buf[8*(d*chunkW+i):], uint64(r)<<16|uint64(d)<<8|uint64(i))
+			}
+		}
+		if err := pe.HostWrite(src, buf); err != nil {
+			panic(err)
+		}
+	}
+	t0 := w.CL.E.Now()
+	w.Run(func(pe *shmem.PE, warp *gpusim.Warp) {
+		plan.Run(pe, warp)
+	})
+	elapsed := w.CL.E.Now().Sub(t0)
+	for d, pe := range w.PEs {
+		if err := pe.HostRead(dst, buf); err != nil {
+			panic(err)
+		}
+		for r := 0; r < n; r++ {
+			for i := 0; i < chunkW; i++ {
+				want := uint64(r)<<16 | uint64(d)<<8 | uint64(i)
+				if got := binary.LittleEndian.Uint64(buf[8*(r*chunkW+i):]); got != want {
+					panic(fmt.Sprintf("bench: scaling alltoall %s/%s/n=%d: rank %d slot %d word %d = %#x, want %#x", k, spec, n, d, r, i, got, want))
+				}
+			}
+		}
+	}
+	return elapsed
+}
+
+// allReduceFigure sweeps one fabric's allreduce cells: four series
+// (algorithm x topology) over the rank axis.
+func allReduceFigure(p cluster.Params, k transport.Kind) Figure {
+	type arSeries struct {
+		alg  shmem.AllReduceAlg
+		kind topo.Kind
+	}
+	var cells []arSeries
+	var names []string
+	for _, alg := range scalingAlgs {
+		for _, kind := range scalingTopos {
+			cells = append(cells, arSeries{alg, kind})
+			names = append(names, fmt.Sprintf("%s/%s", alg, kind))
+		}
+	}
+	return Figure{
+		ID:     "scaling/" + k.String(),
+		Title:  fmt.Sprintf("%s allreduce, %d x 8B elements", k, scalingWords),
+		XLabel: "ranks", YLabel: "completion time [us]",
+		Series: gridSeries(p, names, scalingRanks, func(si, xi int) float64 {
+			c := cells[si]
+			return runAllReduce(p, k, topo.Spec{Kind: c.kind}, scalingRanks[xi], c.alg).Microseconds()
+		}),
+	}
+}
+
+// allToAllFigure sweeps the alltoall cells: four series (topology x
+// fabric) over the capped rank axis.
+func allToAllFigure(p cluster.Params) Figure {
+	type a2aSeries struct {
+		k    transport.Kind
+		kind topo.Kind
+	}
+	var cells []a2aSeries
+	var names []string
+	for _, k := range []transport.Kind{transport.KindExtoll, transport.KindIB} {
+		for _, kind := range scalingTopos {
+			cells = append(cells, a2aSeries{k, kind})
+			names = append(names, fmt.Sprintf("%s/%s", k, kind))
+		}
+	}
+	return Figure{
+		ID:     "scaling/alltoall",
+		Title:  fmt.Sprintf("alltoall, %d x 8B elements split across ranks", scalingWords),
+		XLabel: "ranks", YLabel: "completion time [us]",
+		Series: gridSeries(p, names, allToAllRanks, func(si, xi int) float64 {
+			c := cells[si]
+			return runAllToAll(p, c.k, c.kind, allToAllRanks[xi]).Microseconds()
+		}),
+	}
+}
+
+// faultCell is one row of the torus fault sweep.
+type faultCell struct {
+	label   string
+	spec    topo.Spec
+	allLive bool // a collective spanning every rank can complete
+}
+
+// faultRow is the measured outcome of one cell.
+type faultRow struct {
+	reachable int
+	meanHops  float64
+	maxHops   int
+	elapsed   sim.Duration
+	maxDepth  int
+	allLive   bool
+}
+
+// measureFault probes one fault scenario: graph-level reachability over
+// all ordered node pairs, and — when every node is alive — a verified
+// 64-rank ring allreduce with the cluster's congestion high-water mark.
+func measureFault(p cluster.Params, c faultCell) faultRow {
+	const n = 64
+	var row faultRow
+	row.allLive = c.allLive
+
+	// Reachability and hop counts come from a bare fabric graph: no NICs,
+	// no traffic, just the routing tables the cluster would use.
+	probe := topo.NewNet[int](sim.NewEngine(), c.spec, n,
+		topo.LinkConfig{BytesPerSecond: p.ExtWireBW, Latency: p.ExtWireLat},
+		"probe", func(int) int { return 0 })
+	hopSum, maxHops := 0, 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			h := probe.Hops(s, d)
+			if h < 0 {
+				continue
+			}
+			row.reachable++
+			hopSum += h
+			if h > maxHops {
+				maxHops = h
+			}
+		}
+	}
+	if row.reachable > 0 {
+		row.meanHops = float64(hopSum) / float64(row.reachable)
+	}
+	row.maxHops = maxHops
+
+	if !c.allLive {
+		// A collective that spans a dead rank cannot complete; the job
+		// must be relaunched on the survivors. The reachability columns
+		// quantify the blast radius instead.
+		return row
+	}
+	w := scalingWorld(p, transport.KindExtoll, c.spec, n)
+	defer w.Shutdown()
+	vec := w.Malloc(8 * scalingWords)
+	plan := w.NewAllReduce(shmem.Ring, vec, scalingWords)
+	seedVector(w, vec, scalingWords)
+	t0 := w.CL.E.Now()
+	w.Run(func(pe *shmem.PE, warp *gpusim.Warp) {
+		plan.Run(pe, warp)
+	})
+	row.elapsed = w.CL.E.Now().Sub(t0)
+	checkReduced(w, vec, scalingWords, "fault sweep allreduce "+c.label)
+	row.maxDepth = w.CL.ExtNet.MaxDepth()
+	return row
+}
+
+// faultSweepTable runs the torus fault matrix: {healthy, one dead cable,
+// one dead node} x {deterministic, adaptive} at 64 ranks over EXTOLL.
+func faultSweepTable(p cluster.Params) string {
+	const n = 64
+	base := []struct {
+		label   string
+		links   [][2]int
+		nodes   []int
+		allLive bool
+	}{
+		{"healthy", nil, nil, true},
+		// Nodes 0 and 1 are +x neighbours on the derived 4x4x4 grid; the
+		// dead cable sits directly on the ring allreduce's rank 0 -> 1
+		// neighbour traffic, forcing a detour.
+		{"dead link 0-1", [][2]int{{0, 1}}, nil, true},
+		// An interior node dies and takes its torus router with it (the
+		// router rides on the NIC), cutting through-traffic too.
+		{"dead node 21", nil, []int{21}, false},
+	}
+	var cells []faultCell
+	for _, b := range base {
+		for _, rt := range []topo.Routing{topo.Deterministic, topo.Adaptive} {
+			cells = append(cells, faultCell{
+				label: fmt.Sprintf("%-14s %-13s", b.label, rt),
+				spec: topo.Spec{Kind: topo.Torus3D, Routing: rt,
+					DownLinks: b.links, DownNodes: b.nodes},
+				allLive: b.allLive,
+			})
+		}
+	}
+	rows := runner.Map(p.Parallel, cells, func(_ int, c faultCell) faultRow {
+		return measureFault(p, c)
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "scaling/faults: 64-rank 4x4x4 torus over EXTOLL, ring allreduce (%d x 8B)\n", scalingWords)
+	fmt.Fprintf(&b, "%-14s %-13s %12s %10s %9s %14s %10s\n",
+		"scenario", "routing", "reach.pairs", "mean hops", "max hops", "allreduce[us]", "max depth")
+	for i, c := range cells {
+		r := rows[i]
+		timeCol, depthCol := "-", "-"
+		if c.allLive {
+			timeCol = fmt.Sprintf("%.4g", r.elapsed.Microseconds())
+			depthCol = fmt.Sprintf("%d", r.maxDepth)
+		}
+		fmt.Fprintf(&b, "%s %12d %10.3f %9d %14s %10s\n",
+			c.label, r.reachable, r.meanHops, r.maxHops, timeCol, depthCol)
+	}
+	b.WriteString("(dead-node rows: a collective spanning the dead rank cannot complete;\n")
+	b.WriteString(" reachability columns quantify the blast radius among the 63 survivors)\n")
+	return b.String()
+}
+
+// Scaling is the N-rank scaling experiment: allreduce at 16-256 ranks on
+// both topologies over both fabrics, alltoall at 16-64 ranks, and the
+// torus fault sweep. Output is byte-identical for any -parallel value.
+func Scaling(p cluster.Params) string {
+	var b strings.Builder
+	b.WriteString(allReduceFigure(p, transport.KindExtoll).Format())
+	b.WriteString("\n")
+	b.WriteString(allReduceFigure(p, transport.KindIB).Format())
+	b.WriteString("\n")
+	b.WriteString(allToAllFigure(p).Format())
+	fmt.Fprintf(&b, "note: alltoall capped at %d ranks — its connection graph is the full\n", allToAllRanks[len(allToAllRanks)-1])
+	b.WriteString("mesh (256 ranks would need 32640 node pairs); larger counts are omitted,\n")
+	b.WriteString("not sampled.\n\n")
+	b.WriteString(faultSweepTable(p))
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+
+	"putget/internal/extoll"
+	"putget/internal/ibsim"
+	"putget/internal/memspace"
+	"putget/internal/pcie"
+	"putget/internal/sim"
+	"putget/internal/topo"
+)
+
+// Fabric selects the NIC family an N-node cluster is built from.
+type Fabric int
+
+const (
+	FabricExtoll Fabric = iota
+	FabricIB
+)
+
+func (f Fabric) String() string {
+	if f == FabricIB {
+		return "ib"
+	}
+	return "extoll"
+}
+
+// Cluster is an N-node testbed joined by a switched topology instead of
+// a single cable: every node keeps the full pair-node anatomy (CPU, GPU,
+// PCIe fabric, one NIC), and the NICs all attach to ports of one
+// topo.Net carrying the fabric's packet type. Destinations are resolved
+// from sender-local routing keys (EXTOLL origin ports, IB source QPNs)
+// bound at connection-setup time via BindExtoll/BindIB — transports do
+// this when they connect two nodes.
+type Cluster struct {
+	E      *sim.Engine
+	Nodes  []*Node
+	Params Params
+	Fab    Fabric
+	Spec   topo.Spec
+
+	// Exactly one of these is non-nil, matching Fab.
+	ExtNet *topo.Net[extoll.Packet]
+	IBNet  *topo.Net[ibsim.Packet]
+
+	index map[*Node]int
+}
+
+// NewCluster builds an n-node EXTOLL cluster on the given topology.
+// Panics if p fails Validate or sets knobs a switched fabric does not
+// support (see NewClusterOn).
+func NewCluster(spec topo.Spec, n int, p Params) *Cluster {
+	return NewClusterOn(FabricExtoll, spec, n, p)
+}
+
+// NewClusterOn builds an n-node cluster of the given NIC family.
+//
+// FaultInject must be off: EXTOLL's link-level go-back-N reliability is
+// a single-peer protocol (link ACK/NAK packets carry no node identity),
+// so lossy multi-node EXTOLL would be wrong rather than degraded; use
+// topo.Spec.DownLinks/DownNodes for whole-element failures, which the
+// routing layer models fabric-manager-style. WireDepthCap is likewise a
+// point-to-point knob with no per-cable equivalent here yet.
+func NewClusterOn(fab Fabric, spec topo.Spec, n int, p Params) *Cluster {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if p.FaultInject {
+		panic("cluster: FaultInject is pair-only (EXTOLL link-level reliability is single-peer); use topo.Spec.DownLinks/DownNodes for cluster faults")
+	}
+	if p.WireDepthCap > 0 {
+		panic("cluster: WireDepthCap is pair-only; switched cables are uncapped")
+	}
+	if n < 2 {
+		panic("cluster: need at least 2 nodes")
+	}
+	e := sim.NewEngine()
+	c := &Cluster{E: e, Params: p, Fab: fab, Spec: spec, index: make(map[*Node]int, n)}
+	for i := 0; i < n; i++ {
+		nd := newNode(e, fmt.Sprintf("n%d", i), p)
+		c.Nodes = append(c.Nodes, nd)
+		c.index[nd] = i
+	}
+	switch fab {
+	case FabricExtoll:
+		notifBase := NotifArea
+		if p.ExtNotifInDevMem {
+			notifBase = DevMemBase + memspace.Addr(p.GPUDevMemSize-(32<<20))
+		}
+		c.ExtNet = topo.NewNet[extoll.Packet](e, spec, n,
+			topo.LinkConfig{BytesPerSecond: p.ExtWireBW, Latency: p.ExtWireLat},
+			"rma.net",
+			func(pkt extoll.Packet) int { return pkt.OriginPort })
+		for i, nd := range c.Nodes {
+			nd.Extoll = extoll.New(e, nd.Fabric, extoll.Config{
+				Name:          nd.Name + ".rma",
+				ClockHz:       p.ExtClock,
+				DatapathBytes: p.ExtDatapath,
+				ReqCycles:     p.ExtReqCycles,
+				CompCycles:    p.ExtCompCycles,
+				RespCycles:    p.ExtRespCycles,
+				NumPorts:      p.ExtPorts,
+				BARBase:       ExtollBAR,
+				NotifBase:     notifBase,
+				NotifEntries:  p.ExtNotifEntries,
+				DMAContexts:   p.ExtDMACtx,
+				PCIe: pcie.EndpointConfig{
+					EgressRate: p.ExtEgress, OneWay: p.ExtOneWay, ReadLatency: p.ExtReadLat,
+				},
+			})
+			port := c.ExtNet.Port(i)
+			nd.Extoll.AttachWire(port, port)
+		}
+	case FabricIB:
+		c.IBNet = topo.NewNet[ibsim.Packet](e, spec, n,
+			topo.LinkConfig{BytesPerSecond: p.IBWireBW, Latency: p.IBWireLat},
+			"hca.net",
+			func(pkt ibsim.Packet) int { return int(pkt.SrcQPN) })
+		for i, nd := range c.Nodes {
+			nd.IB = ibsim.New(e, nd.Fabric, ibsim.Config{
+				Name:          nd.Name + ".hca",
+				BARBase:       IBBAR,
+				WQEFetchBatch: p.IBFetchBatch,
+				ProcessTime:   p.IBProc,
+				RxProcessTime: p.IBRxProc,
+				DMAContexts:   p.IBDMACtx,
+				PCIe: pcie.EndpointConfig{
+					EgressRate: p.IBEgress, OneWay: p.IBOneWay, ReadLatency: p.IBReadLat,
+				},
+			})
+			port := c.IBNet.Port(i)
+			nd.IB.AttachWire(port, port)
+		}
+	default:
+		panic(fmt.Sprintf("cluster: unknown Fabric %d", int(fab)))
+	}
+	return c
+}
+
+// IndexOf returns a node's rank in the cluster; panics on foreign nodes.
+func (c *Cluster) IndexOf(n *Node) int {
+	i, ok := c.index[n]
+	if !ok {
+		panic("cluster: node is not part of this cluster")
+	}
+	return i
+}
+
+// BindExtoll routes packets originating from src's EXTOLL port to dst.
+// Every outbound EXTOLL packet stamps its origin port, which is local to
+// the sender, so (node, origin port) identifies the connection.
+func (c *Cluster) BindExtoll(src *Node, port int, dst *Node) {
+	c.ExtNet.Bind(c.IndexOf(src), port, c.IndexOf(dst))
+}
+
+// BindIB routes packets sent from src's QPN to dst. IB packets stamp
+// the sender-local source QPN on every packet, requests and responses
+// alike, so (node, SrcQPN) identifies the connection.
+func (c *Cluster) BindIB(src *Node, qpn uint32, dst *Node) {
+	c.IBNet.Bind(c.IndexOf(src), int(qpn), c.IndexOf(dst))
+}
+
+// Shutdown terminates the cluster's parked processes (NIC engines)
+// so their goroutines exit; call it when done.
+func (c *Cluster) Shutdown() { c.E.Shutdown() }

@@ -123,7 +123,7 @@ type NIC struct {
 	txSlots  *sim.Resource
 	rxSlots  *sim.Resource
 	datapath *sim.Server
-	tx       *wire.Link[Packet]
+	tx       wire.Conduit[Packet]
 
 	notifWP  [][numClasses]int
 	stats    Stats
@@ -201,7 +201,7 @@ func ConnectPorts(a *NIC, pa int, b *NIC, pb int) {
 }
 
 // AttachWire sets the transmit link and starts the receive loop on rx.
-func (n *NIC) AttachWire(tx, rx *wire.Link[Packet]) {
+func (n *NIC) AttachWire(tx, rx wire.Conduit[Packet]) {
 	n.tx = tx
 	n.e.Spawn(n.cfg.Name+".rx", func(p *sim.Proc) {
 		for {

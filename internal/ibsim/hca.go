@@ -257,7 +257,7 @@ type HCA struct {
 	qps      map[uint32]*QP
 	nextQPN  uint32
 	dmaSlots *sim.Resource
-	tx       *wire.Link[Packet]
+	tx       wire.Conduit[Packet]
 	stats    Stats
 }
 
@@ -290,7 +290,7 @@ func (h *HCA) DoorbellRQAddr() memspace.Addr { return h.bar.Base + DoorbellRQ }
 func (h *HCA) Stats() Stats { return h.stats }
 
 // AttachWire sets the transmit link and starts the receive engine.
-func (h *HCA) AttachWire(tx, rx *wire.Link[Packet]) {
+func (h *HCA) AttachWire(tx, rx wire.Conduit[Packet]) {
 	h.tx = tx
 	h.e.Spawn(h.cfg.Name+".rx", func(p *sim.Proc) {
 		for {

@@ -1,0 +1,324 @@
+package shmem
+
+// Collectives over N-rank worlds, built purely from the put/get data
+// plane: bulk data moves as fire-and-forget puts, arrival is signalled by
+// a fire-and-forget immediate put on the same connection (same-connection
+// FIFO on both fabrics orders the flag after the data), and arrival
+// detection is device-memory polling — the §VI claim-3 completion style,
+// with the fabric's completion streams left untouched so user Quiet/
+// QuietAll calls never race a collective.
+//
+// Every plan allocates its own symmetric staging and flag state at
+// construction (host side) and connects its own peer set, so Run is pure
+// device code. Slots are unique per step within one invocation, and every
+// invocation ends with BarrierAll: no rank can start invocation s+1
+// before all ranks finished their slot observations of invocation s, so
+// epoch-valued equality polls cannot miss a transition and staging reuse
+// across invocations cannot race.
+
+import (
+	"fmt"
+
+	"putget/internal/gpusim"
+	"putget/internal/transport"
+)
+
+// AllReduceAlg selects the allreduce schedule.
+type AllReduceAlg int
+
+const (
+	// Ring runs a reduce-scatter pass followed by an allgather pass
+	// around the rank ring: 2(N-1) steps moving count/N words each —
+	// bandwidth-optimal, any rank count dividing the vector.
+	Ring AllReduceAlg = iota
+	// RecursiveDoubling exchanges whole vectors with partner r XOR 2^k
+	// over log2(N) rounds — latency-optimal for short vectors; requires a
+	// power-of-two rank count.
+	RecursiveDoubling
+)
+
+// String implements fmt.Stringer.
+func (a AllReduceAlg) String() string {
+	if a == RecursiveDoubling {
+		return "rdouble"
+	}
+	return "ring"
+}
+
+// AllReduce is a planned sum-allreduce of count uint64 words at symmetric
+// offset vec: after Run returns on every rank, each rank's vector holds
+// the element-wise sum of all ranks' inputs.
+type AllReduce struct {
+	w     *World
+	alg   AllReduceAlg
+	vec   uint64
+	count int
+	chunk int    // ring: words per rank
+	stag  uint64 // staging slots (ring: N-1 chunks; rd: rounds vectors)
+	inF   uint64 // arrival flags, one word per step/round
+	agF   uint64 // ring allgather flags, one word per step
+	rds   int    // rd: log2(N) rounds
+	seqs  []uint64
+}
+
+// NewAllReduce plans a sum-allreduce over the whole world and connects
+// its peers (ring neighbours, or the XOR-hypercube for RecursiveDoubling).
+// count must divide by N for Ring; N must be a power of two for
+// RecursiveDoubling.
+func (w *World) NewAllReduce(alg AllReduceAlg, vec uint64, count int) *AllReduce {
+	if w.CL == nil {
+		panic("shmem: NewAllReduce needs an N-rank world (NewWorldN)")
+	}
+	n := len(w.PEs)
+	a := &AllReduce{w: w, alg: alg, vec: vec, count: count, seqs: make([]uint64, n)}
+	switch alg {
+	case Ring:
+		if count%n != 0 {
+			panic(fmt.Sprintf("shmem: ring allreduce needs count %% N == 0 (count %d, N %d)", count, n))
+		}
+		a.chunk = count / n
+		a.stag = w.Malloc(uint64((n - 1) * a.chunk * 8))
+		a.inF = w.Malloc(uint64((n - 1) * 8))
+		a.agF = w.Malloc(uint64((n - 1) * 8))
+		for r := 0; r < n; r++ {
+			w.Connect(r, (r+1)%n)
+		}
+	case RecursiveDoubling:
+		if n&(n-1) != 0 {
+			panic(fmt.Sprintf("shmem: recursive-doubling allreduce needs a power-of-two rank count, got %d", n))
+		}
+		for a.rds = 0; 1<<a.rds < n; a.rds++ {
+		}
+		a.stag = w.Malloc(uint64(a.rds * count * 8))
+		a.inF = w.Malloc(uint64(a.rds * 8))
+		for k := 0; k < a.rds; k++ {
+			for r := 0; r < n; r++ {
+				if p := r ^ (1 << k); r < p {
+					w.Connect(r, p)
+				}
+			}
+		}
+	default:
+		panic("shmem: unknown AllReduceAlg")
+	}
+	return a
+}
+
+// Run executes the allreduce on the calling PE; every rank must call it
+// (SPMD). It returns once this rank's vector holds the global sums and
+// all ranks have passed the trailing barrier.
+func (a *AllReduce) Run(pe *PE, w *gpusim.Warp) {
+	a.seqs[pe.Rank]++
+	if a.alg == Ring {
+		a.ring(pe, w, a.seqs[pe.Rank])
+	} else {
+		a.rdouble(pe, w, a.seqs[pe.Rank])
+	}
+	pe.BarrierAll(w)
+}
+
+// ring: step s of the reduce-scatter sends chunk (r-s) mod N to the right
+// neighbour's staging slot s and folds the incoming slot into chunk
+// (r-s-1) mod N; after N-1 steps rank r owns the fully reduced chunk
+// (r+1) mod N. The allgather then circulates final chunks in place.
+// Outgoing DMAs and local reduce writes touch disjoint chunks at every
+// step, so the fire-and-forget puts never race their own source.
+func (a *AllReduce) ring(pe *PE, w *gpusim.Warp, seq uint64) {
+	n, r := pe.N, pe.Rank
+	right := (r + 1) % n
+	ep := pe.ep(right)
+	chunkB := uint64(a.chunk) * 8
+	reg := pe.world.regions[right]
+	for s := 0; s < n-1; s++ {
+		send := uint64(((r-s)%n + n) % n)
+		ep.DevPut(w, pe.local, a.vec+send*chunkB, reg, a.stag+uint64(s)*chunkB, a.chunk*8, 0)
+		ep.DevPutImm(w, seq, reg, a.inF+uint64(8*s), 8, 0)
+		pe.WaitUntil(w, a.inF+uint64(8*s), seq)
+		recv := uint64(((r-s-1)%n + n) % n)
+		for i := uint64(0); i < uint64(a.chunk); i++ {
+			dst := pe.Addr(a.vec + recv*chunkB + 8*i)
+			w.StGlobalU64(dst, w.LdGlobalU64(dst)+w.LdGlobalU64(pe.Addr(a.stag+uint64(s)*chunkB+8*i)))
+		}
+	}
+	for s := 0; s < n-1; s++ {
+		send := uint64(((r+1-s)%n + n) % n)
+		ep.DevPut(w, pe.local, a.vec+send*chunkB, reg, a.vec+send*chunkB, a.chunk*8, 0)
+		ep.DevPutImm(w, seq, reg, a.agF+uint64(8*s), 8, 0)
+		pe.WaitUntil(w, a.agF+uint64(8*s), seq)
+	}
+}
+
+// rdouble: round k exchanges the current partial vector with partner
+// r XOR 2^k and folds the partner's copy in. The outgoing put reads the
+// same vector the fold rewrites, so each round reaps the put's local
+// completion before reducing — the source buffer is never overwritten
+// under a DMA.
+func (a *AllReduce) rdouble(pe *PE, w *gpusim.Warp, seq uint64) {
+	vecB := uint64(a.count) * 8
+	for k := 0; k < a.rds; k++ {
+		peer := pe.Rank ^ (1 << k)
+		ep := pe.ep(peer)
+		reg := pe.world.regions[peer]
+		ep.DevPut(w, pe.local, a.vec, reg, a.stag+uint64(k)*vecB, a.count*8, transport.FlagLocalComp)
+		ep.DevPutImm(w, seq, reg, a.inF+uint64(8*k), 8, 0)
+		//putget:allow boundedwait -- the round's own signalled put: its local completion bounds the wait and licenses reusing the vector as a reduce target
+		ep.DevWaitComplete(w, transport.CompLocal)
+		pe.WaitUntil(w, a.inF+uint64(8*k), seq)
+		for i := uint64(0); i < uint64(a.count); i++ {
+			dst := pe.Addr(a.vec + 8*i)
+			w.StGlobalU64(dst, w.LdGlobalU64(dst)+w.LdGlobalU64(pe.Addr(a.stag+uint64(k)*vecB+8*i)))
+		}
+	}
+}
+
+// AllToAll is a planned personalized exchange: rank r's source chunk d
+// lands in rank d's destination slot r. One step — every rank fires all
+// N-1 puts, then awaits all N-1 arrival flags.
+type AllToAll struct {
+	w        *World
+	src, dst uint64
+	chunkB   int
+	flags    uint64
+	seqs     []uint64
+}
+
+// NewAllToAll plans a full exchange of N chunks of chunkBytes (a multiple
+// of 8) living at symmetric offsets src (outgoing, chunk d for rank d)
+// and dst (incoming, slot s from rank s), and connects the full mesh.
+func (w *World) NewAllToAll(src, dst uint64, chunkBytes int) *AllToAll {
+	if w.CL == nil {
+		panic("shmem: NewAllToAll needs an N-rank world (NewWorldN)")
+	}
+	if chunkBytes%8 != 0 {
+		panic("shmem: alltoall chunk must be a multiple of 8 bytes")
+	}
+	n := len(w.PEs)
+	a := &AllToAll{w: w, src: src, dst: dst, chunkB: chunkBytes, seqs: make([]uint64, n)}
+	a.flags = w.Malloc(uint64(8 * n))
+	for r := 0; r < n; r++ {
+		for p := r + 1; p < n; p++ {
+			w.Connect(r, p)
+		}
+	}
+	return a
+}
+
+// Run executes the exchange on the calling PE (SPMD). Sends walk the
+// rotated schedule r+1, r+2, ... so no destination sees all senders at
+// once on the first step.
+func (a *AllToAll) Run(pe *PE, w *gpusim.Warp) {
+	a.seqs[pe.Rank]++
+	seq := a.seqs[pe.Rank]
+	n, r := pe.N, pe.Rank
+	chunkB := uint64(a.chunkB)
+	for i := uint64(0); i < chunkB/8; i++ {
+		w.StGlobalU64(pe.Addr(a.dst+uint64(r)*chunkB+8*i), w.LdGlobalU64(pe.Addr(a.src+uint64(r)*chunkB+8*i)))
+	}
+	for d := 1; d < n; d++ {
+		peer := (r + d) % n
+		ep := pe.ep(peer)
+		reg := pe.world.regions[peer]
+		ep.DevPut(w, pe.local, a.src+uint64(peer)*chunkB, reg, a.dst+uint64(r)*chunkB, a.chunkB, 0)
+		ep.DevPutImm(w, seq, reg, a.flags+uint64(8*r), 8, 0)
+	}
+	for d := 1; d < n; d++ {
+		pe.WaitUntil(w, a.flags+uint64(8*((r+d)%n)), seq)
+	}
+	pe.BarrierAll(w)
+}
+
+// Halo is a planned 3D halo exchange: ranks form a dims[0] x dims[1] x
+// dims[2] periodic grid and every rank swaps one fixed-size face payload
+// with each of its six neighbours per Run.
+type Halo struct {
+	w     *World
+	dims  [3]int
+	faceB int
+	send  uint64 // 6 outgoing faces, indexed by direction
+	recv  uint64 // 6 incoming faces, indexed by the direction they came from
+	flags uint64
+	seqs  []uint64
+}
+
+// halo directions: +x, -x, +y, -y, +z, -z; opp flips the sign.
+func haloOpp(d int) int { return d ^ 1 }
+
+// NewHalo plans a halo exchange on a periodic dims grid (the product
+// must equal N) with faceBytes per face (a multiple of 8), allocating
+// the six send and six receive face slots and connecting the neighbour
+// links. Use SendOff/RecvOff to address the faces.
+func (w *World) NewHalo(dims [3]int, faceBytes int) *Halo {
+	if w.CL == nil {
+		panic("shmem: NewHalo needs an N-rank world (NewWorldN)")
+	}
+	n := len(w.PEs)
+	if dims[0]*dims[1]*dims[2] != n {
+		panic(fmt.Sprintf("shmem: halo grid %dx%dx%d does not cover %d ranks", dims[0], dims[1], dims[2], n))
+	}
+	if faceBytes%8 != 0 {
+		panic("shmem: halo face must be a multiple of 8 bytes")
+	}
+	h := &Halo{w: w, dims: dims, faceB: faceBytes, seqs: make([]uint64, n)}
+	h.send = w.Malloc(uint64(6 * faceBytes))
+	h.recv = w.Malloc(uint64(6 * faceBytes))
+	h.flags = w.Malloc(6 * 8)
+	for r := 0; r < n; r++ {
+		for d := 0; d < 6; d++ {
+			if p := h.neighbor(r, d); p != r {
+				if r < p {
+					w.Connect(r, p)
+				}
+			}
+		}
+	}
+	return h
+}
+
+// SendOff returns the symmetric offset of the outgoing face for direction
+// d (0..5 = +x, -x, +y, -y, +z, -z).
+func (h *Halo) SendOff(d int) uint64 { return h.send + uint64(d*h.faceB) }
+
+// RecvOff returns the symmetric offset of the face received from
+// direction d.
+func (h *Halo) RecvOff(d int) uint64 { return h.recv + uint64(d*h.faceB) }
+
+// neighbor returns the rank one step in direction d with periodic wrap.
+func (h *Halo) neighbor(r, d int) int {
+	c := [3]int{r % h.dims[0], (r / h.dims[0]) % h.dims[1], r / (h.dims[0] * h.dims[1])}
+	ax := d / 2
+	step := 1
+	if d&1 == 1 {
+		step = h.dims[ax] - 1 // -1 mod dims
+	}
+	c[ax] = (c[ax] + step) % h.dims[ax]
+	return c[0] + h.dims[0]*(c[1]+h.dims[1]*c[2])
+}
+
+// Run exchanges all six faces on the calling PE (SPMD): the direction-d
+// face lands in the neighbour's opposite-direction receive slot. Grid
+// axes of extent 1 degenerate to a local copy.
+func (h *Halo) Run(pe *PE, w *gpusim.Warp) {
+	h.seqs[pe.Rank]++
+	seq := h.seqs[pe.Rank]
+	faceB := uint64(h.faceB)
+	for d := 0; d < 6; d++ {
+		peer := h.neighbor(pe.Rank, d)
+		dst := h.RecvOff(haloOpp(d))
+		if peer == pe.Rank {
+			for i := uint64(0); i < faceB/8; i++ {
+				w.StGlobalU64(pe.Addr(dst+8*i), w.LdGlobalU64(pe.Addr(h.SendOff(d)+8*i)))
+			}
+			continue
+		}
+		ep := pe.ep(peer)
+		reg := pe.world.regions[peer]
+		ep.DevPut(w, pe.local, h.SendOff(d), reg, dst, h.faceB, 0)
+		ep.DevPutImm(w, seq, reg, h.flags+uint64(8*haloOpp(d)), 8, 0)
+	}
+	for d := 0; d < 6; d++ {
+		if h.neighbor(pe.Rank, d) != pe.Rank {
+			pe.WaitUntil(w, h.flags+uint64(8*d), seq)
+		}
+	}
+	pe.BarrierAll(w)
+}

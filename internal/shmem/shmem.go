@@ -11,12 +11,15 @@
 //     polls device memory (pollOnGPU) or uses immediate puts; the
 //     fabric's completion streams are touched only by Quiet.
 //
-// The library spans the repository's two-node testbed: two processing
-// elements (PEs), one per GPU, over either fabric — it is written against
-// the transport.Endpoint abstraction, so the same code runs SHMEM over
-// EXTOLL RMA or over InfiniBand Verbs (NewWorldOn selects). Every data
-// object lives in a symmetric heap at identical offsets on both PEs, so
-// remote addresses are derived, never exchanged.
+// The library spans either of the repository's testbeds: a two-node pair
+// (NewWorld/NewWorldOn — one PE per GPU over a single cable) or an N-node
+// switched cluster (NewWorldN — one PE per node of a fat-tree or 3D-torus
+// topo.Net). It is written against the transport.Endpoint abstraction, so
+// the same code runs SHMEM over EXTOLL RMA or over InfiniBand Verbs.
+// Every data object lives in a symmetric heap at identical offsets on all
+// PEs, so remote addresses are derived, never exchanged. N-rank worlds
+// add point-to-point PutTo/GetFrom/PutImmTo, a dissemination BarrierAll,
+// and collectives (allreduce, alltoall, halo exchange) in collectives.go.
 package shmem
 
 import (
@@ -25,35 +28,56 @@ import (
 	"putget/internal/cluster"
 	"putget/internal/gpusim"
 	"putget/internal/memspace"
+	"putget/internal/sim"
 	"putget/internal/transport"
 )
 
-// World is a two-PE SHMEM job over a two-node testbed.
+// World is a SHMEM job: N PEs over a testbed. Pair worlds (NewWorld,
+// NewWorldOn) have two PEs joined by a cable and a nil CL; N-rank worlds
+// (NewWorldN) have one PE per cluster node and a nil TB.
 type World struct {
-	TB        *cluster.Testbed
+	TB        *cluster.Testbed // pair worlds; nil for N-rank worlds
+	CL        *cluster.Cluster // N-rank worlds; nil for pair worlds
 	Transport transport.Transport
-	PEs       [2]*PE
+	PEs       []*PE
+
+	// N-rank state: every PE's registered heap (indexed by rank), the
+	// set of established connections, and the dissemination-barrier
+	// geometry (see BarrierAll).
+	regions []transport.Region
+	conns   map[[2]int]bool
+	rounds  int
+	dissOff uint64
 }
 
 // PE is one processing element: a GPU plus its communication state.
 type PE struct {
 	Rank int
+	N    int // world size
 	Node *cluster.Node
+
+	world *World
 
 	heapBase memspace.Addr // symmetric heap in local device memory
 	heapSize uint64
 	heapBrk  uint64
 
 	local transport.Region // local heap, registered with the fabric
-	peer  transport.Region // peer heap, as a remote put/get target
+	peer  transport.Region // peer heap, as a remote put/get target (pair)
 
-	data transport.Endpoint // bulk puts and gets
-	sync transport.Endpoint // barrier immediates and atomics
+	data transport.Endpoint // bulk puts and gets (pair)
+	sync transport.Endpoint // barrier immediates and atomics (pair)
+
+	// N-rank state: one endpoint per connected peer (nil until
+	// World.Connect) and the per-peer outstanding-put counters.
+	dataTo []transport.Endpoint
+	outTo  []int
 
 	// internal symmetric objects (offsets into the heap)
-	barrierOff  uint64 // arrival flag written by the peer
-	barrierSeq  uint64 // software barrier epoch
-	outstanding int    // puts not yet quiesced
+	barrierOff  uint64 // arrival flag written by the peer (pair)
+	barrierSeq  uint64 // software barrier epoch (pair)
+	dissSeq     uint64 // dissemination barrier epoch (N-rank)
+	outstanding int    // puts not yet quiesced (pair)
 }
 
 // dataConn and syncConn separate bulk puts from barrier/atomic traffic so
@@ -83,13 +107,12 @@ func NewWorldOn(k transport.Kind, p cluster.Params, heapSize uint64) *World {
 	tr := transport.New(k, tb)
 	w := &World{TB: tb, Transport: tr}
 	mk := func(rank int, node *cluster.Node) *PE {
-		pe := &PE{Rank: rank, Node: node}
+		pe := &PE{Rank: rank, N: 2, Node: node, world: w}
 		pe.heapBase = node.AllocDev(heapSize)
 		pe.heapSize = heapSize
 		return pe
 	}
-	w.PEs[0] = mk(0, tb.A)
-	w.PEs[1] = mk(1, tb.B)
+	w.PEs = []*PE{mk(0, tb.A), mk(1, tb.B)}
 	regs := [2]transport.Region{
 		tr.Register(tb.A, w.PEs[0].heapBase, heapSize),
 		tr.Register(tb.B, w.PEs[1].heapBase, heapSize),
@@ -126,13 +149,31 @@ func (pe *PE) alloc(n uint64) uint64 {
 }
 
 // Shutdown terminates the world's parked simulation processes.
-func (w *World) Shutdown() { w.TB.Shutdown() }
+func (w *World) Shutdown() {
+	if w.TB != nil {
+		w.TB.Shutdown()
+		return
+	}
+	w.CL.Shutdown()
+}
 
-// Malloc allocates n bytes on every PE at the same symmetric offset.
+func (w *World) engine() *sim.Engine {
+	if w.TB != nil {
+		return w.TB.E
+	}
+	return w.CL.E
+}
+
+// Malloc allocates n bytes on every PE at the same symmetric offset. All
+// ranks are cross-checked against rank 0 so a heap that diverged anywhere
+// (a rank that skipped or reordered an allocation) is caught at the first
+// divergent rank, not only when rank 1 happens to be the culprit.
 func (w *World) Malloc(n uint64) uint64 {
 	off := w.PEs[0].alloc(n)
-	if got := w.PEs[1].alloc(n); got != off {
-		panic(fmt.Sprintf("shmem: symmetric heaps diverged: %d vs %d", off, got))
+	for _, pe := range w.PEs[1:] {
+		if got := pe.alloc(n); got != off {
+			panic(fmt.Sprintf("shmem: symmetric heaps diverged at rank %d: %d vs %d at rank 0", pe.Rank, got, off))
+		}
 	}
 	return off
 }
@@ -212,18 +253,18 @@ func (pe *PE) FetchAdd(w *gpusim.Warp, off uint64, addend uint64) uint64 {
 }
 
 // Run launches body as a single-block, full-warp kernel on every PE and
-// returns when both complete; it panics on deadlock. This is the SPMD
+// returns when all complete; it panics on deadlock. This is the SPMD
 // entry point — body runs with 32 lanes, so coalesced sweeps and the
 // thread-collective descriptor paths are available.
 func (w *World) Run(body func(pe *PE, warp *gpusim.Warp)) {
-	dones := make([]interface{ Done() bool }, 2)
+	dones := make([]interface{ Done() bool }, len(w.PEs))
 	for i, pe := range w.PEs {
 		pe := pe
 		dones[i] = pe.Node.GPU.Launch(gpusim.KernelConfig{Blocks: 1, ThreadsPerBlock: 32}, func(warp *gpusim.Warp) {
 			body(pe, warp)
 		})
 	}
-	w.TB.E.Run()
+	w.engine().Run()
 	for i, d := range dones {
 		if !d.Done() {
 			panic(fmt.Sprintf("shmem: PE %d did not complete (deadlock?)", i))

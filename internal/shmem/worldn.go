@@ -1,0 +1,158 @@
+package shmem
+
+// N-rank worlds: one PE per node of a switched cluster. The pair world's
+// two implicit connections become an explicit (and sparse) connection
+// graph — World.Connect wires exactly the rank pairs an algorithm needs,
+// and the collectives in collectives.go connect their own peer sets at
+// plan time. Synchronization is a dissemination barrier over epoch-valued
+// immediate puts, the N-rank generalization of the pair Barrier.
+
+import (
+	"fmt"
+
+	"putget/internal/cluster"
+	"putget/internal/gpusim"
+	"putget/internal/topo"
+	"putget/internal/transport"
+)
+
+// NewWorldN builds an n-PE world over an n-node cluster of the chosen
+// fabric, joined by the given topology. Each node contributes one PE with
+// a symmetric heap of heapSize bytes. The constructor establishes only
+// the dissemination-barrier connections (about log2(n) peers per rank);
+// point-to-point traffic between other rank pairs needs World.Connect
+// before Run, and each collective plan connects its own peers.
+func NewWorldN(k transport.Kind, spec topo.Spec, n int, p cluster.Params, heapSize uint64) *World {
+	fab := cluster.FabricExtoll
+	if k == transport.KindIB {
+		fab = cluster.FabricIB
+	}
+	cl := cluster.NewClusterOn(fab, spec, n, p)
+	tr := transport.NewCluster(k, cl)
+	w := &World{CL: cl, Transport: tr, conns: map[[2]int]bool{}}
+	for i, nd := range cl.Nodes {
+		pe := &PE{Rank: i, N: n, Node: nd, world: w}
+		pe.heapBase = nd.AllocDev(heapSize)
+		pe.heapSize = heapSize
+		pe.dataTo = make([]transport.Endpoint, n)
+		pe.outTo = make([]int, n)
+		w.PEs = append(w.PEs, pe)
+	}
+	w.regions = make([]transport.Region, n)
+	for i, pe := range w.PEs {
+		w.regions[i] = tr.Register(pe.Node, pe.heapBase, heapSize)
+		pe.local = w.regions[i]
+	}
+	// Dissemination barrier state: ceil(log2(n)) rounds, two parity slots
+	// per round (epoch alternation makes one-barrier-ahead writers land in
+	// the other parity's slots — see BarrierAll).
+	for w.rounds = 0; 1<<w.rounds < n; w.rounds++ {
+	}
+	w.dissOff = w.Malloc(uint64(16 * w.rounds))
+	for rd := 0; rd < w.rounds; rd++ {
+		for r := 0; r < n; r++ {
+			w.Connect(r, (r+(1<<rd))%n)
+		}
+	}
+	return w
+}
+
+// connHint picks the per-connection defaults an N-rank world uses: IB
+// rings live in GPU device memory (the paper's bufOnGPU placement, same
+// as the pair world's data connection).
+func (w *World) connHint() transport.ConnHint {
+	return transport.ConnHint{QueuesOnGPU: w.Transport.Kind() == transport.KindIB}
+}
+
+// Connect establishes the connection between ranks a and b if it does not
+// exist yet (idempotent). Setup plane: call before Run. Pair worlds are
+// born fully connected and must not call this.
+func (w *World) Connect(a, b int) {
+	if w.CL == nil {
+		panic("shmem: Connect is for N-rank worlds; pair worlds are fully connected")
+	}
+	if a == b {
+		panic("shmem: Connect needs two distinct ranks")
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int{a, b}
+	if w.conns[key] {
+		return
+	}
+	ea, eb := w.Transport.ConnectPair(w.PEs[a].Node, w.PEs[b].Node, w.connHint())
+	w.PEs[a].dataTo[b] = ea
+	w.PEs[b].dataTo[a] = eb
+	w.conns[key] = true
+}
+
+// ep returns this PE's endpoint to a peer rank, panicking with guidance
+// when the ranks were never connected.
+func (pe *PE) ep(peer int) transport.Endpoint {
+	ep := pe.dataTo[peer]
+	if ep == nil {
+		panic(fmt.Sprintf("shmem: ranks %d and %d are not connected; call World.Connect(%d, %d) before Run", pe.Rank, peer, pe.Rank, peer))
+	}
+	return ep
+}
+
+// ---- N-rank device-side operations ----
+
+// PutTo copies n bytes from the local symmetric offset src to peer rank's
+// symmetric offset dst. Completion is asynchronous; call QuietAll (or
+// reap the peer's stream selectively) to wait.
+func (pe *PE) PutTo(w *gpusim.Warp, peer int, dst, src uint64, n int) {
+	pe.ep(peer).DevPut(w, pe.local, src, pe.world.regions[peer], dst, n, transport.FlagLocalComp)
+	pe.outTo[peer]++
+}
+
+// PutImmTo writes one 64-bit value to peer rank's symmetric offset with
+// an immediate put (no source DMA).
+func (pe *PE) PutImmTo(w *gpusim.Warp, peer int, dst uint64, value uint64) {
+	pe.ep(peer).DevPutImm(w, value, pe.world.regions[peer], dst, 8, transport.FlagLocalComp)
+	pe.outTo[peer]++
+}
+
+// GetFrom copies n bytes from peer rank's symmetric offset src into the
+// local offset dst and blocks until the data has arrived.
+func (pe *PE) GetFrom(w *gpusim.Warp, peer int, dst, src uint64, n int) {
+	pe.ep(peer).DevGet(w, pe.local, dst, pe.world.regions[peer], src, n)
+}
+
+// QuietAll blocks until every outstanding PutTo/PutImmTo on every peer
+// connection has completed locally — the N-rank shmem_quiet.
+func (pe *PE) QuietAll(w *gpusim.Warp) {
+	for peer, out := range pe.outTo {
+		for out > 0 {
+			//putget:allow boundedwait -- shmem_quiet is unbounded by the OpenSHMEM spec: it waits on exactly the puts this PE issued, each of which the reliable fabric completes
+			pe.dataTo[peer].DevWaitComplete(w, transport.CompLocal)
+			out--
+		}
+		pe.outTo[peer] = 0
+	}
+}
+
+// BarrierAll synchronizes all N PEs with a dissemination barrier: in
+// round k, rank r writes its epoch to rank (r+2^k) mod N's round-k flag
+// with a fire-and-forget immediate put (no completion anywhere, so Quiet
+// semantics are untouched) and polls its own round-k flag in device
+// memory until the epoch from rank (r-2^k) mod N lands. ceil(log2 N)
+// rounds transitively cover all ranks.
+//
+// Flag slots alternate between two parity sets by epoch. Dissemination
+// coverage means a rank exits epoch s only after every rank has entered
+// it, so no writer can be two barriers ahead of a poller; a one-ahead
+// writer (epoch s+1) targets the other parity's slots. Each slot is
+// therefore written exactly once per observed epoch and the equality
+// poll cannot miss a transition.
+func (pe *PE) BarrierAll(w *gpusim.Warp) {
+	pe.dissSeq++
+	par := uint64(8 * (pe.dissSeq & 1))
+	for k := 0; k < pe.world.rounds; k++ {
+		peer := (pe.Rank + (1 << k)) % pe.N
+		slot := pe.world.dissOff + uint64(16*k) + par
+		pe.ep(peer).DevPutImm(w, pe.dissSeq, pe.world.regions[peer], slot, 8, 0)
+		pe.WaitUntil(w, slot, pe.dissSeq)
+	}
+}

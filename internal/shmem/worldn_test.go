@@ -1,0 +1,312 @@
+package shmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+
+	"putget/internal/cluster"
+	"putget/internal/gpusim"
+	"putget/internal/topo"
+	"putget/internal/transport"
+)
+
+// clusterParams keeps per-node footprints small so worlds of dozens of
+// ranks stay cheap to build.
+func clusterParams() cluster.Params {
+	p := cluster.Default()
+	p.GPUDevMemSize = 64 << 20
+	p.HostRAMSize = 96 << 20
+	return p
+}
+
+func newTestWorldN(k transport.Kind, spec topo.Spec, n int) *World {
+	return NewWorldN(k, spec, n, clusterParams(), 1<<20)
+}
+
+// hostWriteU64s seeds a symmetric vector on one rank without sim time.
+func hostWriteU64s(t *testing.T, pe *PE, off uint64, vals []uint64) {
+	t.Helper()
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], v)
+	}
+	if err := pe.HostWrite(off, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hostReadU64s(t *testing.T, pe *PE, off uint64, n int) []uint64 {
+	t.Helper()
+	buf := make([]byte, 8*n)
+	if err := pe.HostRead(off, buf); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return out
+}
+
+func TestMallocReportsFirstDivergentRank(t *testing.T) {
+	w := newTestWorldN(transport.KindExtoll, topo.Spec{Kind: topo.Torus3D}, 4)
+	defer w.Shutdown()
+	w.Malloc(64)
+	// Poison rank 2's heap out-of-band: the next symmetric Malloc must
+	// name rank 2, which the old PE1-vs-PE0 check would have missed.
+	w.PEs[2].alloc(8)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("diverged heap not detected")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "rank 2") {
+			t.Fatalf("panic %q does not name the divergent rank", msg)
+		}
+	}()
+	w.Malloc(16)
+}
+
+func TestBarrierAllSynchronizes(t *testing.T) {
+	forBothFabrics(t, func(t *testing.T, k transport.Kind) {
+		// 5 ranks: a non-power-of-two count exercises the mod-N wrap in the
+		// dissemination schedule.
+		w := newTestWorldN(k, topo.Spec{Kind: topo.FatTree}, 5)
+		defer w.Shutdown()
+		const rounds = 3
+		exits := make([][rounds]int64, len(w.PEs))
+		w.Run(func(pe *PE, warp *gpusim.Warp) {
+			for r := 0; r < rounds; r++ {
+				// A different straggler every round.
+				if pe.Rank == (r*2)%pe.N {
+					warp.Proc().Sleep(30_000_000) // 30us
+				}
+				pe.BarrierAll(warp)
+				exits[pe.Rank][r] = int64(warp.Now())
+			}
+		})
+		floor := int64(0)
+		for r := 0; r < rounds; r++ {
+			floor += 30_000_000
+			for rank := range exits {
+				if exits[rank][r] < floor {
+					t.Fatalf("round %d: rank %d exited at %dps, before the round's straggler arrived (floor %dps)", r, rank, exits[rank][r], floor)
+				}
+			}
+		}
+	})
+}
+
+func TestPutToGetFromQuietAll(t *testing.T) {
+	forBothFabrics(t, func(t *testing.T, k transport.Kind) {
+		w := newTestWorldN(k, topo.Spec{Kind: topo.Torus3D}, 6)
+		defer w.Shutdown()
+		w.Connect(0, 3)
+		w.Connect(5, 3)
+		src := w.Malloc(1024)
+		dst := w.Malloc(1024)
+		hostWriteU64s(t, w.PEs[0], src, []uint64{11, 22, 33, 44})
+		hostWriteU64s(t, w.PEs[3], src, []uint64{77, 88})
+		w.Run(func(pe *PE, warp *gpusim.Warp) {
+			switch pe.Rank {
+			case 0:
+				pe.PutTo(warp, 3, dst, src, 32)
+				pe.QuietAll(warp)
+				pe.PutImmTo(warp, 3, dst+32, 0xfeed)
+				pe.QuietAll(warp)
+			case 5:
+				pe.GetFrom(warp, 3, dst, src, 16)
+			}
+		})
+		got := hostReadU64s(t, w.PEs[3], dst, 5)
+		want := []uint64{11, 22, 33, 44, 0xfeed}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rank 3 dst[%d] = %#x, want %#x", i, got[i], want[i])
+			}
+		}
+		if got := hostReadU64s(t, w.PEs[5], dst, 2); got[0] != 77 || got[1] != 88 {
+			t.Fatalf("rank 5 get = %v, want [77 88]", got)
+		}
+	})
+}
+
+// verifyAllReduce seeds rank r's element i with r+i+1, runs the plan
+// twice (reuse exercises the epoch/parity machinery), and checks every
+// rank holds the doubled global sums.
+func verifyAllReduce(t *testing.T, w *World, alg AllReduceAlg, count int) {
+	t.Helper()
+	n := len(w.PEs)
+	vec := w.Malloc(uint64(8 * count))
+	plan := w.NewAllReduce(alg, vec, count)
+	for r, pe := range w.PEs {
+		vals := make([]uint64, count)
+		for i := range vals {
+			vals[i] = uint64(r + i + 1)
+		}
+		hostWriteU64s(t, pe, vec, vals)
+	}
+	w.Run(func(pe *PE, warp *gpusim.Warp) {
+		plan.Run(pe, warp)
+	})
+	// sum over ranks of (r+i+1) = n*(i+1) + n(n-1)/2
+	want := func(i int) uint64 { return uint64(n*(i+1) + n*(n-1)/2) }
+	for r, pe := range w.PEs {
+		got := hostReadU64s(t, pe, vec, count)
+		for i := range got {
+			if got[i] != want(i) {
+				t.Fatalf("%v: rank %d element %d = %d, want %d", alg, r, i, got[i], want(i))
+			}
+		}
+	}
+	// Second invocation on the same plan: vectors now hold the first
+	// round's sums, so the result must be n times those.
+	w.Run(func(pe *PE, warp *gpusim.Warp) {
+		plan.Run(pe, warp)
+	})
+	for r, pe := range w.PEs {
+		got := hostReadU64s(t, pe, vec, count)
+		for i := range got {
+			if got[i] != uint64(n)*want(i) {
+				t.Fatalf("%v reuse: rank %d element %d = %d, want %d", alg, r, i, got[i], uint64(n)*want(i))
+			}
+		}
+	}
+}
+
+func TestAllReduceSmallRankCounts(t *testing.T) {
+	forBothFabrics(t, func(t *testing.T, k transport.Kind) {
+		for _, n := range []int{4, 8, 16} {
+			n := n
+			t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
+				w := newTestWorldN(k, topo.Spec{Kind: topo.Torus3D}, n)
+				defer w.Shutdown()
+				verifyAllReduce(t, w, Ring, 2*n)
+				verifyAllReduce(t, w, RecursiveDoubling, 16)
+			})
+		}
+	})
+}
+
+// The tentpole acceptance bar: allreduce must verify at >= 64 simulated
+// ranks on both topologies over both fabrics.
+func TestAllReduce64Ranks(t *testing.T) {
+	forBothFabrics(t, func(t *testing.T, k transport.Kind) {
+		for _, kind := range []topo.Kind{topo.FatTree, topo.Torus3D} {
+			kind := kind
+			t.Run(kind.String(), func(t *testing.T) {
+				w := newTestWorldN(k, topo.Spec{Kind: kind}, 64)
+				defer w.Shutdown()
+				verifyAllReduce(t, w, Ring, 64)
+			})
+		}
+	})
+}
+
+func TestAllReduceRejectsBadShapes(t *testing.T) {
+	w := newTestWorldN(transport.KindExtoll, topo.Spec{Kind: topo.Torus3D}, 6)
+	defer w.Shutdown()
+	vec := w.Malloc(8 * 8)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ring count", func() { w.NewAllReduce(Ring, vec, 8) })            // 8 % 6 != 0
+	mustPanic("rd ranks", func() { w.NewAllReduce(RecursiveDoubling, vec, 8) }) // 6 not 2^k
+}
+
+func TestAllToAll(t *testing.T) {
+	forBothFabrics(t, func(t *testing.T, k transport.Kind) {
+		const n = 8
+		const chunkW = 4
+		w := newTestWorldN(k, topo.Spec{Kind: topo.FatTree}, n)
+		defer w.Shutdown()
+		src := w.Malloc(8 * chunkW * n)
+		dst := w.Malloc(8 * chunkW * n)
+		plan := w.NewAllToAll(src, dst, 8*chunkW)
+		for r, pe := range w.PEs {
+			vals := make([]uint64, chunkW*n)
+			for d := 0; d < n; d++ {
+				for i := 0; i < chunkW; i++ {
+					vals[d*chunkW+i] = uint64(r)<<16 | uint64(d)<<8 | uint64(i)
+				}
+			}
+			hostWriteU64s(t, pe, src, vals)
+		}
+		w.Run(func(pe *PE, warp *gpusim.Warp) {
+			plan.Run(pe, warp)
+		})
+		for d, pe := range w.PEs {
+			got := hostReadU64s(t, pe, dst, chunkW*n)
+			for r := 0; r < n; r++ {
+				for i := 0; i < chunkW; i++ {
+					want := uint64(r)<<16 | uint64(d)<<8 | uint64(i)
+					if got[r*chunkW+i] != want {
+						t.Fatalf("rank %d slot %d word %d = %#x, want %#x", d, r, i, got[r*chunkW+i], want)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestHaloExchange(t *testing.T) {
+	forBothFabrics(t, func(t *testing.T, k transport.Kind) {
+		// 2x3x2 = 12 ranks: one axis of extent 2 (both directions hit the
+		// same neighbour) and none degenerate.
+		dims := [3]int{2, 3, 2}
+		const faceW = 8
+		w := newTestWorldN(k, topo.Spec{Kind: topo.Torus3D}, 12)
+		defer w.Shutdown()
+		plan := w.NewHalo(dims, 8*faceW)
+		for r, pe := range w.PEs {
+			for d := 0; d < 6; d++ {
+				vals := make([]uint64, faceW)
+				for i := range vals {
+					vals[i] = uint64(r)<<16 | uint64(d)<<8 | uint64(i)
+				}
+				hostWriteU64s(t, pe, plan.SendOff(d), vals)
+			}
+		}
+		w.Run(func(pe *PE, warp *gpusim.Warp) {
+			plan.Run(pe, warp)
+		})
+		for r, pe := range w.PEs {
+			for d := 0; d < 6; d++ {
+				// The face received from direction d was sent by that
+				// neighbour in the opposite direction.
+				nb := plan.neighbor(r, d)
+				got := hostReadU64s(t, pe, plan.RecvOff(d), faceW)
+				for i := range got {
+					want := uint64(nb)<<16 | uint64(haloOpp(d))<<8 | uint64(i)
+					if got[i] != want {
+						t.Fatalf("rank %d recv dir %d word %d = %#x, want %#x (from rank %d)", r, d, i, got[i], want, nb)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestUnconnectedRanksPanicWithGuidance(t *testing.T) {
+	w := newTestWorldN(transport.KindExtoll, topo.Spec{Kind: topo.Torus3D}, 8)
+	defer w.Shutdown()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for unconnected ranks")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "World.Connect") {
+			t.Fatalf("panic %q does not point at World.Connect", msg)
+		}
+	}()
+	// Ranks 0 and 3 are not dissemination-barrier peers of each other in
+	// an 8-rank world (offsets 1, 2, 4 only), so this must panic.
+	w.PEs[0].ep(3)
+}

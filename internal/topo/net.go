@@ -1,0 +1,275 @@
+package topo
+
+import (
+	"fmt"
+
+	"putget/internal/sim"
+)
+
+// LinkConfig gives every cable in the fabric the same physics as a
+// point-to-point wire.Link direction: serialization bandwidth plus
+// fixed per-hop latency (propagation + switch crossing).
+type LinkConfig struct {
+	BytesPerSecond float64
+	Latency        sim.Duration
+}
+
+// Net is an N-node switched fabric carrying packets of type T. Each
+// node owns a Port (satisfying wire.Conduit[T]) that injects into the
+// fabric and receives ejected packets. The destination of a packet is
+// resolved from a sender-local routing key — extracted by the key
+// function (an EXTOLL origin port, an IB source QPN) and bound per node
+// with Bind at connection-setup time — mirroring how real fabrics route
+// on connection state rather than payload inspection.
+type Net[T any] struct {
+	e    *sim.Engine
+	g    *graph
+	name string
+	key  func(T) int
+
+	ports []*Port[T]
+	inbox []*sim.Chan[T]
+	// bind[node] maps a routing key (local to that node) to the
+	// destination node index. Lookup-only: never iterated.
+	bind []map[int]int
+
+	flows       map[flowKey]*flow
+	unreachable uint64
+}
+
+type flowKey struct{ src, dst int }
+
+// flow caches one (src, dst) pair's path. Adaptive routing may re-pick
+// the path, but only while inFlight is zero, so every packet of a burst
+// rides the same cables and per-flow FIFO order is preserved.
+type flow struct {
+	path     []*channel
+	inFlight int
+}
+
+// NewNet builds the switch graph for spec over n nodes. The key
+// function extracts the sender-local routing key from a packet; pair it
+// with Bind to resolve destinations.
+func NewNet[T any](e *sim.Engine, spec Spec, n int, cfg LinkConfig, name string, key func(T) int) *Net[T] {
+	if name == "" {
+		name = "net"
+	}
+	nt := &Net[T]{
+		e:     e,
+		g:     buildGraph(e, spec, n, name, cfg.BytesPerSecond, cfg.Latency),
+		name:  name,
+		key:   key,
+		flows: make(map[flowKey]*flow),
+	}
+	nt.ports = make([]*Port[T], n)
+	nt.inbox = make([]*sim.Chan[T], n)
+	nt.bind = make([]map[int]int, n)
+	for i := 0; i < n; i++ {
+		nt.ports[i] = &Port[T]{nt: nt, node: i, name: fmt.Sprintf("%s.n%d", name, i)}
+		nt.inbox[i] = sim.NewChan[T](e)
+		nt.bind[i] = make(map[int]int)
+	}
+	return nt
+}
+
+// Port returns node i's attachment point.
+func (nt *Net[T]) Port(i int) *Port[T] { return nt.ports[i] }
+
+// Bind routes packets injected at node whose key extractor yields key to
+// dst. Transports call this when a connection is set up.
+func (nt *Net[T]) Bind(node, key, dst int) { nt.bind[node][key] = dst }
+
+// Nodes returns the node count.
+func (nt *Net[T]) Nodes() int { return nt.g.n }
+
+// Routers returns the switch count (torus: one per grid point; fat-tree:
+// leaves + spines).
+func (nt *Net[T]) Routers() int { return nt.g.routers }
+
+// Unreachable counts packets dropped at injection because no live path
+// (or no binding) existed for their destination.
+func (nt *Net[T]) Unreachable() uint64 { return nt.unreachable }
+
+// Hops returns the minimal live router-to-router hop count between two
+// nodes, -1 if disconnected. Exposed for tests and experiments.
+func (nt *Net[T]) Hops(src, dst int) int {
+	if nt.g.downNode[src] || nt.g.downNode[dst] {
+		return -1
+	}
+	return nt.g.distTo(nt.g.nodeRouter[dst])[nt.g.nodeRouter[src]]
+}
+
+// PathNames returns the cable names a fresh (src, dst) flow would take
+// right now — deterministic-mode paths are stable; adaptive paths
+// reflect current congestion. For tests and route inspection.
+func (nt *Net[T]) PathNames(src, dst int) []string {
+	p := nt.g.path(src, dst, nt.g.spec.Routing == Adaptive)
+	if p == nil {
+		return nil
+	}
+	names := make([]string, len(p))
+	for i, ch := range p {
+		names[i] = ch.name
+	}
+	return names
+}
+
+// MaxDepth reports the deepest egress queue observed on any single
+// cable — the congestion high-water mark.
+func (nt *Net[T]) MaxDepth() int {
+	max := 0
+	for r := range nt.g.adj {
+		for _, ch := range nt.g.adj[r] {
+			if ch.maxDepth > max {
+				max = ch.maxDepth
+			}
+		}
+	}
+	for i := range nt.g.inject {
+		if nt.g.inject[i].maxDepth > max {
+			max = nt.g.inject[i].maxDepth
+		}
+		if nt.g.eject[i].maxDepth > max {
+			max = nt.g.eject[i].maxDepth
+		}
+	}
+	return max
+}
+
+// flowFor returns the cached flow, (re)computing its path when allowed:
+// always on first use; in Adaptive mode also whenever the flow has no
+// packets in flight (congestion may have moved since the last burst).
+func (nt *Net[T]) flowFor(src, dst int) *flow {
+	k := flowKey{src, dst}
+	fl := nt.flows[k]
+	if fl == nil {
+		fl = &flow{}
+		nt.flows[k] = fl
+	}
+	adaptive := nt.g.spec.Routing == Adaptive
+	if fl.path == nil || (adaptive && fl.inFlight == 0) {
+		fl.path = nt.g.path(src, dst, adaptive)
+	}
+	return fl
+}
+
+// send injects pkt at node src with the upstream stage ready at `ready`
+// (cut-through floor, like wire.Link.SendAfter). The returned time is
+// when the packet enters the fabric off the injection cable — a lower
+// bound on delivery (the Conduit contract for multi-hop fabrics).
+func (nt *Net[T]) send(src int, pkt T, wireBytes int, ready sim.Time) (sim.Time, bool) {
+	dst, bound := nt.bind[src][nt.key(pkt)]
+	if !bound {
+		panic(fmt.Sprintf("topo: %s.n%d sent packet with unbound routing key %d", nt.name, src, nt.key(pkt)))
+	}
+	fl := nt.flowFor(src, dst)
+	if fl.path == nil {
+		nt.unreachable++
+		if nt.e.Traced() {
+			nt.e.Tracev(nt.ports[src].name, "fault", "fault: net unreachable n%d->n%d (%dB)", src, dst, wireBytes)
+		}
+		return nt.e.Now(), false
+	}
+	fl.inFlight++
+	path := fl.path // the slice the whole packet rides, even if the flow re-picks later
+	sent := nt.enter(path[0], wireBytes, ready)
+	arrive := sent.Add(path[0].lat)
+	nt.hopAt(fl, dst, path, pkt, wireBytes, 1, arrive)
+	return arrive, true
+}
+
+// hopAt schedules the crossing of path[i:] after the packet exits
+// path[i-1] at time `at`. The final exit delivers into the destination
+// inbox. Store-and-forward: each cable is reserved when the packet
+// reaches it, so cross-traffic contention accrues per hop.
+func (nt *Net[T]) hopAt(fl *flow, dst int, path []*channel, pkt T, wireBytes int, i int, at sim.Time) {
+	nt.e.At(at, func() {
+		nt.exit(path[i-1], wireBytes)
+		if i == len(path) {
+			fl.inFlight--
+			nt.inbox[dst].Send(pkt)
+			return
+		}
+		sent := nt.enter(path[i], wireBytes, at)
+		nt.hopAt(fl, dst, path, pkt, wireBytes, i+1, sent.Add(path[i].lat))
+	})
+}
+
+// enter reserves a cable for wireBytes starting no earlier than ready
+// and begins occupancy accounting; returns serialization-complete time.
+//
+// Unlike wire.Link.SendAfter (whose cut-through floor only postpones the
+// one packet's delivery), a future `ready` here holds the cable itself:
+// the bytes trickle onto the wire at the upstream stage's pace, so a
+// later injection cannot overtake an earlier one whose DMA is still
+// feeding. Per-cable delivery order therefore matches injection order,
+// which is what gives a fixed-path flow its FIFO guarantee — the
+// property shmem's collectives (data put, then flag put on the same
+// connection) are built on.
+func (nt *Net[T]) enter(ch *channel, wireBytes int, ready sim.Time) sim.Time {
+	ch.srv.Reserve(wireBytes) // rate/busy accounting; FIFO timing is freeAt's
+	start := nt.e.Now()
+	if ch.freeAt > start {
+		start = ch.freeAt
+	}
+	if ready > start {
+		start = ready
+	}
+	sent := start.Add(sim.BytesAt(wireBytes, ch.srv.Rate()))
+	ch.freeAt = sent
+	ch.inFlight++
+	if ch.inFlight > ch.maxDepth {
+		ch.maxDepth = ch.inFlight
+	}
+	ch.inFlightBytes += wireBytes
+	if nt.e.Observing() {
+		id := nt.e.SpanOpenAt(start, ch.name, "xmit",
+			sim.Attr{Key: "bytes", Val: int64(wireBytes)})
+		nt.e.SpanCloseAt(id, sent.Add(ch.lat))
+		nt.e.Metric(ch.name, "depth", float64(ch.inFlight))
+		nt.e.Metric(ch.name, "inflight_bytes", float64(ch.inFlightBytes))
+		nt.e.Metric(ch.name, "busy_us", ch.srv.BusyTotal().Microseconds())
+	}
+	return sent
+}
+
+// exit ends a cable's occupancy for one packet.
+func (nt *Net[T]) exit(ch *channel, wireBytes int) {
+	ch.inFlight--
+	ch.inFlightBytes -= wireBytes
+	ch.delivered++
+	if nt.e.Observing() {
+		nt.e.Metric(ch.name, "depth", float64(ch.inFlight))
+		nt.e.Metric(ch.name, "inflight_bytes", float64(ch.inFlightBytes))
+	}
+}
+
+// Port is node's attachment to the fabric; it satisfies wire.Conduit[T]
+// so NICs drive it exactly like a point-to-point link.
+type Port[T any] struct {
+	nt   *Net[T]
+	node int
+	name string
+}
+
+// Send injects pkt, resolving its destination from the routing key.
+// The returned time is the packet's entry into the fabric (lower bound
+// on delivery); ok=false means dropped (down node, no live path).
+func (p *Port[T]) Send(pkt T, wireBytes int) (sim.Time, bool) {
+	return p.nt.send(p.node, pkt, wireBytes, p.nt.e.Now())
+}
+
+// SendAfter injects like Send with delivery floored by the upstream
+// stage's readiness (cut-through DMA overlap), as wire.Link.SendAfter.
+func (p *Port[T]) SendAfter(pkt T, wireBytes int, ready sim.Time) (sim.Time, bool) {
+	return p.nt.send(p.node, pkt, wireBytes, ready)
+}
+
+// Recv blocks until a packet is ejected at this node, FIFO.
+func (p *Port[T]) Recv(pr *sim.Proc) T { return p.nt.inbox[p.node].Recv(pr) }
+
+// Pending reports ejected-but-unconsumed packets.
+func (p *Port[T]) Pending() int { return p.nt.inbox[p.node].Len() }
+
+// Name labels this attachment ("<net>.n<i>") in traces and spans.
+func (p *Port[T]) Name() string { return p.name }

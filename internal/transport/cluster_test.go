@@ -1,0 +1,148 @@
+package transport
+
+// Cluster-path conformance: the same Endpoint contract must hold when
+// the two endpoints sit on arbitrary nodes of an N-node switched fabric
+// instead of the two ends of one cable.
+
+import (
+	"bytes"
+	"testing"
+
+	"putget/internal/cluster"
+	"putget/internal/gpusim"
+	"putget/internal/topo"
+)
+
+func forBothClusters(t *testing.T, spec topo.Spec, n int, f func(t *testing.T, k Kind, cl *cluster.Cluster, tr Transport)) {
+	for _, k := range []Kind{KindExtoll, KindIB} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			fab := cluster.FabricExtoll
+			if k == KindIB {
+				fab = cluster.FabricIB
+			}
+			cl := cluster.NewClusterOn(fab, spec, n, cluster.Default())
+			defer cl.Shutdown()
+			f(t, k, cl, NewCluster(k, cl))
+		})
+	}
+}
+
+func TestClusterDevPutAcrossTorus(t *testing.T) {
+	forBothClusters(t, topo.Spec{Kind: topo.Torus3D}, 8, func(t *testing.T, k Kind, cl *cluster.Cluster, tr Transport) {
+		src, dst := cl.Nodes[1], cl.Nodes[6] // opposite corners of the 2x2x2 torus
+		sBuf := src.AllocDev(rigBuf)
+		dBuf := dst.AllocDev(rigBuf)
+		sR := tr.Register(src, sBuf, rigBuf)
+		dR := tr.Register(dst, dBuf, rigBuf)
+		es, ed := tr.ConnectPair(src, dst, ConnHint{})
+		if es.Node() != src || ed.Node() != dst {
+			t.Fatal("ConnectPair endpoint order does not match arguments")
+		}
+		payload := make([]byte, 4096)
+		for i := range payload {
+			payload[i] = byte(i*13 + 5)
+		}
+		if err := src.GPU.HostWrite(sBuf, payload); err != nil {
+			t.Fatal(err)
+		}
+		var comp Completion
+		done := src.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+			es.DevPut(w, sR, 0, dR, 0, len(payload), FlagLocalComp)
+			comp = es.DevWaitComplete(w, CompLocal)
+		})
+		cl.E.Run()
+		if !done.Done() {
+			t.Fatal("put kernel did not complete (deadlock?)")
+		}
+		if comp.Err || comp.Timeout {
+			t.Fatalf("healthy put completed with %+v", comp)
+		}
+		got := make([]byte, len(payload))
+		if err := dst.GPU.HostRead(dBuf, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("put payload corrupted crossing the torus")
+		}
+	})
+}
+
+// A get must round-trip the fabric both ways (request out, response
+// back) even when the two directions take multi-hop routed paths.
+func TestClusterDevGetAcrossFatTree(t *testing.T) {
+	forBothClusters(t, topo.Spec{Kind: topo.FatTree}, 9, func(t *testing.T, k Kind, cl *cluster.Cluster, tr Transport) {
+		// Radix derives to 3: nodes 0 and 8 sit on different leaves.
+		loc, rem := cl.Nodes[0], cl.Nodes[8]
+		lBuf := loc.AllocDev(rigBuf)
+		rBuf := rem.AllocDev(rigBuf)
+		lR := tr.Register(loc, lBuf, rigBuf)
+		rR := tr.Register(rem, rBuf, rigBuf)
+		el, _ := tr.ConnectPair(loc, rem, ConnHint{})
+		payload := make([]byte, 2048)
+		for i := range payload {
+			payload[i] = byte(i*3 + 1)
+		}
+		if err := rem.GPU.HostWrite(rBuf, payload); err != nil {
+			t.Fatal(err)
+		}
+		done := loc.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+			el.DevGet(w, lR, 0, rR, 0, len(payload))
+		})
+		cl.E.Run()
+		if !done.Done() {
+			t.Fatal("get kernel did not complete (deadlock?)")
+		}
+		got := make([]byte, len(payload))
+		if err := loc.GPU.HostRead(lBuf, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("get payload corrupted crossing the fat-tree")
+		}
+	})
+}
+
+// Several connections from distinct nodes into one hot node must all
+// work concurrently — per-node port/QPN allocation and routing-key
+// binding must not collide.
+func TestClusterManyToOne(t *testing.T) {
+	forBothClusters(t, topo.Spec{Kind: topo.Torus3D}, 8, func(t *testing.T, k Kind, cl *cluster.Cluster, tr Transport) {
+		hot := cl.Nodes[7]
+		hBuf := hot.AllocDev(rigBuf)
+		hR := tr.Register(hot, hBuf, rigBuf)
+		senders := []int{0, 2, 5}
+		kernels := 0
+		for si, s := range senders {
+			src := cl.Nodes[s]
+			sBuf := src.AllocDev(4096)
+			sR := tr.Register(src, sBuf, 4096)
+			es, _ := tr.ConnectPair(src, hot, ConnHint{})
+			fill := make([]byte, 512)
+			for i := range fill {
+				fill[i] = byte(s + 1)
+			}
+			if err := src.GPU.HostWrite(sBuf, fill); err != nil {
+				t.Fatal(err)
+			}
+			off := uint64(si) * 512
+			src.GPU.Launch(gpusim.KernelConfig{Blocks: 1}, func(w *gpusim.Warp) {
+				es.DevPut(w, sR, 0, hR, off, 512, FlagLocalComp)
+				es.DevWaitComplete(w, CompLocal)
+			})
+			kernels++
+		}
+		cl.E.Run()
+		got := make([]byte, 512*len(senders))
+		if err := hot.GPU.HostRead(hBuf, got); err != nil {
+			t.Fatal(err)
+		}
+		for si, s := range senders {
+			for i := 0; i < 512; i++ {
+				if got[si*512+i] != byte(s+1) {
+					t.Fatalf("sender %d slot corrupted at byte %d: %d", s, i, got[si*512+i])
+				}
+			}
+		}
+	})
+}

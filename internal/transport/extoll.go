@@ -15,14 +15,36 @@ import (
 // benchmark running over this adapter is cycle-identical to one written
 // against core.RMA directly.
 type Extoll struct {
-	tb     *cluster.Testbed
-	ra, rb *core.RMA
+	tb *cluster.Testbed // pair testbeds; nil for clusters
+	cl *cluster.Cluster // N-node clusters; nil for pairs
+	// rmas binds one core.RMA per node, built eagerly for pairs and
+	// lazily (first touch) for cluster nodes. Lookup-only map.
+	rmas map[*cluster.Node]*core.RMA
+	// nextPort allocates connection ports per node: unlike a pair, the
+	// two ends of a cluster connection generally get different port
+	// numbers (each node numbers its own connections independently).
+	nextPort map[*cluster.Node]int
+	nextIdx  int // pair ConnectPair port counter
 }
 
 // NewExtoll builds the EXTOLL adapter over a testbed from
 // cluster.NewExtollPair.
 func NewExtoll(tb *cluster.Testbed) *Extoll {
-	return &Extoll{tb: tb, ra: core.NewRMA(tb.A), rb: core.NewRMA(tb.B)}
+	return &Extoll{
+		tb:       tb,
+		rmas:     map[*cluster.Node]*core.RMA{tb.A: core.NewRMA(tb.A), tb.B: core.NewRMA(tb.B)},
+		nextPort: map[*cluster.Node]int{},
+	}
+}
+
+// NewExtollCluster builds the EXTOLL adapter over an N-node cluster
+// from cluster.NewClusterOn(cluster.FabricExtoll, ...).
+func NewExtollCluster(cl *cluster.Cluster) *Extoll {
+	return &Extoll{
+		cl:       cl,
+		rmas:     map[*cluster.Node]*core.RMA{},
+		nextPort: map[*cluster.Node]int{},
+	}
 }
 
 // Kind implements Transport.
@@ -31,21 +53,27 @@ func (t *Extoll) Kind() Kind { return KindExtoll }
 // Testbed implements Transport.
 func (t *Extoll) Testbed() *cluster.Testbed { return t.tb }
 
+// Cluster implements Transport.
+func (t *Extoll) Cluster() *cluster.Cluster { return t.cl }
+
 // RMA exposes the underlying per-node RMA binding (side 0 = node A) for
-// cost-model experiments that need the raw EXTOLL API.
+// cost-model experiments that need the raw EXTOLL API. Pair only.
 func (t *Extoll) RMA(side int) *core.RMA {
 	if side == 0 {
-		return t.ra
+		return t.rma(t.tb.A)
 	}
-	return t.rb
+	return t.rma(t.tb.B)
 }
 
 func (t *Extoll) rma(n *cluster.Node) *core.RMA {
-	switch n {
-	case t.tb.A:
-		return t.ra
-	case t.tb.B:
-		return t.rb
+	if r := t.rmas[n]; r != nil {
+		return r
+	}
+	if t.cl != nil {
+		t.cl.IndexOf(n) // panics on foreign nodes
+		r := core.NewRMA(n)
+		t.rmas[n] = r
+		return r
 	}
 	panic("transport: node not part of this testbed")
 }
@@ -62,11 +90,45 @@ func (t *Extoll) Register(n *cluster.Node, base memspace.Addr, size uint64) Regi
 // fetch-add needs no landing buffer; the old value returns in the
 // responder notification).
 func (t *Extoll) Connect(idx int, hint ConnHint) (Endpoint, Endpoint) {
-	t.ra.OpenPort(idx)
-	t.rb.OpenPort(idx)
+	if t.tb == nil {
+		panic("transport: Connect is pair-only; use ConnectPair on a cluster")
+	}
+	ra, rb := t.rma(t.tb.A), t.rma(t.tb.B)
+	ra.OpenPort(idx)
+	rb.OpenPort(idx)
 	extoll.ConnectPorts(t.tb.A.Extoll, idx, t.tb.B.Extoll, idx)
-	return &extEndpoint{r: t.ra, node: t.tb.A, port: idx},
-		&extEndpoint{r: t.rb, node: t.tb.B, port: idx}
+	return &extEndpoint{r: ra, node: t.tb.A, port: idx},
+		&extEndpoint{r: rb, node: t.tb.B, port: idx}
+}
+
+// ConnectPair implements Transport: each node allocates its next free
+// port, the ports are cross-connected (EXTOLL supports asymmetric port
+// numbers), and on a cluster the topology routing tables learn that
+// packets originating from each port reach the other node.
+func (t *Extoll) ConnectPair(na, nb *cluster.Node, hint ConnHint) (Endpoint, Endpoint) {
+	if na == nb {
+		panic("transport: ConnectPair needs two distinct nodes")
+	}
+	if t.tb != nil {
+		idx := t.nextIdx
+		t.nextIdx++
+		ea, eb := t.Connect(idx, hint)
+		if na == t.tb.B { // argument order is preserved
+			ea, eb = eb, ea
+		}
+		return ea, eb
+	}
+	ra, rb := t.rma(na), t.rma(nb)
+	pa, pb := t.nextPort[na], t.nextPort[nb]
+	t.nextPort[na] = pa + 1
+	t.nextPort[nb] = pb + 1
+	ra.OpenPort(pa)
+	rb.OpenPort(pb)
+	extoll.ConnectPorts(na.Extoll, pa, nb.Extoll, pb)
+	t.cl.BindExtoll(na, pa, nb)
+	t.cl.BindExtoll(nb, pb, na)
+	return &extEndpoint{r: ra, node: na, port: pa},
+		&extEndpoint{r: rb, node: nb, port: pb}
 }
 
 // extEndpoint is one side of an EXTOLL port connection.

@@ -17,14 +17,26 @@ import (
 // keeps its conversion/lookup costs, and queue placement follows the
 // ConnHint, so numbers through this adapter equal the raw Verbs path.
 type Verbs struct {
-	tb     *cluster.Testbed
-	va, vb *core.Verbs
+	tb *cluster.Testbed // pair testbeds; nil for clusters
+	cl *cluster.Cluster // N-node clusters; nil for pairs
+	// vs binds one core.Verbs per node, eager for pairs, lazy for
+	// cluster nodes. Lookup-only map.
+	vs map[*cluster.Node]*core.Verbs
 }
 
 // NewVerbs builds the InfiniBand adapter over a testbed from
 // cluster.NewIBPair.
 func NewVerbs(tb *cluster.Testbed) *Verbs {
-	return &Verbs{tb: tb, va: core.NewVerbs(tb.A), vb: core.NewVerbs(tb.B)}
+	return &Verbs{
+		tb: tb,
+		vs: map[*cluster.Node]*core.Verbs{tb.A: core.NewVerbs(tb.A), tb.B: core.NewVerbs(tb.B)},
+	}
+}
+
+// NewVerbsCluster builds the InfiniBand adapter over an N-node cluster
+// from cluster.NewClusterOn(cluster.FabricIB, ...).
+func NewVerbsCluster(cl *cluster.Cluster) *Verbs {
+	return &Verbs{cl: cl, vs: map[*cluster.Node]*core.Verbs{}}
 }
 
 // Kind implements Transport.
@@ -33,21 +45,27 @@ func (t *Verbs) Kind() Kind { return KindIB }
 // Testbed implements Transport.
 func (t *Verbs) Testbed() *cluster.Testbed { return t.tb }
 
+// Cluster implements Transport.
+func (t *Verbs) Cluster() *cluster.Cluster { return t.cl }
+
 // Verbs exposes the underlying per-node Verbs binding (side 0 = node A)
-// for cost-model experiments that need the raw API.
+// for cost-model experiments that need the raw API. Pair only.
 func (t *Verbs) Verbs(side int) *core.Verbs {
 	if side == 0 {
-		return t.va
+		return t.verbs(t.tb.A)
 	}
-	return t.vb
+	return t.verbs(t.tb.B)
 }
 
 func (t *Verbs) verbs(n *cluster.Node) *core.Verbs {
-	switch n {
-	case t.tb.A:
-		return t.va
-	case t.tb.B:
-		return t.vb
+	if v := t.vs[n]; v != nil {
+		return v
+	}
+	if t.cl != nil {
+		t.cl.IndexOf(n) // panics on foreign nodes
+		v := core.NewVerbs(n)
+		t.vs[n] = v
+		return v
 	}
 	panic("transport: node not part of this testbed")
 }
@@ -62,6 +80,23 @@ func (t *Verbs) Register(n *cluster.Node, base memspace.Addr, size uint64) Regio
 // an 8-byte registered device-memory landing buffer for fetch-add
 // results; without it the allocation layout is untouched.
 func (t *Verbs) Connect(idx int, hint ConnHint) (Endpoint, Endpoint) {
+	if t.tb == nil {
+		panic("transport: Connect is pair-only; use ConnectPair on a cluster")
+	}
+	return t.connect(t.tb.A, t.tb.B, hint)
+}
+
+// ConnectPair implements Transport: one fresh queue pair per node, RC-
+// connected; on a cluster the topology routing tables learn that packets
+// sent from each QPN reach the other node.
+func (t *Verbs) ConnectPair(na, nb *cluster.Node, hint ConnHint) (Endpoint, Endpoint) {
+	if na == nb {
+		panic("transport: ConnectPair needs two distinct nodes")
+	}
+	return t.connect(na, nb, hint)
+}
+
+func (t *Verbs) connect(na, nb *cluster.Node, hint ConnHint) (Endpoint, Endpoint) {
 	sq, rq, cq := hint.SendEntries, hint.RecvEntries, hint.CompEntries
 	if sq == 0 {
 		sq = 512
@@ -72,16 +107,21 @@ func (t *Verbs) Connect(idx int, hint ConnHint) (Endpoint, Endpoint) {
 	if cq == 0 {
 		cq = 512
 	}
-	qa := t.va.CreateQP(sq, rq, cq, hint.QueuesOnGPU)
-	qb := t.vb.CreateQP(sq, rq, cq, hint.QueuesOnGPU)
+	va, vb := t.verbs(na), t.verbs(nb)
+	qa := va.CreateQP(sq, rq, cq, hint.QueuesOnGPU)
+	qb := vb.CreateQP(sq, rq, cq, hint.QueuesOnGPU)
 	core.ConnectVQPs(qa, qb)
-	ea := &ibEndpoint{v: t.va, node: t.tb.A, qp: qa}
-	eb := &ibEndpoint{v: t.vb, node: t.tb.B, qp: qb}
+	if t.cl != nil {
+		t.cl.BindIB(na, qa.QP.QPN, nb)
+		t.cl.BindIB(nb, qb.QP.QPN, na)
+	}
+	ea := &ibEndpoint{v: va, node: na, qp: qa}
+	eb := &ibEndpoint{v: vb, node: nb, qp: qb}
 	if hint.Atomics {
-		ea.scratch = t.tb.A.AllocDev(8)
-		ea.scratchMR = t.va.RegMR(ea.scratch, 8)
-		eb.scratch = t.tb.B.AllocDev(8)
-		eb.scratchMR = t.vb.RegMR(eb.scratch, 8)
+		ea.scratch = na.AllocDev(8)
+		ea.scratchMR = va.RegMR(ea.scratch, 8)
+		eb.scratch = nb.AllocDev(8)
+		eb.scratchMR = vb.RegMR(eb.scratch, 8)
 	}
 	return ea, eb
 }

@@ -1,6 +1,17 @@
 // Package wire models the cable between two NICs: a full-duplex link with
 // serialization bandwidth and propagation/switch latency per direction,
 // plus hooks for deterministic fault injection and a bounded egress queue.
+//
+// Drop accounting distinguishes two loss points with different physics:
+//
+//   - Tail drops (SetDepthCap) happen at the egress queue, before the
+//     packet ever touches the wire: no serialization time is reserved and
+//     Utilization() is unaffected.
+//   - Injector drops (SetFaults) model physical in-flight loss — a CRC
+//     hit, a marginal lane, a pulled cable. The packet fully serialized
+//     onto the wire before it was lost, so its serialization time is
+//     spent and counted in Utilization()/busy_us by design; only the
+//     delivery is suppressed.
 package wire
 
 import "putget/internal/sim"
@@ -11,8 +22,25 @@ import "putget/internal/sim"
 type Faults interface {
 	// Judge is called once per packet with the serialization-complete time
 	// and on-wire size; it may drop the packet, poison its payload, or add
-	// extra delivery delay.
+	// extra delivery delay. A drop verdict models loss in flight: the
+	// packet has already occupied the link for its serialization window
+	// (unlike a tail drop, which never reaches the wire).
 	Judge(at sim.Time, wireBytes int) (drop, corrupt bool, extraDelay sim.Duration)
+}
+
+// Conduit is the transmit/receive contract NICs program against. It is
+// satisfied by *Link (a direct point-to-point cable) and by topology
+// ports that route packets across multi-hop switched fabrics. For
+// multi-hop implementations the returned deliver time is the time the
+// packet enters the fabric (a lower bound on arrival), exact only for a
+// single-hop link; ok=false means the packet was dropped (depth cap,
+// fault injector, or no route) and the time is not a delivery time.
+type Conduit[T any] interface {
+	Send(pkt T, wireBytes int) (deliver sim.Time, ok bool)
+	SendAfter(pkt T, wireBytes int, ready sim.Time) (deliver sim.Time, ok bool)
+	Recv(p *sim.Proc) T
+	Pending() int
+	Name() string
 }
 
 // Link is one direction of a cable. Packets serialize FIFO at the link
@@ -100,8 +128,15 @@ func (l *Link[T]) tailDrop(wireBytes int) bool {
 }
 
 // post applies the fault verdicts, then schedules delivery. ok reports
-// whether the packet was actually scheduled (false: injector drop).
+// whether the packet was actually scheduled (false: injector drop). The
+// incoming sent is the serialization-complete time; an injector drop at
+// this point is loss in flight, after the link time was already spent —
+// see the package comment for the tail-drop contrast.
 func (l *Link[T]) post(pkt T, wireBytes int, sent sim.Time) (deliver sim.Time, ok bool) {
+	// Serialization finished at sent; fault extraDelay below postpones
+	// only the flight, so the xmit span's serialization window must be
+	// back-computed from this pre-delay instant.
+	serDone := sent
 	if l.faults != nil {
 		drop, corrupt, extra := l.faults.Judge(sent, wireBytes)
 		if drop {
@@ -130,7 +165,7 @@ func (l *Link[T]) post(pkt T, wireBytes int, sent sim.Time) (deliver sim.Time, o
 		// its flight: start when its bytes begin occupying the link (which
 		// may be in the future under cut-through or behind queued packets),
 		// end at delivery.
-		start := sent.Add(-sim.BytesAt(wireBytes, l.srv.Rate()))
+		start := serDone.Add(-sim.BytesAt(wireBytes, l.srv.Rate()))
 		if now := l.e.Now(); start < now {
 			start = now
 		}
@@ -159,7 +194,9 @@ func (l *Link[T]) post(pkt T, wireBytes int, sent sim.Time) (deliver sim.Time, o
 // called). ok reports whether the packet was scheduled for delivery;
 // dropped packets (depth cap, fault injector) return ok=false, and the
 // returned time is then not a delivery time. Tail-dropped packets consume
-// no link serialization time.
+// no link serialization time; injector-dropped packets do (physical loss
+// in flight happens after the bytes crossed the transmitter — see the
+// package comment).
 func (l *Link[T]) Send(pkt T, wireBytes int) (deliver sim.Time, ok bool) {
 	if l.tailDrop(wireBytes) {
 		return l.e.Now(), false

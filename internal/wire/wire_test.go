@@ -220,6 +220,91 @@ func TestSendReportsDropDistinctly(t *testing.T) {
 	}
 }
 
+// Injector drops model physical in-flight loss: the packet serialized
+// onto the wire before it was lost, so its serialization time is spent —
+// Utilization counts it and later packets queue behind it. (Contrast
+// TestTailDropDoesNotInflateUtilization: tail drops never touch the wire.)
+func TestInjectorDropConsumesSerialization(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink[int](e, 1e9, 100*sim.Nanosecond)
+	l.SetFaults(verdictFaults{drop: true}, nil)
+	var at sim.Time
+	e.Spawn("rx", func(p *sim.Proc) {
+		l.Recv(p)
+		at = p.Now()
+	})
+	e.At(0, func() {
+		l.Send(1, 1000) // serializes 0..1us, then lost in flight
+		l.SetFaults(nil, nil)
+		l.Send(2, 1000) // queues behind the lost packet: 1us..2us
+	})
+	e.Run()
+	if got, want := l.Utilization(), 2*sim.Microsecond; got != want {
+		t.Fatalf("Utilization = %v, want %v (injector drop must consume link time)", got, want)
+	}
+	if want := sim.Time(2*sim.Microsecond + 100*sim.Nanosecond); at != want {
+		t.Fatalf("survivor delivered at %v, want %v", at, want)
+	}
+	if l.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", l.Dropped())
+	}
+}
+
+// spanCap records the observability stream for span-placement assertions.
+type spanCap struct {
+	opens  map[sim.SpanID]sim.Time
+	kinds  map[sim.SpanID]string
+	closes map[sim.SpanID]sim.Time
+}
+
+func newSpanCap() *spanCap {
+	return &spanCap{
+		opens:  map[sim.SpanID]sim.Time{},
+		kinds:  map[sim.SpanID]string{},
+		closes: map[sim.SpanID]sim.Time{},
+	}
+}
+
+func (s *spanCap) SpanOpen(id sim.SpanID, at sim.Time, comp, kind string, attrs []sim.Attr) {
+	s.opens[id] = at
+	s.kinds[id] = kind
+}
+func (s *spanCap) SpanClose(id sim.SpanID, at sim.Time)                     { s.closes[id] = at }
+func (s *spanCap) MetricSample(at sim.Time, comp, name string, val float64) {}
+func (s *spanCap) Shutdown(at sim.Time)                                     {}
+
+// The xmit span's serialization window must be anchored at the
+// pre-fault-delay serialization-complete time: extraDelay postpones only
+// the flight, not when the bytes occupied the transmitter. A 500ns fault
+// delay on a 1us serialization must keep the span start at 0, not shift
+// the whole window right by 500ns.
+func TestXmitSpanWindowUnderExtraDelay(t *testing.T) {
+	e := sim.NewEngine()
+	cap := newSpanCap()
+	e.SetObserver(cap)
+	l := NewLink[int](e, 1e9, 100*sim.Nanosecond)
+	l.SetFaults(verdictFaults{delay: 500 * sim.Nanosecond}, nil)
+	e.Spawn("rx", func(p *sim.Proc) { l.Recv(p) })
+	e.At(0, func() { l.Send(1, 1000) }) // serializes 0..1us, +500ns fault delay, +100ns flight
+	e.Run()
+	var found bool
+	for id, kind := range cap.kinds {
+		if kind != "xmit" {
+			continue
+		}
+		found = true
+		if got := cap.opens[id]; got != 0 {
+			t.Fatalf("xmit span start = %v, want 0 (serialization began at 0)", got)
+		}
+		if got, want := cap.closes[id], sim.Time(1600*sim.Nanosecond); got != want {
+			t.Fatalf("xmit span close = %v, want %v (delayed delivery)", got, want)
+		}
+	}
+	if !found {
+		t.Fatal("no xmit span recorded")
+	}
+}
+
 func TestFaultDepthCapTailDrop(t *testing.T) {
 	e := sim.NewEngine()
 	l := NewLink[int](e, 1e9, sim.Millisecond) // long flight: all in-flight at once
