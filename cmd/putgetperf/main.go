@@ -11,10 +11,15 @@
 // microbenchmarks isolating the hot primitives (event schedule+run,
 // timer arm/cancel churn, process handoff), the kvserve serving cell on
 // both fabrics (the heaviest multi-replica scenario, all simulation
-// layers engaged) and the EXTOLL message-rate sweep cell from the paper
-// evaluation. Virtual-event throughput (events/sec) is the headline:
-// simulated events executed per wall-clock second, the number
-// optimization work on internal/sim moves.
+// layers engaged), the EXTOLL message-rate sweep cell from the paper
+// evaluation, and the construction microbenchmarks (cluster build
+// eager-vs-lazy at 256/1024 nodes, team connect) that defend the
+// lazy-build refactor. Virtual-event throughput (events/sec) is the
+// headline for simulation workloads: simulated events executed per
+// wall-clock second, the number optimization work on internal/sim
+// moves. Construction entries are guarded by allocs/op instead — the
+// machine-independent signature of how much of the cluster a build
+// touches.
 package main
 
 import (
@@ -27,7 +32,9 @@ import (
 	"putget/internal/bench"
 	"putget/internal/cluster"
 	"putget/internal/kv"
+	"putget/internal/shmem"
 	"putget/internal/sim"
+	"putget/internal/topo"
 	"putget/internal/transport"
 )
 
@@ -135,12 +142,14 @@ func benchHandoff(b *testing.B) uint64 {
 	return 1
 }
 
-// checkBaseline compares fresh events/sec numbers against a committed
-// baseline file and reports every entry whose throughput dropped by more
-// than maxDrop (a fraction, e.g. 0.15). Entries without events/sec in
-// either document are skipped: wall-clock ns/op is too machine-sensitive
-// to gate on, but a large virtual-event-throughput drop on the same
-// machine class is a real engine regression.
+// checkBaseline compares fresh numbers against a committed baseline file
+// and reports every regression beyond maxDrop (a fraction, e.g. 0.15):
+// an events/sec drop, or an allocs/op increase. Wall-clock ns/op is too
+// machine-sensitive to gate on, but virtual-event throughput on the same
+// machine class tracks real engine regressions, and allocs/op is
+// deterministic — reverting lazy construction multiplies the build
+// entries' allocations a hundredfold, which this guard turns into a CI
+// failure. Entries missing from either side are skipped.
 func checkBaseline(fresh []entry, baselinePath string, maxDrop float64) []string {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -157,12 +166,20 @@ func checkBaseline(fresh []entry, baselinePath string, maxDrop float64) []string
 	var bad []string
 	for _, e := range fresh {
 		b, ok := byName[e.Name]
-		if !ok || b.EventsPerSec <= 0 || e.EventsPerSec <= 0 {
+		if !ok {
 			continue
 		}
-		if drop := 1 - e.EventsPerSec/b.EventsPerSec; drop > maxDrop {
-			bad = append(bad, fmt.Sprintf("%s: %.0f -> %.0f events/s (-%.1f%%, limit %.0f%%)",
-				e.Name, b.EventsPerSec, e.EventsPerSec, drop*100, maxDrop*100))
+		if b.EventsPerSec > 0 && e.EventsPerSec > 0 {
+			if drop := 1 - e.EventsPerSec/b.EventsPerSec; drop > maxDrop {
+				bad = append(bad, fmt.Sprintf("%s: %.0f -> %.0f events/s (-%.1f%%, limit %.0f%%)",
+					e.Name, b.EventsPerSec, e.EventsPerSec, drop*100, maxDrop*100))
+			}
+		}
+		if b.AllocsPerOp > 0 && e.AllocsPerOp > b.AllocsPerOp {
+			if grow := float64(e.AllocsPerOp)/float64(b.AllocsPerOp) - 1; grow > maxDrop {
+				bad = append(bad, fmt.Sprintf("%s: %d -> %d allocs/op (+%.1f%%, limit %.0f%%)",
+					e.Name, b.AllocsPerOp, e.AllocsPerOp, grow*100, maxDrop*100))
+			}
 		}
 	}
 	return bad
@@ -182,6 +199,38 @@ func main() {
 	p.FaultSeed = *seed
 	cfg := kv.DefaultConfig(*seed)
 
+	// Cluster-scale params: shrink per-node footprints so a 1024-node
+	// build fits, as the scaling experiment does.
+	cp := cluster.Default()
+	cp.GPUDevMemSize = 64 << 20
+	cp.HostRAMSize = 96 << 20
+	cp.ExtPorts = 72
+	cp.ExtNotifEntries = 128
+	// buildCluster constructs an n-node cluster; eager additionally
+	// touches every node, paying the full per-node materialization the
+	// pre-lazy constructor always paid.
+	buildCluster := func(n int, eager bool) uint64 {
+		c := cluster.NewClusterOn(cluster.FabricExtoll, topo.Spec{Kind: topo.FatTree}, n, cp)
+		if eager {
+			for i := 0; i < n; i++ {
+				c.Node(i)
+			}
+		}
+		c.Shutdown()
+		return 0
+	}
+	// teamConnect builds a 64-rank world, carves a 16-rank strided team
+	// and plans a ring allreduce on it: the full lazy path from empty
+	// world to a wired sub-team connection graph.
+	teamConnect := func() uint64 {
+		w := shmem.NewWorldN(transport.KindExtoll, topo.Spec{Kind: topo.FatTree}, 64, cp, 1<<20)
+		team := w.Root().Strided(0, 4, 16)
+		vec := w.Malloc(8 * 16)
+		team.NewAllReduce(shmem.Ring, vec, 16)
+		w.Shutdown()
+		return 0
+	}
+
 	entries := []entry{
 		runB("engine/schedule", benchSchedule),
 		runB("engine/timer", benchTimer),
@@ -195,6 +244,11 @@ func main() {
 		run("msgrate/extoll", func() uint64 {
 			return bench.ExtollMessageRate(cluster.Default(), bench.RateHostControlled, 32, 80).Events
 		}),
+		run("cluster/build/256/lazy", func() uint64 { return buildCluster(256, false) }),
+		run("cluster/build/256/eager", func() uint64 { return buildCluster(256, true) }),
+		run("cluster/build/1024/lazy", func() uint64 { return buildCluster(1024, false) }),
+		run("cluster/build/1024/eager", func() uint64 { return buildCluster(1024, true) }),
+		run("team/connect/16of64", teamConnect),
 	}
 
 	doc, err := json.MarshalIndent(entries, "", "  ")
@@ -208,7 +262,7 @@ func main() {
 		os.Exit(1)
 	}
 	for _, e := range entries {
-		fmt.Printf("%-16s %10d ns/op %9d allocs/op", e.Name, e.WallNsPerOp, e.AllocsPerOp)
+		fmt.Printf("%-24s %11d ns/op %9d allocs/op", e.Name, e.WallNsPerOp, e.AllocsPerOp)
 		if e.EventsPerSec > 0 {
 			fmt.Printf(" %12.0f events/s", e.EventsPerSec)
 		}

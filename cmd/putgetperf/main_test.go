@@ -46,6 +46,23 @@ func TestCheckBaselinePassesWithinTolerance(t *testing.T) {
 	}
 }
 
+func TestCheckBaselineFlagsAllocGrowth(t *testing.T) {
+	base := writeBaseline(t, `[
+	  {"name":"cluster/build/1024/lazy","allocs_per_op":4000},
+	  {"name":"cluster/build/256/lazy","allocs_per_op":1000},
+	  {"name":"kvserve/extoll","events_per_sec":1000000,"allocs_per_op":50000}
+	]`)
+	fresh := []entry{
+		{Name: "cluster/build/1024/lazy", AllocsPerOp: 400000}, // 100x: the eager-revert signature
+		{Name: "cluster/build/256/lazy", AllocsPerOp: 1100},    // +10%: fine
+		{Name: "kvserve/extoll", EventsPerSec: 990000, AllocsPerOp: 48000},
+	}
+	bad := checkBaseline(fresh, base, 0.15)
+	if len(bad) != 1 || !strings.Contains(bad[0], "cluster/build/1024/lazy") || !strings.Contains(bad[0], "allocs/op") {
+		t.Fatalf("want exactly the 1024-node alloc regression, got %v", bad)
+	}
+}
+
 func TestCheckBaselineReportsUnreadable(t *testing.T) {
 	bad := checkBaseline(nil, filepath.Join(t.TempDir(), "missing.json"), 0.15)
 	if len(bad) != 1 || !strings.Contains(bad[0], "baseline unreadable") {

@@ -33,12 +33,12 @@ func main() {
 	staging := w.Malloc(bytes) // peer data lands here
 
 	// Fill each PE's vector: PE r holds value (i + r) at index i.
-	for r, pe := range w.PEs {
+	for r := 0; r < w.N(); r++ {
 		buf := make([]byte, bytes)
 		for i := 0; i < *elems; i++ {
 			binary.LittleEndian.PutUint64(buf[i*8:], uint64(i+r))
 		}
-		if err := pe.HostWrite(vec, buf); err != nil {
+		if err := w.PE(r).HostWrite(vec, buf); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -70,9 +70,9 @@ func main() {
 	})
 
 	// Verify on both PEs: result[i] = (i+0) + (i+1) = 2i + 1.
-	for r, pe := range w.PEs {
+	for r := 0; r < w.N(); r++ {
 		buf := make([]byte, bytes)
-		if err := pe.HostRead(vec, buf); err != nil {
+		if err := w.PE(r).HostRead(vec, buf); err != nil {
 			log.Fatal(err)
 		}
 		for i := 0; i < *elems; i++ {

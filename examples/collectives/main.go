@@ -54,11 +54,11 @@ func main() {
 
 	// Seed rank r's element i with r+i+1 (host-side, zero sim time).
 	buf := make([]byte, 8**words)
-	for r, pe := range w.PEs {
+	for r := 0; r < w.N(); r++ {
 		for i := 0; i < *words; i++ {
 			binary.LittleEndian.PutUint64(buf[8*i:], uint64(r+i+1))
 		}
-		if err := pe.HostWrite(vec, buf); err != nil {
+		if err := w.PE(r).HostWrite(vec, buf); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -71,9 +71,9 @@ func main() {
 	elapsed := w.CL.E.Now().Sub(t0)
 
 	// Every rank must now hold element i = n*(i+1) + n*(n-1)/2.
-	n := len(w.PEs)
-	for r, pe := range w.PEs {
-		if err := pe.HostRead(vec, buf); err != nil {
+	n := w.N()
+	for r := 0; r < n; r++ {
+		if err := w.PE(r).HostRead(vec, buf); err != nil {
 			log.Fatal(err)
 		}
 		for i := 0; i < *words; i++ {

@@ -38,7 +38,8 @@ func main() {
 	// x[i] = i%7+1, y[i] = i%5+1 on both halves; expected dot product is
 	// computable exactly.
 	var expect uint64
-	for r, pe := range w.PEs {
+	for r := 0; r < w.N(); r++ {
+		pe := w.PE(r)
 		bx := make([]byte, bytes)
 		by := make([]byte, bytes)
 		for i := 0; i < *elems; i++ {
@@ -63,8 +64,8 @@ func main() {
 	const blocks, threads = 13, 256
 	results := make([]uint64, 2)
 
-	for _, pe := range w.PEs {
-		pe := pe
+	for r := 0; r < w.N(); r++ {
+		pe := w.PE(r)
 		node := pe.Node
 		perBlock := (*elems + blocks - 1) / blocks
 		node.GPU.Launch(gpusim.KernelConfig{
@@ -113,7 +114,8 @@ func main() {
 	})
 
 	// Combine and verify on both PEs.
-	for r, pe := range w.PEs {
+	for r := 0; r < w.N(); r++ {
+		pe := w.PE(r)
 		var buf [8]byte
 		if err := pe.HostRead(partial, buf[:]); err != nil {
 			log.Fatal(err)

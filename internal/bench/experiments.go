@@ -397,8 +397,10 @@ func ExtraExperiments() []Runner {
 			func(p cluster.Params) string { return CrossAPI(p) }, nil},
 		{"kvserve", "replicated put/get KV serving: quorums, failover, fault-sweep SLOs",
 			func(p cluster.Params) string { return KVServe(p) }, nil},
-		{"scaling", "N-rank collectives over switched fat-tree/torus fabrics + torus fault sweep",
+		{"scaling", "N-rank collectives over switched fat-tree/torus fabrics + teams + torus fault sweep",
 			func(p cluster.Params) string { return Scaling(p) }, nil},
+		{"scaling512", "bounded scaling smoke: 512-rank allreduce + teams sub-table (CI)",
+			func(p cluster.Params) string { return Scaling512(p) }, nil},
 	}
 }
 

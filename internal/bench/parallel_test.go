@@ -28,31 +28,52 @@ func TestFaultSweepParallelDeterminism(t *testing.T) {
 	}
 }
 
-// TestScalingParallelDeterminism is the tentpole acceptance criterion
-// for the N-rank experiment: `-experiment scaling -parallel 1` and
-// `-parallel 8` must print byte-identical tables. Every cell verifies
-// its collective's result internally, so this also re-proves allreduce
-// correctness at 16-256 ranks on both topologies over both fabrics.
-// Skipped under -short (two full scaling sweeps take a couple of
+// TestScalingParallelDeterminism covers the scaling experiment's
+// determinism through its bounded CI smoke: `-experiment scaling512
+// -parallel 1` and `-parallel 8` must print byte-identical tables (the
+// full `scaling` sweep shares every code path but runs 1024-rank cells
+// that take tens of minutes — CI pins the same equality on scaling512).
+// Every cell verifies its collective against the membership oracle
+// internally, so this also re-proves allreduce correctness at 512 ranks
+// on both fabrics and the teams paths (split, strided, dead-node
+// shrink). Skipped under -short (two 512-rank sweeps take a couple of
 // minutes of wall time).
 func TestScalingParallelDeterminism(t *testing.T) {
 	if testing.Short() {
-		t.Skip("two full scaling sweeps take minutes; run without -short")
+		t.Skip("two 512-rank sweeps take minutes; run without -short")
 	}
 	seq := cluster.Default()
 	seq.Parallel = 1
 	par := cluster.Default()
 	par.Parallel = 8
 
-	a := Scaling(seq)
-	b := Scaling(par)
+	a := Scaling512(seq)
+	b := Scaling512(par)
 	if a != b {
-		t.Fatalf("scaling diverged between -parallel 1 and -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", a, b)
+		t.Fatalf("scaling512 diverged between -parallel 1 and -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", a, b)
 	}
-	for _, want := range []string{"scaling/EXTOLL", "scaling/InfiniBand", "scaling/alltoall", "dead node"} {
+	for _, want := range []string{"scaling512", "scaling/teams", "dead node 21, shrink + complete", "built nodes"} {
 		if !strings.Contains(a, want) {
-			t.Fatalf("scaling output missing %q section:\n%s", want, a)
+			t.Fatalf("scaling512 output missing %q section:\n%s", want, a)
 		}
+	}
+}
+
+// TestTeamsTableParallelDeterminism pins the teams sub-table alone —
+// the cheap always-on variant of the scaling equality check.
+func TestTeamsTableParallelDeterminism(t *testing.T) {
+	seq := cluster.Default()
+	seq.Parallel = 1
+	par := cluster.Default()
+	par.Parallel = 8
+
+	a := teamsTable(seq)
+	b := teamsTable(par)
+	if a != b {
+		t.Fatalf("teams table diverged between -parallel 1 and -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "63 of 64 (torus)") {
+		t.Fatalf("teams table missing the shrink row:\n%s", a)
 	}
 }
 

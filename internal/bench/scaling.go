@@ -15,31 +15,41 @@ import (
 )
 
 // This file is the N-rank scaling experiment: collectives over switched
-// fat-tree and 3D-torus fabrics at 16-256 simulated ranks, on both NIC
-// families, plus a torus fault sweep (dead cable vs dead node). Every
-// cell builds an isolated cluster on its own engine and verifies its
-// collective's result before reporting a time, so a wrong answer can
-// never hide behind a fast one; cells shard over the harness worker pool
-// and merge in fixed grid order, keeping the output byte-identical for
-// any -parallel value.
+// fat-tree and 3D-torus fabrics at 16-1024 simulated ranks, on both NIC
+// families, plus a teams sub-table (split halves, strided subsets, a
+// dead-node shrink-and-complete) and a torus fault sweep (dead cable vs
+// dead node). Every cell builds an isolated cluster on its own engine
+// and verifies its collective's result before reporting a time, so a
+// wrong answer can never hide behind a fast one; cells shard over the
+// harness worker pool and merge in fixed grid order, keeping the output
+// byte-identical for any -parallel value.
 
-// Scaling axes. Allreduce runs the full 16-256 range; alltoall stops at
-// 64 ranks because its connection graph is the full mesh — the output
-// carries an explicit note rather than silently truncating the sweep.
+// Scaling axes. Allreduce runs the full 16-1024 range — lazy cluster
+// construction and per-team connection graphs keep the 512/1024 builds
+// cheap; the simulated collectives themselves dominate. Alltoall still
+// stops at 64 ranks because its connection graph is the full mesh — the
+// output carries an explicit note rather than silently truncating the
+// sweep.
 var (
-	scalingRanks  = []int{16, 64, 256}
+	scalingRanks  = []int{16, 64, 256, 512, 1024}
 	allToAllRanks = []int{16, 64}
 	scalingTopos  = []topo.Kind{topo.FatTree, topo.Torus3D}
 	scalingAlgs   = []shmem.AllReduceAlg{shmem.Ring, shmem.RecursiveDoubling}
 )
 
-// scalingWords is the allreduce vector length. It is divisible by every
-// rank count in the sweep, so the ring algorithm's equal-chunk
-// requirement holds throughout.
-const scalingWords = 256
+// scalingWords is the allreduce vector length for an n-rank cell:
+// max(256, n) words, so the ring algorithm's equal-chunk requirement
+// (count divisible by n) holds at every size while the 16-256 rows keep
+// the historical 256-word vector and stay comparable across sweeps.
+func scalingWords(n int) int {
+	if n < 256 {
+		return 256
+	}
+	return n
+}
 
-// scalingParams shrinks per-node footprints (a 256-node world carries
-// 256 GPUs) and provisions EXTOLL ports for the widest connection graph
+// scalingParams shrinks per-node footprints (a 1024-node world carries
+// 1024 GPUs) and provisions EXTOLL ports for the widest connection graph
 // in the sweep: the 64-rank alltoall full mesh needs one port per peer.
 func scalingParams(p cluster.Params) cluster.Params {
 	p.GPUDevMemSize = 64 << 20
@@ -57,11 +67,11 @@ func scalingWorld(p cluster.Params, k transport.Kind, spec topo.Spec, n int) *sh
 // seedVector writes rank r's element i = r+i+1 at offset vec on all PEs.
 func seedVector(w *shmem.World, vec uint64, words int) {
 	buf := make([]byte, 8*words)
-	for r, pe := range w.PEs {
+	for r := 0; r < w.N(); r++ {
 		for i := 0; i < words; i++ {
 			binary.LittleEndian.PutUint64(buf[8*i:], uint64(r+i+1))
 		}
-		if err := pe.HostWrite(vec, buf); err != nil {
+		if err := w.PE(r).HostWrite(vec, buf); err != nil {
 			panic(err)
 		}
 	}
@@ -70,10 +80,10 @@ func seedVector(w *shmem.World, vec uint64, words int) {
 // checkReduced verifies every rank holds the global sums of the seed
 // pattern: element i = n*(i+1) + n*(n-1)/2.
 func checkReduced(w *shmem.World, vec uint64, words int, label string) {
-	n := len(w.PEs)
+	n := w.N()
 	buf := make([]byte, 8*words)
-	for r, pe := range w.PEs {
-		if err := pe.HostRead(vec, buf); err != nil {
+	for r := 0; r < n; r++ {
+		if err := w.PE(r).HostRead(vec, buf); err != nil {
 			panic(err)
 		}
 		for i := 0; i < words; i++ {
@@ -90,36 +100,37 @@ func checkReduced(w *shmem.World, vec uint64, words int, label string) {
 func runAllReduce(p cluster.Params, k transport.Kind, spec topo.Spec, n int, alg shmem.AllReduceAlg) sim.Duration {
 	w := scalingWorld(p, k, spec, n)
 	defer w.Shutdown()
-	vec := w.Malloc(8 * scalingWords)
-	plan := w.NewAllReduce(alg, vec, scalingWords)
-	seedVector(w, vec, scalingWords)
+	words := scalingWords(n)
+	vec := w.Malloc(uint64(8 * words))
+	plan := w.NewAllReduce(alg, vec, words)
+	seedVector(w, vec, words)
 	t0 := w.CL.E.Now()
 	w.Run(func(pe *shmem.PE, warp *gpusim.Warp) {
 		plan.Run(pe, warp)
 	})
 	elapsed := w.CL.E.Now().Sub(t0)
-	checkReduced(w, vec, scalingWords, fmt.Sprintf("scaling allreduce %s/%s/%s/n=%d", k, alg, spec.Kind, n))
+	checkReduced(w, vec, words, fmt.Sprintf("scaling allreduce %s/%s/%s/n=%d", k, alg, spec.Kind, n))
 	return elapsed
 }
 
 // runAllToAll builds a world, runs one verified alltoall (one
-// scalingWords/n-word chunk per destination), and returns the simulated
-// wall time.
+// 256/n-word chunk per destination), and returns the simulated wall
+// time.
 func runAllToAll(p cluster.Params, k transport.Kind, spec topo.Kind, n int) sim.Duration {
 	w := scalingWorld(p, k, topo.Spec{Kind: spec}, n)
 	defer w.Shutdown()
-	chunkW := scalingWords / n
+	chunkW := scalingWords(n) / n
 	src := w.Malloc(uint64(8 * chunkW * n))
 	dst := w.Malloc(uint64(8 * chunkW * n))
 	plan := w.NewAllToAll(src, dst, 8*chunkW)
 	buf := make([]byte, 8*chunkW*n)
-	for r, pe := range w.PEs {
+	for r := 0; r < n; r++ {
 		for d := 0; d < n; d++ {
 			for i := 0; i < chunkW; i++ {
 				binary.LittleEndian.PutUint64(buf[8*(d*chunkW+i):], uint64(r)<<16|uint64(d)<<8|uint64(i))
 			}
 		}
-		if err := pe.HostWrite(src, buf); err != nil {
+		if err := w.PE(r).HostWrite(src, buf); err != nil {
 			panic(err)
 		}
 	}
@@ -128,8 +139,8 @@ func runAllToAll(p cluster.Params, k transport.Kind, spec topo.Kind, n int) sim.
 		plan.Run(pe, warp)
 	})
 	elapsed := w.CL.E.Now().Sub(t0)
-	for d, pe := range w.PEs {
-		if err := pe.HostRead(dst, buf); err != nil {
+	for d := 0; d < n; d++ {
+		if err := w.PE(d).HostRead(dst, buf); err != nil {
 			panic(err)
 		}
 		for r := 0; r < n; r++ {
@@ -145,8 +156,8 @@ func runAllToAll(p cluster.Params, k transport.Kind, spec topo.Kind, n int) sim.
 }
 
 // allReduceFigure sweeps one fabric's allreduce cells: four series
-// (algorithm x topology) over the rank axis.
-func allReduceFigure(p cluster.Params, k transport.Kind) Figure {
+// (algorithm x topology) over the given rank axis.
+func allReduceFigure(p cluster.Params, k transport.Kind, ranks []int) Figure {
 	type arSeries struct {
 		alg  shmem.AllReduceAlg
 		kind topo.Kind
@@ -161,11 +172,11 @@ func allReduceFigure(p cluster.Params, k transport.Kind) Figure {
 	}
 	return Figure{
 		ID:     "scaling/" + k.String(),
-		Title:  fmt.Sprintf("%s allreduce, %d x 8B elements", k, scalingWords),
+		Title:  fmt.Sprintf("%s allreduce, max(256, ranks) x 8B elements", k),
 		XLabel: "ranks", YLabel: "completion time [us]",
-		Series: gridSeries(p, names, scalingRanks, func(si, xi int) float64 {
+		Series: gridSeries(p, names, ranks, func(si, xi int) float64 {
 			c := cells[si]
-			return runAllReduce(p, k, topo.Spec{Kind: c.kind}, scalingRanks[xi], c.alg).Microseconds()
+			return runAllReduce(p, k, topo.Spec{Kind: c.kind}, ranks[xi], c.alg).Microseconds()
 		}),
 	}
 }
@@ -187,13 +198,170 @@ func allToAllFigure(p cluster.Params) Figure {
 	}
 	return Figure{
 		ID:     "scaling/alltoall",
-		Title:  fmt.Sprintf("alltoall, %d x 8B elements split across ranks", scalingWords),
+		Title:  "alltoall, 256 x 8B elements split across ranks",
 		XLabel: "ranks", YLabel: "completion time [us]",
 		Series: gridSeries(p, names, allToAllRanks, func(si, xi int) float64 {
 			c := cells[si]
 			return runAllToAll(p, c.k, c.kind, allToAllRanks[xi]).Microseconds()
 		}),
 	}
+}
+
+// ---- teams sub-table ----
+
+// teamWords is the vector length of every teams-table collective; small
+// enough that the table stays cheap, divisible by every team size used
+// by a ring plan here.
+const teamWords = 256
+
+// seedTeamVector writes the world-rank seed pattern (element i = wr+i+1)
+// on every member of the team.
+func seedTeamVector(t *shmem.Team, vec uint64, words int) {
+	buf := make([]byte, 8*words)
+	for tr := 0; tr < t.Size(); tr++ {
+		wr := t.WorldRank(tr)
+		for i := 0; i < words; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(wr+i+1))
+		}
+		if err := t.PE(tr).HostWrite(vec, buf); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// checkTeamReduced verifies every member holds the sums over exactly the
+// team's members: element i = size*(i+1) + sum(world ranks).
+func checkTeamReduced(t *shmem.Team, vec uint64, words int, label string) {
+	rankSum := 0
+	for tr := 0; tr < t.Size(); tr++ {
+		rankSum += t.WorldRank(tr)
+	}
+	buf := make([]byte, 8*words)
+	for tr := 0; tr < t.Size(); tr++ {
+		if err := t.PE(tr).HostRead(vec, buf); err != nil {
+			panic(err)
+		}
+		for i := 0; i < words; i++ {
+			want := uint64(t.Size()*(i+1) + rankSum)
+			if got := binary.LittleEndian.Uint64(buf[8*i:]); got != want {
+				panic(fmt.Sprintf("bench: %s: team rank %d element %d = %d, want %d", label, tr, i, got, want))
+			}
+		}
+	}
+}
+
+// teamRow is one measured teams-table cell.
+type teamRow struct {
+	label   string
+	ranks   string // e.g. "2 x 32 of 64"
+	built   int    // nodes materialized (lazy-build cost actually paid)
+	conns   int    // rank pairs wired
+	elapsed sim.Duration
+}
+
+// teamCells enumerates the teams-table scenarios. Each runs in its own
+// 64-rank world and verifies its collective against the membership
+// oracle before reporting a time.
+func teamCells(p cluster.Params) []func() teamRow {
+	return []func() teamRow{
+		// Two split halves run their allreduces concurrently in one
+		// launch: rank r dispatches to its own team's plan, exercising
+		// overlapping team state (distinct barriers, flags, staging) in
+		// a single simulation.
+		func() teamRow {
+			w := scalingWorld(p, transport.KindExtoll, topo.Spec{Kind: topo.FatTree}, 64)
+			defer w.Shutdown()
+			root := w.Root()
+			colors := make([]int, 64)
+			keys := make([]int, 64)
+			for r := range colors {
+				colors[r] = r / 32
+				keys[r] = r
+			}
+			halves := root.Split(colors, keys)
+			vec := w.Malloc(8 * teamWords)
+			plans := make(map[int]*shmem.AllReduce, 2) // world rank -> its half's plan; lookup only
+			for _, h := range halves {
+				plan := h.NewAllReduce(shmem.RecursiveDoubling, vec, teamWords)
+				for tr := 0; tr < h.Size(); tr++ {
+					plans[h.WorldRank(tr)] = plan
+				}
+				seedTeamVector(h, vec, teamWords)
+			}
+			t0 := w.CL.E.Now()
+			w.Run(func(pe *shmem.PE, warp *gpusim.Warp) {
+				plans[pe.Rank].Run(pe, warp)
+			})
+			elapsed := w.CL.E.Now().Sub(t0)
+			for _, h := range halves {
+				checkTeamReduced(h, vec, teamWords, "teams split-half allreduce "+h.Label())
+			}
+			return teamRow{"split halves, concurrent rdouble", "2 x 32 of 64",
+				w.CL.Built(), w.Connections(), elapsed}
+		},
+		// A strided quarter of the machine: only the 16 member nodes are
+		// ever materialized — the built column is the lazy-build win.
+		func() teamRow {
+			w := scalingWorld(p, transport.KindExtoll, topo.Spec{Kind: topo.FatTree}, 64)
+			defer w.Shutdown()
+			team := w.Root().Strided(0, 4, 16)
+			vec := w.Malloc(8 * teamWords)
+			plan := team.NewAllReduce(shmem.Ring, vec, teamWords)
+			seedTeamVector(team, vec, teamWords)
+			t0 := w.CL.E.Now()
+			team.Run(func(pe *shmem.PE, warp *gpusim.Warp) {
+				plan.Run(pe, warp)
+			})
+			elapsed := w.CL.E.Now().Sub(t0)
+			checkTeamReduced(team, vec, teamWords, "teams strided allreduce")
+			return teamRow{"strided quarter, ring", "16 of 64 (stride 4)",
+				w.CL.Built(), w.Connections(), elapsed}
+		},
+		// Dead node: torus node 21 is down (its router dies with it). The
+		// job shrinks the team around the hole and completes the
+		// collective on the 63 survivors — degraded but correct, where
+		// PR 8 could only report the blast radius. The dead node is never
+		// materialized; recursive doubling's pre/post-fold handles the
+		// non-power-of-two survivor count.
+		func() teamRow {
+			spec := topo.Spec{Kind: topo.Torus3D, Routing: topo.Adaptive, DownNodes: []int{21}}
+			w := scalingWorld(p, transport.KindExtoll, spec, 64)
+			defer w.Shutdown()
+			team := w.Root().Without(21)
+			vec := w.Malloc(8 * teamWords)
+			plan := team.NewAllReduce(shmem.RecursiveDoubling, vec, teamWords)
+			seedTeamVector(team, vec, teamWords)
+			t0 := w.CL.E.Now()
+			team.Run(func(pe *shmem.PE, warp *gpusim.Warp) {
+				plan.Run(pe, warp)
+			})
+			elapsed := w.CL.E.Now().Sub(t0)
+			checkTeamReduced(team, vec, teamWords, "teams dead-node shrink allreduce")
+			return teamRow{"dead node 21, shrink + complete", "63 of 64 (torus)",
+				w.CL.Built(), w.Connections(), elapsed}
+		},
+	}
+}
+
+// teamsTable runs the teams scenarios (sharded over the worker pool,
+// merged in fixed order) and formats the sub-table.
+func teamsTable(p cluster.Params) string {
+	cells := teamCells(p)
+	rows := runner.Map(p.Parallel, cells, func(_ int, f func() teamRow) teamRow {
+		return f()
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "scaling/teams: team collectives on 64-rank EXTOLL worlds (%d x 8B)\n", teamWords)
+	fmt.Fprintf(&b, "%-34s %-20s %12s %12s %14s\n",
+		"scenario", "ranks", "built nodes", "conns", "allreduce[us]")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s %-20s %12d %12d %14.4g\n",
+			r.label, r.ranks, r.built, r.conns, r.elapsed.Microseconds())
+	}
+	b.WriteString("(all results oracle-verified against each team's membership; the dead-node\n")
+	b.WriteString(" row completes a collective around the hole via Team.Without, and 'built\n")
+	b.WriteString(" nodes' counts how much of the machine lazy construction materialized)\n")
+	return b.String()
 }
 
 // faultCell is one row of the torus fault sweep.
@@ -249,22 +417,22 @@ func measureFault(p cluster.Params, c faultCell) faultRow {
 	row.maxHops = maxHops
 
 	if !c.allLive {
-		// A collective that spans a dead rank cannot complete; the job
-		// must be relaunched on the survivors. The reachability columns
-		// quantify the blast radius instead.
+		// A collective that spans a dead rank cannot complete; the teams
+		// table shows the shrink-and-complete path, and the reachability
+		// columns here quantify the blast radius.
 		return row
 	}
 	w := scalingWorld(p, transport.KindExtoll, c.spec, n)
 	defer w.Shutdown()
-	vec := w.Malloc(8 * scalingWords)
-	plan := w.NewAllReduce(shmem.Ring, vec, scalingWords)
-	seedVector(w, vec, scalingWords)
+	vec := w.Malloc(8 * teamWords)
+	plan := w.NewAllReduce(shmem.Ring, vec, teamWords)
+	seedVector(w, vec, teamWords)
 	t0 := w.CL.E.Now()
 	w.Run(func(pe *shmem.PE, warp *gpusim.Warp) {
 		plan.Run(pe, warp)
 	})
 	row.elapsed = w.CL.E.Now().Sub(t0)
-	checkReduced(w, vec, scalingWords, "fault sweep allreduce "+c.label)
+	checkReduced(w, vec, teamWords, "fault sweep allreduce "+c.label)
 	row.maxDepth = w.CL.ExtNet.MaxDepth()
 	return row
 }
@@ -304,7 +472,7 @@ func faultSweepTable(p cluster.Params) string {
 	})
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "scaling/faults: 64-rank 4x4x4 torus over EXTOLL, ring allreduce (%d x 8B)\n", scalingWords)
+	fmt.Fprintf(&b, "scaling/faults: 64-rank 4x4x4 torus over EXTOLL, ring allreduce (%d x 8B)\n", teamWords)
 	fmt.Fprintf(&b, "%-14s %-13s %12s %10s %9s %14s %10s\n",
 		"scenario", "routing", "reach.pairs", "mean hops", "max hops", "allreduce[us]", "max depth")
 	for i, c := range cells {
@@ -318,23 +486,57 @@ func faultSweepTable(p cluster.Params) string {
 			c.label, r.reachable, r.meanHops, r.maxHops, timeCol, depthCol)
 	}
 	b.WriteString("(dead-node rows: a collective spanning the dead rank cannot complete;\n")
-	b.WriteString(" reachability columns quantify the blast radius among the 63 survivors)\n")
+	b.WriteString(" the teams table above shows the same scenario shrinking the team and\n")
+	b.WriteString(" finishing on the 63 survivors)\n")
 	return b.String()
 }
 
-// Scaling is the N-rank scaling experiment: allreduce at 16-256 ranks on
-// both topologies over both fabrics, alltoall at 16-64 ranks, and the
-// torus fault sweep. Output is byte-identical for any -parallel value.
+// Scaling is the N-rank scaling experiment: allreduce at 16-1024 ranks
+// on both topologies over both fabrics, alltoall at 16-64 ranks, the
+// teams sub-table, and the torus fault sweep. Output is byte-identical
+// for any -parallel value.
 func Scaling(p cluster.Params) string {
 	var b strings.Builder
-	b.WriteString(allReduceFigure(p, transport.KindExtoll).Format())
+	b.WriteString(allReduceFigure(p, transport.KindExtoll, scalingRanks).Format())
 	b.WriteString("\n")
-	b.WriteString(allReduceFigure(p, transport.KindIB).Format())
+	b.WriteString(allReduceFigure(p, transport.KindIB, scalingRanks).Format())
 	b.WriteString("\n")
 	b.WriteString(allToAllFigure(p).Format())
 	fmt.Fprintf(&b, "note: alltoall capped at %d ranks — its connection graph is the full\n", allToAllRanks[len(allToAllRanks)-1])
-	b.WriteString("mesh (256 ranks would need 32640 node pairs); larger counts are omitted,\n")
+	b.WriteString("mesh (1024 ranks would need 523776 node pairs); larger counts are omitted,\n")
 	b.WriteString("not sampled.\n\n")
+	b.WriteString(teamsTable(p))
+	b.WriteString("\n")
 	b.WriteString(faultSweepTable(p))
+	return b.String()
+}
+
+// Scaling512 is the bounded CI smoke of the scaling experiment: the
+// 512-rank allreduce column (both algorithms, both fabrics, fat-tree)
+// plus the full teams sub-table — enough to exercise 512-rank lazy
+// construction and the team paths inside a CI time budget, byte-identical
+// for any -parallel value.
+func Scaling512(p cluster.Params) string {
+	var b strings.Builder
+	type cell struct {
+		k   transport.Kind
+		alg shmem.AllReduceAlg
+	}
+	var cells []cell
+	for _, k := range []transport.Kind{transport.KindExtoll, transport.KindIB} {
+		for _, alg := range scalingAlgs {
+			cells = append(cells, cell{k, alg})
+		}
+	}
+	times := runner.Map(p.Parallel, cells, func(_ int, c cell) sim.Duration {
+		return runAllReduce(p, c.k, topo.Spec{Kind: topo.FatTree}, 512, c.alg)
+	})
+	fmt.Fprintf(&b, "scaling512: 512-rank fat-tree allreduce (%d x 8B), verified\n", scalingWords(512))
+	fmt.Fprintf(&b, "%-8s %-8s %14s\n", "fabric", "alg", "allreduce[us]")
+	for i, c := range cells {
+		fmt.Fprintf(&b, "%-8s %-8s %14.4g\n", c.k, c.alg, times[i].Microseconds())
+	}
+	b.WriteString("\n")
+	b.WriteString(teamsTable(p))
 	return b.String()
 }

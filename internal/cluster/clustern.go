@@ -27,15 +27,16 @@ func (f Fabric) String() string {
 }
 
 // Cluster is an N-node testbed joined by a switched topology instead of
-// a single cable: every node keeps the full pair-node anatomy (CPU, GPU,
-// PCIe fabric, one NIC), and the NICs all attach to ports of one
-// topo.Net carrying the fabric's packet type. Destinations are resolved
-// from sender-local routing keys (EXTOLL origin ports, IB source QPNs)
-// bound at connection-setup time via BindExtoll/BindIB — transports do
-// this when they connect two nodes.
+// a single cable. Only the shared fabric (the topo.Net switch graph) is
+// built up front; every node — the full pair-node anatomy of CPU, GPU,
+// PCIe fabric and one NIC — is materialized lazily on its first Node(i)
+// touch, so a 1024-node cluster whose job spans 64 ranks pays the
+// construction cost of 64 nodes. Destinations are resolved from
+// sender-local routing keys (EXTOLL origin ports, IB source QPNs) bound
+// at connection-setup time via BindExtoll/BindIB — transports do this
+// when they connect two nodes.
 type Cluster struct {
 	E      *sim.Engine
-	Nodes  []*Node
 	Params Params
 	Fab    Fabric
 	Spec   topo.Spec
@@ -44,7 +45,12 @@ type Cluster struct {
 	ExtNet *topo.Net[extoll.Packet]
 	IBNet  *topo.Net[ibsim.Packet]
 
+	n     int
+	nodes []*Node // nodes[i] == nil until first Node(i) touch
+	built int
 	index map[*Node]int
+
+	extNotifBase memspace.Addr // EXTOLL notification-ring base, fixed at cluster build
 }
 
 // NewCluster builds an n-node EXTOLL cluster on the given topology.
@@ -54,7 +60,9 @@ func NewCluster(spec topo.Spec, n int, p Params) *Cluster {
 	return NewClusterOn(FabricExtoll, spec, n, p)
 }
 
-// NewClusterOn builds an n-node cluster of the given NIC family.
+// NewClusterOn builds an n-node cluster of the given NIC family. The
+// switch graph is constructed eagerly (it is shared state every node
+// attaches to); per-node state is deferred to Node(i).
 //
 // FaultInject must be off: EXTOLL's link-level go-back-N reliability is
 // a single-peer protocol (link ACK/NAK packets carry no node identity),
@@ -76,66 +84,87 @@ func NewClusterOn(fab Fabric, spec topo.Spec, n int, p Params) *Cluster {
 		panic("cluster: need at least 2 nodes")
 	}
 	e := sim.NewEngine()
-	c := &Cluster{E: e, Params: p, Fab: fab, Spec: spec, index: make(map[*Node]int, n)}
-	for i := 0; i < n; i++ {
-		nd := newNode(e, fmt.Sprintf("n%d", i), p)
-		c.Nodes = append(c.Nodes, nd)
-		c.index[nd] = i
-	}
+	c := &Cluster{E: e, Params: p, Fab: fab, Spec: spec,
+		n: n, nodes: make([]*Node, n), index: make(map[*Node]int, n)}
 	switch fab {
 	case FabricExtoll:
-		notifBase := NotifArea
+		c.extNotifBase = NotifArea
 		if p.ExtNotifInDevMem {
-			notifBase = DevMemBase + memspace.Addr(p.GPUDevMemSize-(32<<20))
+			c.extNotifBase = DevMemBase + memspace.Addr(p.GPUDevMemSize-(32<<20))
 		}
 		c.ExtNet = topo.NewNet[extoll.Packet](e, spec, n,
 			topo.LinkConfig{BytesPerSecond: p.ExtWireBW, Latency: p.ExtWireLat},
 			"rma.net",
 			func(pkt extoll.Packet) int { return pkt.OriginPort })
-		for i, nd := range c.Nodes {
-			nd.Extoll = extoll.New(e, nd.Fabric, extoll.Config{
-				Name:          nd.Name + ".rma",
-				ClockHz:       p.ExtClock,
-				DatapathBytes: p.ExtDatapath,
-				ReqCycles:     p.ExtReqCycles,
-				CompCycles:    p.ExtCompCycles,
-				RespCycles:    p.ExtRespCycles,
-				NumPorts:      p.ExtPorts,
-				BARBase:       ExtollBAR,
-				NotifBase:     notifBase,
-				NotifEntries:  p.ExtNotifEntries,
-				DMAContexts:   p.ExtDMACtx,
-				PCIe: pcie.EndpointConfig{
-					EgressRate: p.ExtEgress, OneWay: p.ExtOneWay, ReadLatency: p.ExtReadLat,
-				},
-			})
-			port := c.ExtNet.Port(i)
-			nd.Extoll.AttachWire(port, port)
-		}
 	case FabricIB:
 		c.IBNet = topo.NewNet[ibsim.Packet](e, spec, n,
 			topo.LinkConfig{BytesPerSecond: p.IBWireBW, Latency: p.IBWireLat},
 			"hca.net",
 			func(pkt ibsim.Packet) int { return int(pkt.SrcQPN) })
-		for i, nd := range c.Nodes {
-			nd.IB = ibsim.New(e, nd.Fabric, ibsim.Config{
-				Name:          nd.Name + ".hca",
-				BARBase:       IBBAR,
-				WQEFetchBatch: p.IBFetchBatch,
-				ProcessTime:   p.IBProc,
-				RxProcessTime: p.IBRxProc,
-				DMAContexts:   p.IBDMACtx,
-				PCIe: pcie.EndpointConfig{
-					EgressRate: p.IBEgress, OneWay: p.IBOneWay, ReadLatency: p.IBReadLat,
-				},
-			})
-			port := c.IBNet.Port(i)
-			nd.IB.AttachWire(port, port)
-		}
 	default:
 		panic(fmt.Sprintf("cluster: unknown Fabric %d", int(fab)))
 	}
 	return c
+}
+
+// N returns the cluster's node count (materialized or not).
+func (c *Cluster) N() int { return c.n }
+
+// Built reports how many nodes have been materialized so far — the
+// number a lazy-build job actually paid for.
+func (c *Cluster) Built() int { return c.built }
+
+// Node returns node i, materializing it (CPU, GPU, PCIe fabric, NIC,
+// fabric attachment) on first touch. Repeated calls return the same
+// node. Panics on out-of-range indices.
+func (c *Cluster) Node(i int) *Node {
+	if i < 0 || i >= c.n {
+		panic(fmt.Sprintf("cluster: node %d out of range (n=%d)", i, c.n))
+	}
+	if nd := c.nodes[i]; nd != nil {
+		return nd
+	}
+	nd := newNode(c.E, fmt.Sprintf("n%d", i), c.Params)
+	p := c.Params
+	switch c.Fab {
+	case FabricExtoll:
+		nd.Extoll = extoll.New(c.E, nd.Fabric, extoll.Config{
+			Name:          nd.Name + ".rma",
+			ClockHz:       p.ExtClock,
+			DatapathBytes: p.ExtDatapath,
+			ReqCycles:     p.ExtReqCycles,
+			CompCycles:    p.ExtCompCycles,
+			RespCycles:    p.ExtRespCycles,
+			NumPorts:      p.ExtPorts,
+			BARBase:       ExtollBAR,
+			NotifBase:     c.extNotifBase,
+			NotifEntries:  p.ExtNotifEntries,
+			DMAContexts:   p.ExtDMACtx,
+			PCIe: pcie.EndpointConfig{
+				EgressRate: p.ExtEgress, OneWay: p.ExtOneWay, ReadLatency: p.ExtReadLat,
+			},
+		})
+		port := c.ExtNet.Port(i)
+		nd.Extoll.AttachWire(port, port)
+	case FabricIB:
+		nd.IB = ibsim.New(c.E, nd.Fabric, ibsim.Config{
+			Name:          nd.Name + ".hca",
+			BARBase:       IBBAR,
+			WQEFetchBatch: p.IBFetchBatch,
+			ProcessTime:   p.IBProc,
+			RxProcessTime: p.IBRxProc,
+			DMAContexts:   p.IBDMACtx,
+			PCIe: pcie.EndpointConfig{
+				EgressRate: p.IBEgress, OneWay: p.IBOneWay, ReadLatency: p.IBReadLat,
+			},
+		})
+		port := c.IBNet.Port(i)
+		nd.IB.AttachWire(port, port)
+	}
+	c.nodes[i] = nd
+	c.index[nd] = i
+	c.built++
+	return nd
 }
 
 // IndexOf returns a node's rank in the cluster; panics on foreign nodes.

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"testing"
+
+	"putget/internal/topo"
+)
+
+func scaledParams() Params {
+	p := Default()
+	p.GPUDevMemSize = 64 << 20
+	p.HostRAMSize = 96 << 20
+	return p
+}
+
+func TestClusterBuildsNodesLazily(t *testing.T) {
+	c := NewClusterOn(FabricExtoll, topo.Spec{Kind: topo.FatTree}, 64, scaledParams())
+	defer c.Shutdown()
+	if got := c.Built(); got != 0 {
+		t.Fatalf("fresh cluster built %d nodes, want 0", got)
+	}
+	if c.N() != 64 {
+		t.Fatalf("N() = %d, want 64", c.N())
+	}
+	a := c.Node(3)
+	if a == nil || a.Extoll == nil || a.GPU == nil {
+		t.Fatal("node 3 is missing its anatomy")
+	}
+	if got := c.Built(); got != 1 {
+		t.Fatalf("built %d nodes after one touch, want 1", got)
+	}
+	if c.Node(3) != a {
+		t.Fatal("second touch returned a different node")
+	}
+	if got := c.Built(); got != 1 {
+		t.Fatalf("repeated touch built %d nodes, want still 1", got)
+	}
+	if got := c.IndexOf(a); got != 3 {
+		t.Fatalf("IndexOf = %d, want 3", got)
+	}
+	c.Node(60)
+	if got := c.Built(); got != 2 {
+		t.Fatalf("built %d nodes, want 2", got)
+	}
+}
+
+func TestClusterLazyIBNodesAttach(t *testing.T) {
+	c := NewClusterOn(FabricIB, topo.Spec{Kind: topo.Torus3D}, 8, scaledParams())
+	defer c.Shutdown()
+	nd := c.Node(5)
+	if nd.IB == nil {
+		t.Fatal("IB node missing its HCA")
+	}
+	if nd.Extoll != nil {
+		t.Fatal("IB node grew an EXTOLL NIC")
+	}
+}
+
+func TestClusterNodeRangePanics(t *testing.T) {
+	c := NewClusterOn(FabricExtoll, topo.Spec{Kind: topo.FatTree}, 4, scaledParams())
+	defer c.Shutdown()
+	for _, i := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Node(%d) did not panic", i)
+				}
+			}()
+			c.Node(i)
+		}()
+	}
+}
+
+// Lazy nodes must see the same EXTOLL notification-ring base no matter
+// when they are built: it is fixed at cluster construction.
+func TestClusterExtNotifBaseStable(t *testing.T) {
+	p := scaledParams()
+	p.ExtNotifInDevMem = true
+	c := NewClusterOn(FabricExtoll, topo.Spec{Kind: topo.FatTree}, 4, p)
+	defer c.Shutdown()
+	want := DevMemBase + 64<<20 - 32<<20
+	if c.extNotifBase != want {
+		t.Fatalf("extNotifBase = %#x, want %#x", uint64(c.extNotifBase), uint64(want))
+	}
+}

@@ -1,20 +1,22 @@
 package shmem
 
-// Collectives over N-rank worlds, built purely from the put/get data
-// plane: bulk data moves as fire-and-forget puts, arrival is signalled by
-// a fire-and-forget immediate put on the same connection (same-connection
+// Collectives over teams, built purely from the put/get data plane: bulk
+// data moves as fire-and-forget puts, arrival is signalled by a
+// fire-and-forget immediate put on the same connection (same-connection
 // FIFO on both fabrics orders the flag after the data), and arrival
 // detection is device-memory polling — the §VI claim-3 completion style,
 // with the fabric's completion streams left untouched so user Quiet/
 // QuietAll calls never race a collective.
 //
-// Every plan allocates its own symmetric staging and flag state at
-// construction (host side) and connects its own peer set, so Run is pure
-// device code. Slots are unique per step within one invocation, and every
-// invocation ends with BarrierAll: no rank can start invocation s+1
-// before all ranks finished their slot observations of invocation s, so
-// epoch-valued equality polls cannot miss a transition and staging reuse
-// across invocations cannot race.
+// Every plan is constructed against a Team and runs entirely in
+// team-rank space; the World-level constructors are wrappers planning on
+// the root team. Plans allocate their own symmetric staging and flag
+// state at construction (host side) and connect their own peer set, so
+// Run is pure device code. Slots are unique per step within one
+// invocation, and every invocation ends with the team's barrier: no rank
+// can start invocation s+1 before all ranks finished their slot
+// observations of invocation s, so epoch-valued equality polls cannot
+// miss a transition and staging reuse across invocations cannot race.
 
 import (
 	"fmt"
@@ -32,8 +34,11 @@ const (
 	// bandwidth-optimal, any rank count dividing the vector.
 	Ring AllReduceAlg = iota
 	// RecursiveDoubling exchanges whole vectors with partner r XOR 2^k
-	// over log2(N) rounds — latency-optimal for short vectors; requires a
-	// power-of-two rank count.
+	// over log2(N) rounds — latency-optimal for short vectors. Non-
+	// power-of-two sizes use the standard pre/post-fold: the first
+	// 2*(N - 2^floor(log2 N)) ranks pair up, odd members fold into even
+	// ones, the power-of-two core runs the doubling rounds, and the
+	// result is copied back to the folded-out ranks.
 	RecursiveDoubling
 )
 
@@ -46,55 +51,68 @@ func (a AllReduceAlg) String() string {
 }
 
 // AllReduce is a planned sum-allreduce of count uint64 words at symmetric
-// offset vec: after Run returns on every rank, each rank's vector holds
-// the element-wise sum of all ranks' inputs.
+// offset vec: after Run returns on every member rank, each member's
+// vector holds the element-wise sum of all members' inputs.
 type AllReduce struct {
-	w     *World
+	t     *Team
 	alg   AllReduceAlg
 	vec   uint64
 	count int
 	chunk int    // ring: words per rank
-	stag  uint64 // staging slots (ring: N-1 chunks; rd: rounds vectors)
-	inF   uint64 // arrival flags, one word per step/round
+	stag  uint64 // staging (ring: size-1 chunks; rd: rds vectors [+ pre-fold vector])
+	inF   uint64 // arrival flags, one word per step/round [+ pre/post-fold flags]
 	agF   uint64 // ring allgather flags, one word per step
-	rds   int    // rd: log2(N) rounds
+	rds   int    // rd: log2(core) rounds
+	core  int    // rd: largest power of two <= team size
+	rem   int    // rd: size - core ranks folded in before the rounds
 	seqs  []uint64
 }
 
-// NewAllReduce plans a sum-allreduce over the whole world and connects
-// its peers (ring neighbours, or the XOR-hypercube for RecursiveDoubling).
-// count must divide by N for Ring; N must be a power of two for
-// RecursiveDoubling.
-func (w *World) NewAllReduce(alg AllReduceAlg, vec uint64, count int) *AllReduce {
-	if w.CL == nil {
-		panic("shmem: NewAllReduce needs an N-rank world (NewWorldN)")
-	}
-	n := len(w.PEs)
-	a := &AllReduce{w: w, alg: alg, vec: vec, count: count, seqs: make([]uint64, n)}
+// NewAllReduce plans a sum-allreduce over the team and connects its
+// peers (ring neighbours, or the pre-fold pairs plus the XOR-hypercube
+// core for RecursiveDoubling). count must divide by the team size for
+// Ring; RecursiveDoubling accepts any size.
+func (t *Team) NewAllReduce(alg AllReduceAlg, vec uint64, count int) *AllReduce {
+	t.ensure()
+	n := t.Size()
+	a := &AllReduce{t: t, alg: alg, vec: vec, count: count, seqs: make([]uint64, n)}
+	w := t.w
 	switch alg {
 	case Ring:
 		if count%n != 0 {
-			panic(fmt.Sprintf("shmem: ring allreduce needs count %% N == 0 (count %d, N %d)", count, n))
+			panic(fmt.Sprintf("shmem: ring allreduce on team %q needs count %% size == 0 (count %d, size %d)", t.label, count, n))
 		}
 		a.chunk = count / n
 		a.stag = w.Malloc(uint64((n - 1) * a.chunk * 8))
 		a.inF = w.Malloc(uint64((n - 1) * 8))
 		a.agF = w.Malloc(uint64((n - 1) * 8))
 		for r := 0; r < n; r++ {
-			w.Connect(r, (r+1)%n)
+			if n > 1 {
+				w.Connect(t.ranks[r], t.ranks[(r+1)%n])
+			}
 		}
 	case RecursiveDoubling:
-		if n&(n-1) != 0 {
-			panic(fmt.Sprintf("shmem: recursive-doubling allreduce needs a power-of-two rank count, got %d", n))
+		a.core = 1
+		for a.core*2 <= n {
+			a.core *= 2
 		}
-		for a.rds = 0; 1<<a.rds < n; a.rds++ {
+		a.rem = n - a.core
+		for a.rds = 0; 1<<a.rds < a.core; a.rds++ {
 		}
-		a.stag = w.Malloc(uint64(a.rds * count * 8))
-		a.inF = w.Malloc(uint64(a.rds * 8))
+		stagVecs, flagWords := a.rds, a.rds
+		if a.rem > 0 {
+			stagVecs++     // pre-fold landing vector
+			flagWords += 2 // pre-fold and post-fold flags
+		}
+		a.stag = w.Malloc(uint64(stagVecs * count * 8))
+		a.inF = w.Malloc(uint64(flagWords * 8))
+		for i := 0; i < a.rem; i++ {
+			w.Connect(t.ranks[2*i], t.ranks[2*i+1])
+		}
 		for k := 0; k < a.rds; k++ {
-			for r := 0; r < n; r++ {
-				if p := r ^ (1 << k); r < p {
-					w.Connect(r, p)
+			for c := 0; c < a.core; c++ {
+				if p := c ^ (1 << k); c < p {
+					w.Connect(t.ranks[a.coreToTeam(c)], t.ranks[a.coreToTeam(p)])
 				}
 			}
 		}
@@ -104,17 +122,41 @@ func (w *World) NewAllReduce(alg AllReduceAlg, vec uint64, count int) *AllReduce
 	return a
 }
 
-// Run executes the allreduce on the calling PE; every rank must call it
-// (SPMD). It returns once this rank's vector holds the global sums and
-// all ranks have passed the trailing barrier.
-func (a *AllReduce) Run(pe *PE, w *gpusim.Warp) {
-	a.seqs[pe.Rank]++
-	if a.alg == Ring {
-		a.ring(pe, w, a.seqs[pe.Rank])
-	} else {
-		a.rdouble(pe, w, a.seqs[pe.Rank])
+// NewAllReduce plans on the root team — every rank of the world.
+func (w *World) NewAllReduce(alg AllReduceAlg, vec uint64, count int) *AllReduce {
+	return w.Root().NewAllReduce(alg, vec, count)
+}
+
+// coreToTeam maps a doubling-core rank to its team rank: the first rem
+// core ranks are the surviving (even) members of the pre-fold pairs.
+func (a *AllReduce) coreToTeam(c int) int {
+	if c < a.rem {
+		return 2 * c
 	}
-	pe.BarrierAll(w)
+	return c + a.rem
+}
+
+// teamToCore is the inverse for core participants; odd pre-fold ranks
+// (team rank < 2*rem, odd) are not in the core.
+func (a *AllReduce) teamToCore(tr int) int {
+	if tr < 2*a.rem {
+		return tr / 2
+	}
+	return tr - a.rem
+}
+
+// Run executes the allreduce on the calling PE; every team member must
+// call it (SPMD). It returns once this rank's vector holds the global
+// sums and all members have passed the trailing team barrier.
+func (a *AllReduce) Run(pe *PE, w *gpusim.Warp) {
+	tr := a.t.rankOf(pe)
+	a.seqs[tr]++
+	if a.alg == Ring {
+		a.ring(pe, w, tr, a.seqs[tr])
+	} else {
+		a.rdouble(pe, w, tr, a.seqs[tr])
+	}
+	a.t.Barrier(pe, w)
 }
 
 // ring: step s of the reduce-scatter sends chunk (r-s) mod N to the right
@@ -122,10 +164,14 @@ func (a *AllReduce) Run(pe *PE, w *gpusim.Warp) {
 // (r-s-1) mod N; after N-1 steps rank r owns the fully reduced chunk
 // (r+1) mod N. The allgather then circulates final chunks in place.
 // Outgoing DMAs and local reduce writes touch disjoint chunks at every
-// step, so the fire-and-forget puts never race their own source.
-func (a *AllReduce) ring(pe *PE, w *gpusim.Warp, seq uint64) {
-	n, r := pe.N, pe.Rank
-	right := (r + 1) % n
+// step, so the fire-and-forget puts never race their own source. All
+// ranks here are team ranks; only the endpoint lookup leaves team space.
+func (a *AllReduce) ring(pe *PE, w *gpusim.Warp, r int, seq uint64) {
+	n := a.t.Size()
+	if n == 1 {
+		return
+	}
+	right := a.t.ranks[(r+1)%n]
 	ep := pe.ep(right)
 	chunkB := uint64(a.chunk) * 8
 	reg := pe.world.regions[right]
@@ -148,15 +194,45 @@ func (a *AllReduce) ring(pe *PE, w *gpusim.Warp, seq uint64) {
 	}
 }
 
-// rdouble: round k exchanges the current partial vector with partner
-// r XOR 2^k and folds the partner's copy in. The outgoing put reads the
-// same vector the fold rewrites, so each round reaps the put's local
-// completion before reducing — the source buffer is never overwritten
-// under a DMA.
-func (a *AllReduce) rdouble(pe *PE, w *gpusim.Warp, seq uint64) {
+// rdouble: optional pre-fold (odd pair members ship their vector to the
+// even partner and wait out the rounds), then round k exchanges the
+// current partial vector with core partner c XOR 2^k and folds the
+// partner's copy in, then the post-fold returns the finished vector to
+// the folded-out ranks. The outgoing round put reads the same vector the
+// fold rewrites, so each round reaps the put's local completion before
+// reducing — the source buffer is never overwritten under a DMA. The
+// pre- and post-fold puts are fire-and-forget: the pre-fold sender's
+// vector is only overwritten by the post-fold put, which its partner
+// issues strictly after consuming the pre-fold data (flag-after-data
+// FIFO), and the post-fold source is quiesced by the trailing barrier's
+// causality (the receiver enters the barrier only after the flag lands).
+func (a *AllReduce) rdouble(pe *PE, w *gpusim.Warp, tr int, seq uint64) {
+	t := a.t
 	vecB := uint64(a.count) * 8
+	preStag := a.stag + uint64(a.rds)*vecB
+	preF := a.inF + uint64(8*a.rds)
+	postF := a.inF + uint64(8*(a.rds+1))
+	if tr < 2*a.rem {
+		if tr&1 == 1 {
+			peer := t.ranks[tr-1]
+			ep := pe.ep(peer)
+			reg := t.w.regions[peer]
+			ep.DevPut(w, pe.local, a.vec, reg, preStag, a.count*8, 0)
+			ep.DevPutImm(w, seq, reg, preF, 8, 0)
+			// The partner's post-fold put lands the finished vector
+			// directly in a.vec; the flag write behind it releases us.
+			pe.WaitUntil(w, postF, seq)
+			return
+		}
+		pe.WaitUntil(w, preF, seq)
+		for i := uint64(0); i < uint64(a.count); i++ {
+			dst := pe.Addr(a.vec + 8*i)
+			w.StGlobalU64(dst, w.LdGlobalU64(dst)+w.LdGlobalU64(pe.Addr(preStag+8*i)))
+		}
+	}
+	core := a.teamToCore(tr)
 	for k := 0; k < a.rds; k++ {
-		peer := pe.Rank ^ (1 << k)
+		peer := t.ranks[a.coreToTeam(core^(1<<k))]
 		ep := pe.ep(peer)
 		reg := pe.world.regions[peer]
 		ep.DevPut(w, pe.local, a.vec, reg, a.stag+uint64(k)*vecB, a.count*8, transport.FlagLocalComp)
@@ -169,69 +245,83 @@ func (a *AllReduce) rdouble(pe *PE, w *gpusim.Warp, seq uint64) {
 			w.StGlobalU64(dst, w.LdGlobalU64(dst)+w.LdGlobalU64(pe.Addr(a.stag+uint64(k)*vecB+8*i)))
 		}
 	}
+	if tr < 2*a.rem {
+		peer := t.ranks[tr+1]
+		ep := pe.ep(peer)
+		reg := t.w.regions[peer]
+		ep.DevPut(w, pe.local, a.vec, reg, a.vec, a.count*8, 0)
+		ep.DevPutImm(w, seq, reg, postF, 8, 0)
+	}
 }
 
-// AllToAll is a planned personalized exchange: rank r's source chunk d
-// lands in rank d's destination slot r. One step — every rank fires all
-// N-1 puts, then awaits all N-1 arrival flags.
+// AllToAll is a planned personalized exchange: team rank r's source
+// chunk d lands in team rank d's destination slot r. One step — every
+// rank fires all size-1 puts, then awaits all size-1 arrival flags.
 type AllToAll struct {
-	w        *World
+	t        *Team
 	src, dst uint64
 	chunkB   int
 	flags    uint64
 	seqs     []uint64
 }
 
-// NewAllToAll plans a full exchange of N chunks of chunkBytes (a multiple
-// of 8) living at symmetric offsets src (outgoing, chunk d for rank d)
-// and dst (incoming, slot s from rank s), and connects the full mesh.
-func (w *World) NewAllToAll(src, dst uint64, chunkBytes int) *AllToAll {
-	if w.CL == nil {
-		panic("shmem: NewAllToAll needs an N-rank world (NewWorldN)")
-	}
+// NewAllToAll plans a full exchange of size chunks of chunkBytes (a
+// multiple of 8) living at symmetric offsets src (outgoing, chunk d for
+// team rank d) and dst (incoming, slot s from team rank s), and connects
+// the team's full mesh.
+func (t *Team) NewAllToAll(src, dst uint64, chunkBytes int) *AllToAll {
+	t.ensure()
 	if chunkBytes%8 != 0 {
 		panic("shmem: alltoall chunk must be a multiple of 8 bytes")
 	}
-	n := len(w.PEs)
-	a := &AllToAll{w: w, src: src, dst: dst, chunkB: chunkBytes, seqs: make([]uint64, n)}
-	a.flags = w.Malloc(uint64(8 * n))
+	n := t.Size()
+	a := &AllToAll{t: t, src: src, dst: dst, chunkB: chunkBytes, seqs: make([]uint64, n)}
+	a.flags = t.w.Malloc(uint64(8 * n))
 	for r := 0; r < n; r++ {
 		for p := r + 1; p < n; p++ {
-			w.Connect(r, p)
+			t.w.Connect(t.ranks[r], t.ranks[p])
 		}
 	}
 	return a
 }
 
+// NewAllToAll plans on the root team — every rank of the world.
+func (w *World) NewAllToAll(src, dst uint64, chunkBytes int) *AllToAll {
+	return w.Root().NewAllToAll(src, dst, chunkBytes)
+}
+
 // Run executes the exchange on the calling PE (SPMD). Sends walk the
-// rotated schedule r+1, r+2, ... so no destination sees all senders at
-// once on the first step.
+// rotated schedule r+1, r+2, ... in team-rank space so no destination
+// sees all senders at once on the first step.
 func (a *AllToAll) Run(pe *PE, w *gpusim.Warp) {
-	a.seqs[pe.Rank]++
-	seq := a.seqs[pe.Rank]
-	n, r := pe.N, pe.Rank
+	t := a.t
+	r := t.rankOf(pe)
+	a.seqs[r]++
+	seq := a.seqs[r]
+	n := t.Size()
 	chunkB := uint64(a.chunkB)
 	for i := uint64(0); i < chunkB/8; i++ {
 		w.StGlobalU64(pe.Addr(a.dst+uint64(r)*chunkB+8*i), w.LdGlobalU64(pe.Addr(a.src+uint64(r)*chunkB+8*i)))
 	}
 	for d := 1; d < n; d++ {
-		peer := (r + d) % n
+		peerTr := (r + d) % n
+		peer := t.ranks[peerTr]
 		ep := pe.ep(peer)
 		reg := pe.world.regions[peer]
-		ep.DevPut(w, pe.local, a.src+uint64(peer)*chunkB, reg, a.dst+uint64(r)*chunkB, a.chunkB, 0)
+		ep.DevPut(w, pe.local, a.src+uint64(peerTr)*chunkB, reg, a.dst+uint64(r)*chunkB, a.chunkB, 0)
 		ep.DevPutImm(w, seq, reg, a.flags+uint64(8*r), 8, 0)
 	}
 	for d := 1; d < n; d++ {
 		pe.WaitUntil(w, a.flags+uint64(8*((r+d)%n)), seq)
 	}
-	pe.BarrierAll(w)
+	t.Barrier(pe, w)
 }
 
-// Halo is a planned 3D halo exchange: ranks form a dims[0] x dims[1] x
-// dims[2] periodic grid and every rank swaps one fixed-size face payload
-// with each of its six neighbours per Run.
+// Halo is a planned 3D halo exchange: the team's ranks form a dims[0] x
+// dims[1] x dims[2] periodic grid and every rank swaps one fixed-size
+// face payload with each of its six neighbours per Run.
 type Halo struct {
-	w     *World
+	t     *Team
 	dims  [3]int
 	faceB int
 	send  uint64 // 6 outgoing faces, indexed by direction
@@ -244,34 +334,35 @@ type Halo struct {
 func haloOpp(d int) int { return d ^ 1 }
 
 // NewHalo plans a halo exchange on a periodic dims grid (the product
-// must equal N) with faceBytes per face (a multiple of 8), allocating
-// the six send and six receive face slots and connecting the neighbour
-// links. Use SendOff/RecvOff to address the faces.
-func (w *World) NewHalo(dims [3]int, faceBytes int) *Halo {
-	if w.CL == nil {
-		panic("shmem: NewHalo needs an N-rank world (NewWorldN)")
-	}
-	n := len(w.PEs)
+// must equal the team size) with faceBytes per face (a multiple of 8),
+// allocating the six send and six receive face slots and connecting the
+// neighbour links. Use SendOff/RecvOff to address the faces.
+func (t *Team) NewHalo(dims [3]int, faceBytes int) *Halo {
+	t.ensure()
+	n := t.Size()
 	if dims[0]*dims[1]*dims[2] != n {
-		panic(fmt.Sprintf("shmem: halo grid %dx%dx%d does not cover %d ranks", dims[0], dims[1], dims[2], n))
+		panic(fmt.Sprintf("shmem: halo grid %dx%dx%d does not cover team %q's %d ranks", dims[0], dims[1], dims[2], t.label, n))
 	}
 	if faceBytes%8 != 0 {
 		panic("shmem: halo face must be a multiple of 8 bytes")
 	}
-	h := &Halo{w: w, dims: dims, faceB: faceBytes, seqs: make([]uint64, n)}
-	h.send = w.Malloc(uint64(6 * faceBytes))
-	h.recv = w.Malloc(uint64(6 * faceBytes))
-	h.flags = w.Malloc(6 * 8)
+	h := &Halo{t: t, dims: dims, faceB: faceBytes, seqs: make([]uint64, n)}
+	h.send = t.w.Malloc(uint64(6 * faceBytes))
+	h.recv = t.w.Malloc(uint64(6 * faceBytes))
+	h.flags = t.w.Malloc(6 * 8)
 	for r := 0; r < n; r++ {
 		for d := 0; d < 6; d++ {
-			if p := h.neighbor(r, d); p != r {
-				if r < p {
-					w.Connect(r, p)
-				}
+			if p := h.neighbor(r, d); r < p {
+				t.w.Connect(t.ranks[r], t.ranks[p])
 			}
 		}
 	}
 	return h
+}
+
+// NewHalo plans on the root team — every rank of the world.
+func (w *World) NewHalo(dims [3]int, faceBytes int) *Halo {
+	return w.Root().NewHalo(dims, faceBytes)
 }
 
 // SendOff returns the symmetric offset of the outgoing face for direction
@@ -282,7 +373,8 @@ func (h *Halo) SendOff(d int) uint64 { return h.send + uint64(d*h.faceB) }
 // direction d.
 func (h *Halo) RecvOff(d int) uint64 { return h.recv + uint64(d*h.faceB) }
 
-// neighbor returns the rank one step in direction d with periodic wrap.
+// neighbor returns the team rank one step in direction d with periodic
+// wrap.
 func (h *Halo) neighbor(r, d int) int {
 	c := [3]int{r % h.dims[0], (r / h.dims[0]) % h.dims[1], r / (h.dims[0] * h.dims[1])}
 	ax := d / 2
@@ -298,27 +390,30 @@ func (h *Halo) neighbor(r, d int) int {
 // face lands in the neighbour's opposite-direction receive slot. Grid
 // axes of extent 1 degenerate to a local copy.
 func (h *Halo) Run(pe *PE, w *gpusim.Warp) {
-	h.seqs[pe.Rank]++
-	seq := h.seqs[pe.Rank]
+	t := h.t
+	r := t.rankOf(pe)
+	h.seqs[r]++
+	seq := h.seqs[r]
 	faceB := uint64(h.faceB)
 	for d := 0; d < 6; d++ {
-		peer := h.neighbor(pe.Rank, d)
+		peerTr := h.neighbor(r, d)
 		dst := h.RecvOff(haloOpp(d))
-		if peer == pe.Rank {
+		if peerTr == r {
 			for i := uint64(0); i < faceB/8; i++ {
 				w.StGlobalU64(pe.Addr(dst+8*i), w.LdGlobalU64(pe.Addr(h.SendOff(d)+8*i)))
 			}
 			continue
 		}
+		peer := t.ranks[peerTr]
 		ep := pe.ep(peer)
 		reg := pe.world.regions[peer]
 		ep.DevPut(w, pe.local, h.SendOff(d), reg, dst, h.faceB, 0)
 		ep.DevPutImm(w, seq, reg, h.flags+uint64(8*haloOpp(d)), 8, 0)
 	}
 	for d := 0; d < 6; d++ {
-		if h.neighbor(pe.Rank, d) != pe.Rank {
+		if h.neighbor(r, d) != r {
 			pe.WaitUntil(w, h.flags+uint64(8*d), seq)
 		}
 	}
-	pe.BarrierAll(w)
+	t.Barrier(pe, w)
 }

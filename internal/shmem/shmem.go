@@ -17,9 +17,15 @@
 // topo.Net). It is written against the transport.Endpoint abstraction, so
 // the same code runs SHMEM over EXTOLL RMA or over InfiniBand Verbs.
 // Every data object lives in a symmetric heap at identical offsets on all
-// PEs, so remote addresses are derived, never exchanged. N-rank worlds
-// add point-to-point PutTo/GetFrom/PutImmTo, a dissemination BarrierAll,
-// and collectives (allreduce, alltoall, halo exchange) in collectives.go.
+// PEs, so remote addresses are derived, never exchanged.
+//
+// N-rank worlds are a thin wrapper over a root Team (team.go): every
+// rank subset — split halves, strided grids, a shrunk team routing
+// around a dead node — is a Team, and all collectives (collectives.go)
+// are planned against a team. State is built lazily end to end: cluster
+// nodes materialize on first touch, PEs on first use, and each team's
+// connection graph and barrier flags on first plan, so a 1024-node
+// world whose job spans 64 ranks pays for 64.
 package shmem
 
 import (
@@ -39,15 +45,21 @@ type World struct {
 	TB        *cluster.Testbed // pair worlds; nil for N-rank worlds
 	CL        *cluster.Cluster // N-rank worlds; nil for pair worlds
 	Transport transport.Transport
-	PEs       []*PE
+
+	n   int
+	pes []*PE // lazily built for N-rank worlds; eager for pairs
+
+	// Symmetric-heap bookkeeping. The bump pointer lives on the World —
+	// allocation order is global, so offsets are symmetric by
+	// construction and a PE built late (lazily) inherits the same layout.
+	heapSize uint64
+	heapBrk  uint64
 
 	// N-rank state: every PE's registered heap (indexed by rank), the
-	// set of established connections, and the dissemination-barrier
-	// geometry (see BarrierAll).
+	// set of established connections, and the root team.
 	regions []transport.Region
 	conns   map[[2]int]bool
-	rounds  int
-	dissOff uint64
+	root    *Team
 }
 
 // PE is one processing element: a GPU plus its communication state.
@@ -59,8 +71,6 @@ type PE struct {
 	world *World
 
 	heapBase memspace.Addr // symmetric heap in local device memory
-	heapSize uint64
-	heapBrk  uint64
 
 	local transport.Region // local heap, registered with the fabric
 	peer  transport.Region // peer heap, as a remote put/get target (pair)
@@ -76,7 +86,6 @@ type PE struct {
 	// internal symmetric objects (offsets into the heap)
 	barrierOff  uint64 // arrival flag written by the peer (pair)
 	barrierSeq  uint64 // software barrier epoch (pair)
-	dissSeq     uint64 // dissemination barrier epoch (N-rank)
 	outstanding int    // puts not yet quiesced (pair)
 }
 
@@ -105,19 +114,18 @@ func NewWorldOn(k transport.Kind, p cluster.Params, heapSize uint64) *World {
 		tb = cluster.NewIBPair(p)
 	}
 	tr := transport.New(k, tb)
-	w := &World{TB: tb, Transport: tr}
+	w := &World{TB: tb, Transport: tr, n: 2, heapSize: heapSize, conns: map[[2]int]bool{}}
 	mk := func(rank int, node *cluster.Node) *PE {
 		pe := &PE{Rank: rank, N: 2, Node: node, world: w}
 		pe.heapBase = node.AllocDev(heapSize)
-		pe.heapSize = heapSize
 		return pe
 	}
-	w.PEs = []*PE{mk(0, tb.A), mk(1, tb.B)}
+	w.pes = []*PE{mk(0, tb.A), mk(1, tb.B)}
 	regs := [2]transport.Region{
-		tr.Register(tb.A, w.PEs[0].heapBase, heapSize),
-		tr.Register(tb.B, w.PEs[1].heapBase, heapSize),
+		tr.Register(tb.A, w.pes[0].heapBase, heapSize),
+		tr.Register(tb.B, w.pes[1].heapBase, heapSize),
 	}
-	for i, pe := range w.PEs {
+	for i, pe := range w.pes {
 		pe.local = regs[i]
 		pe.peer = regs[1-i]
 	}
@@ -127,25 +135,43 @@ func NewWorldOn(k transport.Kind, p cluster.Params, heapSize uint64) *World {
 	hint := transport.ConnHint{QueuesOnGPU: k == transport.KindIB}
 	syncHint := hint
 	syncHint.Atomics = true
-	w.PEs[0].data, w.PEs[1].data = tr.Connect(dataConn, hint)
-	w.PEs[0].sync, w.PEs[1].sync = tr.Connect(syncConn, syncHint)
+	w.pes[0].data, w.pes[1].data = tr.Connect(dataConn, hint)
+	w.pes[0].sync, w.pes[1].sync = tr.Connect(syncConn, syncHint)
 	// The barrier flag is the first symmetric allocation on every PE.
-	for _, pe := range w.PEs {
-		off := pe.alloc(8)
+	off := w.Malloc(8)
+	for _, pe := range w.pes {
 		pe.barrierOff = off
 	}
 	return w
 }
 
-// alloc carves n bytes (8-byte aligned) out of the symmetric heap. Both
-// PEs must allocate in the same order (the SHMEM symmetric-heap rule).
-func (pe *PE) alloc(n uint64) uint64 {
-	off := (pe.heapBrk + 7) &^ 7
-	pe.heapBrk = off + n
-	if pe.heapBrk > pe.heapSize {
-		panic("shmem: symmetric heap exhausted")
+// N returns the world size in ranks.
+func (w *World) N() int { return w.n }
+
+// PE returns rank r's processing element. On an N-rank world the PE —
+// and the cluster node underneath it — is materialized on first touch:
+// the node's CPU/GPU/NIC are built, the symmetric heap is carved out of
+// device memory and registered with the fabric. Ranks a job never
+// touches are never built.
+func (w *World) PE(r int) *PE {
+	if r < 0 || r >= w.n {
+		panic(fmt.Sprintf("shmem: rank %d out of range (world size %d)", r, w.n))
 	}
-	return off
+	if pe := w.pes[r]; pe != nil {
+		return pe
+	}
+	nd := w.CL.Node(r)
+	pe := &PE{Rank: r, N: w.n, Node: nd, world: w}
+	// The heap is the node's first device allocation, so heapBase — and
+	// with it every symmetric offset — is identical on every rank no
+	// matter when the rank is materialized.
+	pe.heapBase = nd.AllocDev(w.heapSize)
+	pe.dataTo = make([]transport.Endpoint, w.n)
+	pe.outTo = make([]int, w.n)
+	w.pes[r] = pe
+	w.regions[r] = w.Transport.Register(nd, pe.heapBase, w.heapSize)
+	pe.local = w.regions[r]
+	return pe
 }
 
 // Shutdown terminates the world's parked simulation processes.
@@ -164,16 +190,14 @@ func (w *World) engine() *sim.Engine {
 	return w.CL.E
 }
 
-// Malloc allocates n bytes on every PE at the same symmetric offset. All
-// ranks are cross-checked against rank 0 so a heap that diverged anywhere
-// (a rank that skipped or reordered an allocation) is caught at the first
-// divergent rank, not only when rank 1 happens to be the culprit.
+// Malloc allocates n bytes (8-byte aligned) at the same symmetric offset
+// on every PE. The bump pointer is world state, so heaps cannot diverge
+// per rank and lazily-built PEs see the same layout as eager ones.
 func (w *World) Malloc(n uint64) uint64 {
-	off := w.PEs[0].alloc(n)
-	for _, pe := range w.PEs[1:] {
-		if got := pe.alloc(n); got != off {
-			panic(fmt.Sprintf("shmem: symmetric heaps diverged at rank %d: %d vs %d at rank 0", pe.Rank, got, off))
-		}
+	off := (w.heapBrk + 7) &^ 7
+	w.heapBrk = off + n
+	if w.heapBrk > w.heapSize {
+		panic(fmt.Sprintf("shmem: symmetric heap exhausted (%d of %d bytes used)", w.heapBrk, w.heapSize))
 	}
 	return off
 }
@@ -255,10 +279,22 @@ func (pe *PE) FetchAdd(w *gpusim.Warp, off uint64, addend uint64) uint64 {
 // Run launches body as a single-block, full-warp kernel on every PE and
 // returns when all complete; it panics on deadlock. This is the SPMD
 // entry point — body runs with 32 lanes, so coalesced sweeps and the
-// thread-collective descriptor paths are available.
+// thread-collective descriptor paths are available. On an N-rank world
+// this is the root team's Run: it materializes every rank; jobs that
+// span a subset should Run their Team instead.
 func (w *World) Run(body func(pe *PE, warp *gpusim.Warp)) {
-	dones := make([]interface{ Done() bool }, len(w.PEs))
-	for i, pe := range w.PEs {
+	if w.TB != nil {
+		w.launch(w.pes, body)
+		return
+	}
+	w.Root().Run(body)
+}
+
+// launch starts body on each given PE and drives the engine until all
+// kernels complete; shared by pair Run and Team.Run.
+func (w *World) launch(pes []*PE, body func(pe *PE, warp *gpusim.Warp)) {
+	dones := make([]interface{ Done() bool }, len(pes))
+	for i, pe := range pes {
 		pe := pe
 		dones[i] = pe.Node.GPU.Launch(gpusim.KernelConfig{Blocks: 1, ThreadsPerBlock: 32}, func(warp *gpusim.Warp) {
 			body(pe, warp)
@@ -267,7 +303,7 @@ func (w *World) Run(body func(pe *PE, warp *gpusim.Warp)) {
 	w.engine().Run()
 	for i, d := range dones {
 		if !d.Done() {
-			panic(fmt.Sprintf("shmem: PE %d did not complete (deadlock?)", i))
+			panic(fmt.Sprintf("shmem: PE %d did not complete (deadlock?)", pes[i].Rank))
 		}
 	}
 }

@@ -35,7 +35,7 @@ func TestPutQuietDelivers(t *testing.T) {
 		for i := range payload {
 			payload[i] = byte(i * 5)
 		}
-		if err := w.PEs[0].HostWrite(buf, payload); err != nil {
+		if err := w.PE(0).HostWrite(buf, payload); err != nil {
 			t.Fatal(err)
 		}
 		w.Run(func(pe *PE, warp *gpusim.Warp) {
@@ -45,7 +45,7 @@ func TestPutQuietDelivers(t *testing.T) {
 			}
 		})
 		got := make([]byte, len(payload))
-		if err := w.PEs[1].HostRead(buf, got); err != nil {
+		if err := w.PE(1).HostRead(buf, got); err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(got, payload) {
@@ -60,7 +60,7 @@ func TestGetFetchesPeerData(t *testing.T) {
 		src := w.Malloc(1024)
 		dst := w.Malloc(1024)
 		payload := []byte("symmetric heap payload for shmem get")
-		if err := w.PEs[1].HostWrite(src, payload); err != nil {
+		if err := w.PE(1).HostWrite(src, payload); err != nil {
 			t.Fatal(err)
 		}
 		w.Run(func(pe *PE, warp *gpusim.Warp) {
@@ -75,7 +75,7 @@ func TestGetFetchesPeerData(t *testing.T) {
 			}
 		})
 		got := make([]byte, len(payload))
-		if err := w.PEs[0].HostRead(dst, got); err != nil {
+		if err := w.PE(0).HostRead(dst, got); err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(got, payload) {
@@ -173,7 +173,7 @@ func TestFetchAddBothPEs(t *testing.T) {
 			t.Fatalf("fetch-add old values = %v, want [0 10]", olds)
 		}
 		got := make([]byte, 8)
-		if err := w.PEs[1].HostRead(ctr, got); err != nil {
+		if err := w.PE(1).HostRead(ctr, got); err != nil {
 			t.Fatal(err)
 		}
 		if v := binary.LittleEndian.Uint64(got); v != 20 {

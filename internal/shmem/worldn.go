@@ -4,8 +4,14 @@ package shmem
 // two implicit connections become an explicit (and sparse) connection
 // graph — World.Connect wires exactly the rank pairs an algorithm needs,
 // and the collectives in collectives.go connect their own peer sets at
-// plan time. Synchronization is a dissemination barrier over epoch-valued
-// immediate puts, the N-rank generalization of the pair Barrier.
+// plan time. Synchronization is the root team's dissemination barrier
+// (team.go), the N-rank generalization of the pair Barrier.
+//
+// Construction is lazy at every layer: NewWorldN builds only the switch
+// graph and the rank tables. A node and its PE materialize on the first
+// World.PE touch (usually via Connect or Team.Run), and each team's
+// barrier flags and connection graph materialize on first use. A job
+// that runs a 64-rank team of a 1024-node world builds 64 nodes.
 
 import (
 	"fmt"
@@ -17,43 +23,38 @@ import (
 )
 
 // NewWorldN builds an n-PE world over an n-node cluster of the chosen
-// fabric, joined by the given topology. Each node contributes one PE with
-// a symmetric heap of heapSize bytes. The constructor establishes only
-// the dissemination-barrier connections (about log2(n) peers per rank);
-// point-to-point traffic between other rank pairs needs World.Connect
-// before Run, and each collective plan connects its own peers.
+// fabric, joined by the given topology. Each node contributes one PE
+// with a symmetric heap of heapSize bytes. Nothing per-rank is built
+// here; PEs and connections materialize on first touch, and collective
+// plans connect their own peers.
 func NewWorldN(k transport.Kind, spec topo.Spec, n int, p cluster.Params, heapSize uint64) *World {
 	fab := cluster.FabricExtoll
 	if k == transport.KindIB {
 		fab = cluster.FabricIB
 	}
-	cl := cluster.NewClusterOn(fab, spec, n, p)
-	tr := transport.NewCluster(k, cl)
-	w := &World{CL: cl, Transport: tr, conns: map[[2]int]bool{}}
-	for i, nd := range cl.Nodes {
-		pe := &PE{Rank: i, N: n, Node: nd, world: w}
-		pe.heapBase = nd.AllocDev(heapSize)
-		pe.heapSize = heapSize
-		pe.dataTo = make([]transport.Endpoint, n)
-		pe.outTo = make([]int, n)
-		w.PEs = append(w.PEs, pe)
+	return NewWorldOnCluster(k, cluster.NewClusterOn(fab, spec, n, p), heapSize)
+}
+
+// NewWorldOnCluster wraps an existing cluster in a SHMEM world — the
+// team-based core that NewWorldN delegates to. Useful when several
+// worlds should share one fabric, or when the caller tuned the cluster
+// directly.
+func NewWorldOnCluster(k transport.Kind, cl *cluster.Cluster, heapSize uint64) *World {
+	n := cl.N()
+	w := &World{
+		CL:        cl,
+		Transport: transport.NewCluster(k, cl),
+		n:         n,
+		pes:       make([]*PE, n),
+		heapSize:  heapSize,
+		regions:   make([]transport.Region, n),
+		conns:     map[[2]int]bool{},
 	}
-	w.regions = make([]transport.Region, n)
-	for i, pe := range w.PEs {
-		w.regions[i] = tr.Register(pe.Node, pe.heapBase, heapSize)
-		pe.local = w.regions[i]
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
 	}
-	// Dissemination barrier state: ceil(log2(n)) rounds, two parity slots
-	// per round (epoch alternation makes one-barrier-ahead writers land in
-	// the other parity's slots — see BarrierAll).
-	for w.rounds = 0; 1<<w.rounds < n; w.rounds++ {
-	}
-	w.dissOff = w.Malloc(uint64(16 * w.rounds))
-	for rd := 0; rd < w.rounds; rd++ {
-		for r := 0; r < n; r++ {
-			w.Connect(r, (r+(1<<rd))%n)
-		}
-	}
+	w.root = w.newTeam("world", ranks)
 	return w
 }
 
@@ -65,8 +66,8 @@ func (w *World) connHint() transport.ConnHint {
 }
 
 // Connect establishes the connection between ranks a and b if it does not
-// exist yet (idempotent). Setup plane: call before Run. Pair worlds are
-// born fully connected and must not call this.
+// exist yet (idempotent), materializing both PEs first. Setup plane: call
+// before Run. Pair worlds are born fully connected and must not call this.
 func (w *World) Connect(a, b int) {
 	if w.CL == nil {
 		panic("shmem: Connect is for N-rank worlds; pair worlds are fully connected")
@@ -81,11 +82,16 @@ func (w *World) Connect(a, b int) {
 	if w.conns[key] {
 		return
 	}
-	ea, eb := w.Transport.ConnectPair(w.PEs[a].Node, w.PEs[b].Node, w.connHint())
-	w.PEs[a].dataTo[b] = ea
-	w.PEs[b].dataTo[a] = eb
+	pa, pb := w.PE(a), w.PE(b)
+	ea, eb := w.Transport.ConnectPair(pa.Node, pb.Node, w.connHint())
+	pa.dataTo[b] = ea
+	pb.dataTo[a] = eb
 	w.conns[key] = true
 }
+
+// Connections reports how many rank pairs have been wired so far — the
+// connection-graph cost a lazy-build job actually paid.
+func (w *World) Connections() int { return len(w.conns) }
 
 // ep returns this PE's endpoint to a peer rank, panicking with guidance
 // when the ranks were never connected.
@@ -133,12 +139,12 @@ func (pe *PE) QuietAll(w *gpusim.Warp) {
 	}
 }
 
-// BarrierAll synchronizes all N PEs with a dissemination barrier: in
-// round k, rank r writes its epoch to rank (r+2^k) mod N's round-k flag
-// with a fire-and-forget immediate put (no completion anywhere, so Quiet
-// semantics are untouched) and polls its own round-k flag in device
-// memory until the epoch from rank (r-2^k) mod N lands. ceil(log2 N)
-// rounds transitively cover all ranks.
+// BarrierAll synchronizes all N PEs — the root team's dissemination
+// barrier: in round k, team rank r writes its epoch to rank (r+2^k)
+// mod N's round-k flag with a fire-and-forget immediate put (no
+// completion anywhere, so Quiet semantics are untouched) and polls its
+// own round-k flag in device memory until the epoch from rank (r-2^k)
+// mod N lands. ceil(log2 N) rounds transitively cover all ranks.
 //
 // Flag slots alternate between two parity sets by epoch. Dissemination
 // coverage means a rank exits epoch s only after every rank has entered
@@ -146,13 +152,9 @@ func (pe *PE) QuietAll(w *gpusim.Warp) {
 // writer (epoch s+1) targets the other parity's slots. Each slot is
 // therefore written exactly once per observed epoch and the equality
 // poll cannot miss a transition.
+//
+// World.Run materializes the root team; a kernel launched through a
+// sub-team's Run should call its Team.Barrier instead.
 func (pe *PE) BarrierAll(w *gpusim.Warp) {
-	pe.dissSeq++
-	par := uint64(8 * (pe.dissSeq & 1))
-	for k := 0; k < pe.world.rounds; k++ {
-		peer := (pe.Rank + (1 << k)) % pe.N
-		slot := pe.world.dissOff + uint64(16*k) + par
-		pe.ep(peer).DevPutImm(w, pe.dissSeq, pe.world.regions[peer], slot, 8, 0)
-		pe.WaitUntil(w, slot, pe.dissSeq)
-	}
+	pe.world.root.Barrier(pe, w)
 }

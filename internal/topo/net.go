@@ -90,6 +90,13 @@ func (nt *Net[T]) Routers() int { return nt.g.routers }
 // (or no binding) existed for their destination.
 func (nt *Net[T]) Unreachable() uint64 { return nt.unreachable }
 
+// RouteMemoStats reports the deterministic route memo: distinct
+// {attachment router, destination node} segments resolved, and how many
+// path resolutions were served from the memo instead of recomputed.
+func (nt *Net[T]) RouteMemoStats() (entries int, hits uint64) {
+	return len(nt.g.detSeg), nt.g.detSegHits
+}
+
 // Hops returns the minimal live router-to-router hop count between two
 // nodes, -1 if disconnected. Exposed for tests and experiments.
 func (nt *Net[T]) Hops(src, dst int) int {

@@ -160,6 +160,18 @@ type graph struct {
 	// computed lazily per destination (failures are static, so tables
 	// never invalidate). -1 marks unreachable.
 	dist [][]int
+
+	// detSeg memoizes deterministic router-to-router path segments keyed
+	// by {source router, destination node}: the d-mod-k dispersion pick
+	// depends only on the current router and the destination, never on
+	// the source node, so every flow whose source shares an attachment
+	// router reuses one resolution. With lazy connection setup at 1024
+	// ranks this turns route resolution from per-flow recomputation into
+	// a shared lookup (on a fat-tree, radix-many sources per leaf hit the
+	// same entry). Lookup-only map: never iterated.
+	detSeg map[[2]int][]*channel
+	// detSegHits counts resolutions served from the memo.
+	detSegHits uint64
 }
 
 func buildGraph(e *sim.Engine, spec Spec, n int, name string, bw float64, lat sim.Duration) *graph {
@@ -292,6 +304,7 @@ func buildGraph(e *sim.Engine, spec Spec, n int, name string, bw float64, lat si
 		}
 	}
 	g.dist = make([][]int, g.routers)
+	g.detSeg = make(map[[2]int][]*channel)
 	return g
 }
 
@@ -367,7 +380,7 @@ func (g *graph) candidates(r, dst int, buf []*channel) []*channel {
 // sequence inject, router hops, eject — nil if no live path exists.
 // adaptive selects among equal-cost candidates by least-busy next hop
 // (ties falling back to the deterministic pick); deterministic uses
-// d-mod-k dispersion.
+// d-mod-k dispersion and memoizes the router segment (see detSeg).
 func (g *graph) path(src, dst int, adaptive bool) []*channel {
 	if g.downNode[src] || g.downNode[dst] {
 		return nil
@@ -376,6 +389,22 @@ func (g *graph) path(src, dst int, adaptive bool) []*channel {
 	t := g.distTo(dr)
 	if t[sr] < 0 {
 		return nil
+	}
+	if !adaptive {
+		seg, ok := g.detSeg[[2]int{sr, dst}]
+		if ok {
+			g.detSegHits++
+		} else {
+			seg = g.routerSegment(sr, dr, dst, t)
+			g.detSeg[[2]int{sr, dst}] = seg
+		}
+		if seg == nil && sr != dr {
+			return nil
+		}
+		path := make([]*channel, 0, len(seg)+2)
+		path = append(path, g.inject[src])
+		path = append(path, seg...)
+		return append(path, g.eject[dst])
 	}
 	path := make([]*channel, 0, t[sr]+2)
 	path = append(path, g.inject[src])
@@ -387,15 +416,34 @@ func (g *graph) path(src, dst int, adaptive bool) []*channel {
 			return nil // cannot happen: t[r] >= 0 implies a candidate
 		}
 		pick := cands[dst%len(cands)]
-		if adaptive {
-			for _, ch := range cands {
-				if ch.freeAt < pick.freeAt {
-					pick = ch
-				}
+		for _, ch := range cands {
+			if ch.freeAt < pick.freeAt {
+				pick = ch
 			}
 		}
 		path = append(path, pick)
 		r = pick.to
 	}
 	return append(path, g.eject[dst])
+}
+
+// routerSegment walks the deterministic (d-mod-k) router-to-router hops
+// from router sr toward destination node dst attached at router dr.
+func (g *graph) routerSegment(sr, dr, dst int, t []int) []*channel {
+	if sr == dr {
+		return nil
+	}
+	seg := make([]*channel, 0, t[sr])
+	var buf [8]*channel
+	r := sr
+	for r != dr {
+		cands := g.candidates(r, dr, buf[:0])
+		if len(cands) == 0 {
+			return nil // cannot happen: t[r] >= 0 implies a candidate
+		}
+		pick := cands[dst%len(cands)]
+		seg = append(seg, pick)
+		r = pick.to
+	}
+	return seg
 }

@@ -273,3 +273,50 @@ func TestDerive3D(t *testing.T) {
 		}
 	}
 }
+
+// The deterministic route memo must serve repeated path resolutions from
+// the cache (keyed by attachment router + destination) and must never
+// change the path it returns.
+func TestDeterministicRouteMemo(t *testing.T) {
+	const n = 16
+	nt := newTestNet(t, Spec{Kind: FatTree, Routing: Deterministic}, n)
+	if entries, hits := nt.RouteMemoStats(); entries != 0 || hits != 0 {
+		t.Fatalf("fresh net memo = %d entries, %d hits; want 0, 0", entries, hits)
+	}
+	first := map[int]string{}
+	for dst := 1; dst < n; dst++ {
+		first[dst] = strings.Join(nt.PathNames(0, dst), " ")
+	}
+	entries, hits := nt.RouteMemoStats()
+	if entries == 0 {
+		t.Fatal("memo stayed empty after resolving paths")
+	}
+	// Same-leaf destinations 1..3 share node 0's attachment router but
+	// have distinct destination segments, so entries grow per (router,
+	// dst) pair; cross-leaf queries from other nodes reuse nothing yet.
+	for dst := 1; dst < n; dst++ {
+		if again := strings.Join(nt.PathNames(0, dst), " "); again != first[dst] {
+			t.Fatalf("memoized path 0->%d changed: %q vs %q", dst, first[dst], again)
+		}
+	}
+	entries2, hits2 := nt.RouteMemoStats()
+	if entries2 != entries {
+		t.Fatalf("re-querying grew the memo: %d -> %d entries", entries, entries2)
+	}
+	if hits2 <= hits {
+		t.Fatalf("re-querying did not hit the memo: %d -> %d hits", hits, hits2)
+	}
+	// A different source on the same leaf shares the attachment router,
+	// so its cross-leaf queries are pure memo hits.
+	before, beforeHits := nt.RouteMemoStats()
+	for dst := 4; dst < n; dst++ {
+		nt.PathNames(1, dst)
+	}
+	after, afterHits := nt.RouteMemoStats()
+	if after != before {
+		t.Fatalf("same-leaf source grew the memo: %d -> %d entries", before, after)
+	}
+	if afterHits != beforeHits+12 {
+		t.Fatalf("same-leaf source hits = %d, want %d", afterHits, beforeHits+12)
+	}
+}

@@ -30,7 +30,7 @@ func forBothClusters(t *testing.T, spec topo.Spec, n int, f func(t *testing.T, k
 
 func TestClusterDevPutAcrossTorus(t *testing.T) {
 	forBothClusters(t, topo.Spec{Kind: topo.Torus3D}, 8, func(t *testing.T, k Kind, cl *cluster.Cluster, tr Transport) {
-		src, dst := cl.Nodes[1], cl.Nodes[6] // opposite corners of the 2x2x2 torus
+		src, dst := cl.Node(1), cl.Node(6) // opposite corners of the 2x2x2 torus
 		sBuf := src.AllocDev(rigBuf)
 		dBuf := dst.AllocDev(rigBuf)
 		sR := tr.Register(src, sBuf, rigBuf)
@@ -73,7 +73,7 @@ func TestClusterDevPutAcrossTorus(t *testing.T) {
 func TestClusterDevGetAcrossFatTree(t *testing.T) {
 	forBothClusters(t, topo.Spec{Kind: topo.FatTree}, 9, func(t *testing.T, k Kind, cl *cluster.Cluster, tr Transport) {
 		// Radix derives to 3: nodes 0 and 8 sit on different leaves.
-		loc, rem := cl.Nodes[0], cl.Nodes[8]
+		loc, rem := cl.Node(0), cl.Node(8)
 		lBuf := loc.AllocDev(rigBuf)
 		rBuf := rem.AllocDev(rigBuf)
 		lR := tr.Register(loc, lBuf, rigBuf)
@@ -108,13 +108,13 @@ func TestClusterDevGetAcrossFatTree(t *testing.T) {
 // binding must not collide.
 func TestClusterManyToOne(t *testing.T) {
 	forBothClusters(t, topo.Spec{Kind: topo.Torus3D}, 8, func(t *testing.T, k Kind, cl *cluster.Cluster, tr Transport) {
-		hot := cl.Nodes[7]
+		hot := cl.Node(7)
 		hBuf := hot.AllocDev(rigBuf)
 		hR := tr.Register(hot, hBuf, rigBuf)
 		senders := []int{0, 2, 5}
 		kernels := 0
 		for si, s := range senders {
-			src := cl.Nodes[s]
+			src := cl.Node(s)
 			sBuf := src.AllocDev(4096)
 			sR := tr.Register(src, sBuf, 4096)
 			es, _ := tr.ConnectPair(src, hot, ConnHint{})

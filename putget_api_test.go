@@ -134,11 +134,11 @@ func TestShmemFacade(t *testing.T) {
 	p.HostRAMSize = 96 << 20
 	w := putget.NewShmemWorld(p, 1<<20)
 	defer w.Shutdown()
-	if w.PEs[0].Rank != 0 || w.PEs[1].Rank != 1 {
+	if w.PE(0).Rank != 0 || w.PE(1).Rank != 1 {
 		t.Fatal("PE ranks wrong")
 	}
 	off := w.Malloc(64)
-	if err := w.PEs[0].HostWrite(off, []byte{1, 2, 3}); err != nil {
+	if err := w.PE(0).HostWrite(off, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
 }
