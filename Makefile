@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test lint check bench
+.PHONY: build test race lint lint-json check bench
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,20 @@ build:
 test:
 	$(GO) test ./...
 
+# The full race-detector shard CI runs in its own job (slow: race
+# builds take several times longer than plain `go test`).
+race:
+	$(GO) test -race ./...
+
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/putgetlint ./...
+
+# Machine-readable findings (the stream CI converts to ::error
+# annotations): exit 0 → [], exit 2 → findings, exit 1 → load error.
+lint-json:
+	$(GO) run ./cmd/putgetlint -json ./...
 
 check: build test lint
 	@echo "check: all gates green"

@@ -1,27 +1,39 @@
-// Command putgetlint statically enforces the simulator's determinism
-// and engine-affinity invariants (see internal/analysis):
+// Command putgetlint statically enforces the simulator's determinism,
+// engine-affinity, and protocol invariants (see internal/analysis):
 //
 //	nowalltime      no wall-clock time in sim-domain packages
 //	noglobalrand    no math/rand / crypto/rand in sim-domain packages
 //	maporder        no map iteration with order-dependent effects
 //	engineaffinity  no raw goroutines / captured engine handles
 //	boundedwait     no unbounded blocking waits outside tests
-//	directive       every //putget:allow names a real analyzer + reason
+//	timerleak       no AtTimer/AfterTimer handle dropped un-Cancelled
+//	spanbalance     no SpanOpen without SpanClose on every path
+//	flagorder       no flag/imm put posted before the bulk put it signals
+//	hotalloc        no allocations in //putget:hot functions
+//	directive       every //putget:allow names a real analyzer + reason,
+//	                and suppresses at least one finding (stale-allow)
 //
 // Two modes:
 //
 //	putgetlint ./...                       standalone, like a linter
 //	go vet -vettool=$(which putgetlint) ./...   as a vet tool
 //
-// Standalone exit status: 0 clean, 2 findings, 1 operational error.
+// Exit-code contract, identical in both modes and with or without
+// -json: 0 clean, 2 findings, 1 operational error (bad pattern, type
+// error, unreadable unit config). With -json the standalone mode writes
+// a JSON array of findings to stdout — always valid JSON on exit 0
+// (`[]`) and exit 2; nothing on stdout on exit 1, when the error goes
+// to stderr as usual.
 package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"putget/internal/analysis"
@@ -35,8 +47,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("putgetlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: putgetlint [packages]\n")
+		fmt.Fprintf(stderr, "usage: putgetlint [-json] [-C dir] [packages]\n")
 		fmt.Fprintf(stderr, "       go vet -vettool=$(which putgetlint) [packages]\n\n")
+		fmt.Fprintf(stderr, "Exit status (both modes): 0 clean, 2 findings, 1 operational error.\n")
+		fmt.Fprintf(stderr, "-json writes findings as a JSON array on stdout ([] when clean).\n\n")
 		fmt.Fprintf(stderr, "Analyzers:\n")
 		for _, a := range analysis.All() {
 			fmt.Fprintf(stderr, "  %-15s %s\n", a.Name, a.Doc)
@@ -45,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	version := fs.String("V", "", "print version and exit (vet tool protocol)")
 	dir := fs.String("C", ".", "run as if started in `dir`")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
 	// Vet tool protocol: cmd/go probes `tool -flags` for the JSON list
 	// of analyzer flags the tool accepts. putgetlint takes none.
 	if len(args) == 1 && args[0] == "-flags" {
@@ -69,14 +84,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "putgetlint: %v\n", err)
 		return 1
 	}
-	for _, d := range diags {
-		fmt.Fprintf(stdout, "%s\n", d)
+	if *jsonOut {
+		if err := writeJSON(stdout, *dir, diags); err != nil {
+			fmt.Fprintf(stderr, "putgetlint: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s\n", d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "putgetlint: %d finding(s)\n", len(diags))
 		return 2
 	}
 	return 0
+}
+
+// jsonFinding is one finding in -json output. File is relative to the
+// -C directory when the finding lies under it, so CI can map it onto
+// repository paths for inline annotations.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the findings as one JSON array — `[]` when clean, so
+// downstream tooling can always parse stdout on exit 0 and 2.
+func writeJSON(w io.Writer, dir string, diags []analysis.Diagnostic) error {
+	base, err := filepath.Abs(dir)
+	if err != nil {
+		return err
+	}
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		out = append(out, jsonFinding{
+			Analyzer: d.Analyzer,
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // printVersion implements the -V=full handshake cmd/go uses to identify

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -36,11 +37,66 @@ func TestFixturesAreDirty(t *testing.T) {
 	}
 	for _, want := range []string{
 		"nowalltime", "noglobalrand", "maporder", "engineaffinity",
-		"boundedwait", "directive",
+		"boundedwait", "timerleak", "spanbalance", "flagorder",
+		"hotalloc", "directive",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("fixture findings missing analyzer %s:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestJSONExitContract pins the -json exit-code contract: findings → 2
+// with a parseable JSON array on stdout, clean → 0 with `[]`, load
+// error → 1 with nothing on stdout.
+func TestJSONExitContract(t *testing.T) {
+	// Findings: exit 2, valid JSON array with the expected fields.
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-C", fixtureModule, "./..."}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("-json on fixtures: exit %d, want 2\nstderr:\n%s", code, errb.String())
+	}
+	var findings []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json on seeded fixtures produced an empty array")
+	}
+	for _, f := range findings {
+		if f.Analyzer == "" || f.File == "" || f.Line <= 0 || f.Message == "" {
+			t.Errorf("finding missing fields: %+v", f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding file %q not relative to -C dir", f.File)
+		}
+	}
+
+	// Clean: exit 0 and `[]`, so stdout is always parseable JSON.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-json", "-C", "../..", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("-json on the repo: exit %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+	var empty []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &empty); err != nil || len(empty) != 0 {
+		t.Errorf("-json clean run: want [], got %q (err %v)", out.String(), err)
+	}
+
+	// Operational error: exit 1, nothing on stdout.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-json", "./does/not/exist/..."}, &out, &errb); code != 1 {
+		t.Fatalf("-json bad pattern: exit %d, want 1", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-json exit 1 wrote to stdout: %q", out.String())
 	}
 }
 
@@ -102,5 +158,13 @@ func TestVetToolProtocol(t *testing.T) {
 	vetClean.Dir = "../.."
 	if out, err := vetClean.CombinedOutput(); err != nil {
 		t.Fatalf("go vet -vettool on the repo: %v\n%s", err, out)
+	}
+
+	// Exit-code contract in vet mode: an unreadable unit config is an
+	// operational error (1), not findings (2).
+	badCfg := exec.Command(abs, filepath.Join(t.TempDir(), "missing.cfg"))
+	if err := badCfg.Run(); badCfg.ProcessState.ExitCode() != 1 {
+		t.Errorf("vet mode with unreadable cfg: exit %d (err %v), want 1",
+			badCfg.ProcessState.ExitCode(), err)
 	}
 }

@@ -21,9 +21,29 @@
 //     and every shard builds its own engine.
 //   - boundedwait: no unbounded blocking waits (DevWaitComplete,
 //     HostWaitNotif, DevPollCQ, ...) outside test files — use the
-//     ...Timeout variants, or annotate why the wait cannot hang.
+//     ...Timeout variants, or annotate why the wait cannot hang. The
+//     exemption for a wait's own implementation is computed from the
+//     package call graph: every function transitively reachable from a
+//     wait-named definition is part of that wait's delegation ladder.
 //
-// A sixth analyzer, directive, validates the suppression syntax itself.
+// Four interprocedural analyzers, built on the per-function CFG
+// (cfg.go) and per-package call graph (callgraph.go), target bug
+// classes this repo has actually shipped and then fixed:
+//
+//   - timerleak: an AtTimer/AfterTimer handle neither Cancelled nor
+//     handed off on every path out of the arming function — the PR 7
+//     tombstone class.
+//   - spanbalance: a SpanOpen/SpanOpenAt with a path to return that
+//     lacks the matching SpanClose — the class the kv suite only
+//     checks dynamically (PR 3/PR 6).
+//   - flagorder: a flag/imm put sequenced before the bulk put it
+//     signals on the same endpoint — the PR 8 stale-read class.
+//   - hotalloc: composite-literal, closure-capture, and
+//     interface-boxing allocations inside functions marked
+//     //putget:hot — the PR 7/PR 9 allocs/op baselines as a
+//     compile-time guard.
+//
+// A final analyzer, directive, validates the suppression syntax itself.
 //
 // Legitimate exceptions are annotated in-source with
 //
@@ -32,7 +52,8 @@
 // which suppresses findings of that analyzer on the directive's line and
 // the line below it. Placed before the package clause, the directive
 // applies to the whole file. The reason is mandatory: an allow without
-// one is itself a finding.
+// one is itself a finding — and so is a stale allow that suppresses
+// nothing, so suppressions cannot outlive the code they excused.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) so the analyzers could be ported to the
@@ -109,6 +130,10 @@ func All() []*Analyzer {
 		MapOrder,
 		EngineAffinity,
 		BoundedWait,
+		TimerLeak,
+		SpanBalance,
+		FlagOrder,
+		HotAlloc,
 		Directive,
 	}
 }
@@ -125,11 +150,17 @@ func ByName(name string) *Analyzer {
 
 // RunPackage applies the given analyzers to one loaded package and
 // returns the surviving findings in source order. Suppression via
-// //putget:allow is applied here so every analyzer gets it uniformly.
+// //putget:allow is applied here so every analyzer gets it uniformly —
+// and tracked, so that after all analyzers have run, a valid directive
+// that suppressed nothing (for an analyzer that actually ran) is
+// reported as stale: the code it excused is gone and the suppression
+// must not outlive it.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	dirs := parseDirectives(pkg.Fset, pkg.Files)
+	ran := map[string]bool{}
 	var out []Diagnostic
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -145,6 +176,19 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %v", pkg.Types.Path(), a.Name, err)
+		}
+	}
+	if ran[directiveName] {
+		for _, d := range dirs.all {
+			if d.valid() && !d.used && ran[d.analyzer] {
+				out = append(out, Diagnostic{
+					Analyzer: directiveName,
+					Pos:      d.pos,
+					Message: fmt.Sprintf(
+						"stale putget:allow %s: it suppresses no finding — the code it excused is gone; delete the directive",
+						d.analyzer),
+				})
+			}
 		}
 	}
 	sortDiagnostics(out)

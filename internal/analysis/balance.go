@@ -1,0 +1,458 @@
+package analysis
+
+// The shared open/consume path-balance engine behind timerleak and
+// spanbalance. Both analyzers check the same shape: a call that opens a
+// resource handle (a cancellable sim.Timer, a trace SpanID) must, on
+// every path out of the arming function, either be consumed (cancelled /
+// closed) or provably handed off to someone else (stored in a struct,
+// returned, passed along — an escape means another function owns the
+// balance obligation and the per-function analysis stops).
+//
+// The analysis is deliberately conservative in the false-positive
+// direction:
+//
+//   - any escape of the handle (field store, call argument other than
+//     the consume call, return, capture by a non-deferred closure,
+//     address-taken) abandons the site: ownership moved;
+//   - reassigning the variable kills the tracked handle on that path
+//     (the overwrite is its own open site, analyzed independently);
+//   - a consume inside `defer v.Cancel()` or `defer func(){ v.Cancel() }()`
+//     counts at the defer statement: every exit reached after it runs it;
+//   - paths ending in panic() are not charged — the run is dead.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// balanceRule parameterizes the engine for one analyzer.
+type balanceRule struct {
+	// openNames are the sim.Engine methods that create the handle.
+	openNames map[string]bool
+	// consume classifies a call that discharges the obligation for v:
+	// Timer.Cancel, Engine.SpanClose(v)/SpanCloseAt(v, ...).
+	consume func(pass *Pass, path []ast.Node, id *ast.Ident) bool
+	// read classifies harmless uses (Timer.Active, comparisons are
+	// handled structurally). A use that is neither consume, read, nor a
+	// recognized structural shape is an escape.
+	read func(pass *Pass, path []ast.Node, id *ast.Ident) bool
+	// discarded builds the finding message for a dropped result.
+	discarded func(openName string) string
+	// leaked builds the finding message for an unbalanced path.
+	leaked func(openName, fn string) string
+}
+
+// runBalance applies a balance rule to every function in the package.
+func runBalance(pass *Pass, rule *balanceRule) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, unit := range funcUnits(f) {
+			checkBalanceUnit(pass, rule, unit)
+		}
+	}
+	return nil
+}
+
+// openCall matches `recv.Name(...)` where Name is an open method and
+// recv is a *sim.Engine.
+func openCall(pass *Pass, rule *balanceRule, n ast.Node) (*ast.CallExpr, string) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !rule.openNames[sel.Sel.Name] {
+		return nil, ""
+	}
+	if !isEngineMethodSel(pass, sel) {
+		return nil, ""
+	}
+	return call, sel.Sel.Name
+}
+
+// isEngineMethodSel reports whether sel is a method selection on a
+// (pointer to) sim.Engine.
+func isEngineMethodSel(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	return engineHandleType(s.Recv()) == "sim engine handle"
+}
+
+func checkBalanceUnit(pass *Pass, rule *balanceRule, unit funcUnit) {
+	// Find open calls in this unit (not in nested literals — those are
+	// their own units).
+	type openSite struct {
+		call *ast.CallExpr
+		name string
+	}
+	var opens []openSite
+	ast.Inspect(unit.body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != unit.body {
+			return false
+		}
+		if call, name := openCall(pass, rule, n); call != nil {
+			opens = append(opens, openSite{call: call, name: name})
+		}
+		return true
+	})
+	if len(opens) == 0 {
+		return
+	}
+
+	cfg := buildCFG(unit.body)
+	for _, o := range opens {
+		checkOpenSite(pass, rule, unit, cfg, o.call, o.name)
+	}
+}
+
+func checkOpenSite(pass *Pass, rule *balanceRule, unit funcUnit, cfg *funcCFG, call *ast.CallExpr, openName string) {
+	path := nodePath(unit.body, call)
+	if path == nil {
+		return
+	}
+	bind, v := bindingOf(pass, path, call)
+	switch bind {
+	case bindDiscarded:
+		pass.Reportf(call.Pos(), "%s", rule.discarded(openName))
+		return
+	case bindEscaped:
+		return // result handed off at the open itself
+	}
+
+	// Collect every use of v in the unit and classify it.
+	var consumePos []token.Pos
+	escaped := false
+	bindIdent := bindingIdent(path, call)
+	ast.Inspect(unit.body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == bindIdent {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj != v {
+			return true
+		}
+		upath := nodePath(unit.body, id)
+		switch classifyUse(pass, rule, unit, upath, id) {
+		case useConsume:
+			consumePos = append(consumePos, topStmtPos(unit, upath, id))
+		case useRead:
+		case useEscape:
+			escaped = true
+		}
+		return true
+	})
+	if escaped {
+		return
+	}
+
+	// Map consume positions to CFG atoms.
+	consumeAtoms := map[ast.Node]bool{}
+	for _, p := range consumePos {
+		if site, ok := cfg.findAtom(p); ok {
+			consumeAtoms[site.block.atoms[site.idx]] = true
+		}
+	}
+
+	open, ok := cfg.findAtom(call.Pos())
+	if !ok {
+		return
+	}
+	if leakPathExists(cfg, open, consumeAtoms) {
+		pass.Reportf(call.Pos(), "%s", rule.leaked(openName, unit.name))
+	}
+}
+
+// leakPathExists reports whether some path from the open atom to the
+// function exit avoids every consume atom. Back edges are followed: a
+// loop iteration that re-runs the open without consuming is a real path.
+func leakPathExists(cfg *funcCFG, open atomSite, consumeAtoms map[ast.Node]bool) bool {
+	if len(consumeAtoms) == 0 {
+		// No consume anywhere: leak iff exit is reachable at all.
+		return exitReachable(cfg, open)
+	}
+	type state struct {
+		b   *cfgBlock
+		idx int
+	}
+	visited := map[*cfgBlock]bool{}
+	stack := []state{{open.block, open.idx + 1}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		consumed := false
+		for i := s.idx; i < len(s.b.atoms); i++ {
+			if consumeAtoms[s.b.atoms[i]] {
+				consumed = true
+				break
+			}
+		}
+		if consumed {
+			continue
+		}
+		if s.b == cfg.exit {
+			return true
+		}
+		for _, e := range s.b.succs {
+			if e.to == cfg.exit {
+				return true
+			}
+			if !visited[e.to] {
+				visited[e.to] = true
+				stack = append(stack, state{e.to, 0})
+			}
+		}
+	}
+	return false
+}
+
+func exitReachable(cfg *funcCFG, from atomSite) bool {
+	visited := map[*cfgBlock]bool{}
+	stack := []*cfgBlock{from.block}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == cfg.exit {
+			return true
+		}
+		if visited[b] {
+			continue
+		}
+		visited[b] = true
+		for _, e := range b.succs {
+			stack = append(stack, e.to)
+		}
+	}
+	return false
+}
+
+// Binding classification for the open call's result.
+type bindKind int
+
+const (
+	bindVar bindKind = iota
+	bindDiscarded
+	bindEscaped
+)
+
+// bindingOf inspects the open call's parents to find what happens to its
+// result: bound to a local variable, discarded, or escaped on the spot.
+func bindingOf(pass *Pass, path []ast.Node, call *ast.CallExpr) (bindKind, *types.Var) {
+	parent := parentNonParen(path, call)
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		return bindDiscarded, nil
+	case *ast.AssignStmt:
+		if len(p.Lhs) != len(p.Rhs) {
+			return bindEscaped, nil
+		}
+		for i, rhs := range p.Rhs {
+			if ast.Unparen(rhs) != call {
+				continue
+			}
+			id, ok := ast.Unparen(p.Lhs[i]).(*ast.Ident)
+			if !ok {
+				return bindEscaped, nil // field/index store: handed off
+			}
+			if id.Name == "_" {
+				return bindDiscarded, nil
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if v, ok := obj.(*types.Var); ok {
+				return bindVar, v
+			}
+			return bindEscaped, nil
+		}
+	case *ast.ValueSpec:
+		for i, val := range p.Values {
+			if ast.Unparen(val) != call {
+				continue
+			}
+			if i < len(p.Names) {
+				if p.Names[i].Name == "_" {
+					return bindDiscarded, nil
+				}
+				if v, ok := pass.TypesInfo.Defs[p.Names[i]].(*types.Var); ok {
+					return bindVar, v
+				}
+			}
+		}
+	}
+	return bindEscaped, nil
+}
+
+// bindingIdent returns the identifier the open call's result is bound
+// to, so the use scan can skip the binding occurrence itself.
+func bindingIdent(path []ast.Node, call *ast.CallExpr) *ast.Ident {
+	parent := parentNonParen(path, call)
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if ast.Unparen(rhs) == call && i < len(p.Lhs) {
+				if id, ok := ast.Unparen(p.Lhs[i]).(*ast.Ident); ok {
+					return id
+				}
+			}
+		}
+	case *ast.ValueSpec:
+		for i, val := range p.Values {
+			if ast.Unparen(val) == call && i < len(p.Names) {
+				return p.Names[i]
+			}
+		}
+	}
+	return nil
+}
+
+// Use classification.
+type useKind int
+
+const (
+	useRead useKind = iota
+	useConsume
+	useEscape
+)
+
+// classifyUse decides what one appearance of the handle variable does.
+func classifyUse(pass *Pass, rule *balanceRule, unit funcUnit, path []ast.Node, id *ast.Ident) useKind {
+	if path == nil {
+		return useEscape
+	}
+	// Inside a nested function literal? Only `defer func(){ ... }()`
+	// directly in this unit keeps the obligation local.
+	if lit := innermostLit(path, unit); lit != nil {
+		if deferredInUnit(path, lit) {
+			if rule.consume(pass, path, id) {
+				return useConsume
+			}
+			if rule.read(pass, path, id) {
+				return useRead
+			}
+			return useEscape
+		}
+		return useEscape
+	}
+	if rule.consume(pass, path, id) {
+		return useConsume
+	}
+	if rule.read(pass, path, id) {
+		return useRead
+	}
+	parent := parentNonParen(path, id)
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == id {
+				return useConsume // reassignment kills the tracked handle
+			}
+		}
+		return useEscape // RHS use: copied somewhere else
+	case *ast.BinaryExpr:
+		return useRead // comparison
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return useEscape
+		}
+		return useRead
+	case *ast.IfStmt, *ast.SwitchStmt, *ast.CaseClause, *ast.ForStmt:
+		return useRead // condition position
+	}
+	// Call argument, composite literal, return, send, index, selector
+	// base, range operand, ... : the handle leaves our hands.
+	return useEscape
+}
+
+// innermostLit returns the innermost function literal strictly enclosing
+// the use within this unit, or nil.
+func innermostLit(path []ast.Node, unit funcUnit) *ast.FuncLit {
+	for i := len(path) - 1; i >= 0; i-- {
+		if lit, ok := path[i].(*ast.FuncLit); ok && lit != unit.lit {
+			return lit
+		}
+	}
+	return nil
+}
+
+// deferredInUnit reports whether lit is the immediate callee of a defer
+// statement (defer func(){...}()) on the path.
+func deferredInUnit(path []ast.Node, lit *ast.FuncLit) bool {
+	for i, n := range path {
+		if n != lit {
+			continue
+		}
+		// Expect ... DeferStmt -> CallExpr -> lit.
+		if i >= 2 {
+			call, okc := path[i-1].(*ast.CallExpr)
+			_, okd := path[i-2].(*ast.DeferStmt)
+			if okc && okd && ast.Unparen(call.Fun) == lit {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// topStmtPos returns the position keying the CFG atom for a use: the
+// defer statement when the consume is deferred, else the use itself.
+func topStmtPos(unit funcUnit, path []ast.Node, id *ast.Ident) token.Pos {
+	for _, n := range path {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			return d.Pos()
+		}
+	}
+	return id.Pos()
+}
+
+// parentNonParen returns the nearest ancestor of n on path that is not a
+// parenthesis.
+func parentNonParen(path []ast.Node, n ast.Node) ast.Node {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == n {
+			for j := i - 1; j >= 0; j-- {
+				if _, ok := path[j].(*ast.ParenExpr); ok {
+					continue
+				}
+				return path[j]
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// nodePath returns the ancestor chain from root down to (and including)
+// target, or nil if target is not under root.
+func nodePath(root ast.Node, target ast.Node) []ast.Node {
+	var stack, found []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if n == target {
+			found = append([]ast.Node(nil), stack...)
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,116 @@
+package analysis
+
+// A conservative, package-local call graph. Nodes are the functions and
+// methods declared in the package under analysis; edges are the static
+// calls their bodies (including nested function literals) make, resolved
+// through the type checker. Callees outside the package — stdlib,
+// sibling packages loaded as export data, interface methods — appear as
+// leaf nodes with no out-edges, since their bodies are not loaded; this
+// matches the per-package unit model of `go vet`, where dependencies
+// arrive pre-compiled.
+//
+// The graph answers reachability questions: boundedwait uses it to
+// replace the old name-only wrapper-ladder exemption ("a call to
+// DevWaitComplete inside a function that happens to be named
+// DevWaitComplete") with real transitive membership — every function
+// reachable from a wait's own definition is part of implementing that
+// wait, however many helpers the implementation is factored into.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callGraph maps each function object to the set of functions it calls.
+type callGraph struct {
+	// calls maps caller -> callees (static, deduplicated).
+	calls map[*types.Func][]*types.Func
+	// decls maps the functions declared in this package to their bodies.
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// buildCallGraph constructs the call graph for the pass's package.
+// Calls made inside a function literal are attributed to the enclosing
+// declared function: a helper closure is part of its function's body.
+func buildCallGraph(pass *Pass) *callGraph {
+	g := &callGraph{
+		calls: map[*types.Func][]*types.Func{},
+		decls: map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			caller, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[caller] = fd
+			seen := map[*types.Func]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(pass, call); callee != nil && !seen[callee] {
+					seen[callee] = true
+					g.calls[caller] = append(g.calls[caller], callee)
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// calleeFunc resolves a call expression to the called *types.Func, or
+// nil for calls through variables, builtins, and conversions. Interface
+// method calls resolve to the interface's method object — a leaf, since
+// which implementation runs is not statically known.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ix.X // generic instantiation
+	case *ast.IndexListExpr:
+		fun = ix.X
+	}
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[f]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[f.Sel]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// reachable returns the set of declared functions reachable from roots
+// (roots included), following call edges through this package only.
+func (g *callGraph) reachable(roots []*types.Func) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if out[fn] {
+			return
+		}
+		out[fn] = true
+		for _, callee := range g.calls[fn] {
+			// Only expand callees whose bodies live in this package.
+			if _, ok := g.decls[callee]; ok {
+				visit(callee)
+			} else {
+				out[callee] = true
+			}
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return out
+}

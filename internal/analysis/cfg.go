@@ -1,0 +1,513 @@
+package analysis
+
+// A per-function control-flow graph over the statements of one Go
+// function body. The interprocedural analyzers (timerleak, spanbalance,
+// flagorder) need exactly two questions answered that a plain AST walk
+// cannot: "does every path from this statement to the function's exit
+// pass through one of these other statements?" and "can this statement
+// reach that one without re-entering a loop?". The builder below is a
+// deliberately small structured-CFG constructor in the spirit of
+// golang.org/x/tools/go/cfg, reimplemented on the standard library like
+// the rest of this package.
+//
+// Granularity: each basic block holds a list of *atoms* — simple
+// statements and the expression parts of structured statements (an if's
+// Init and Cond, a for's Post, a return's results). Structured bodies are
+// recursed into their own blocks, so no atom ever contains a nested
+// statement; analyzers can ast.Inspect an atom without double-visiting.
+// Nested function literals are separate functions: analyzers must not
+// descend into them when scanning atoms (see inspectAtom).
+//
+// Modeling choices, tuned for the invariants checked here:
+//
+//   - panic(...) terminates its path without reaching exit: a panic
+//     aborts the whole run, so an unclosed span or undisarmed timer on a
+//     panic path is not a leak the analyzers should charge.
+//   - An edge into a loop-head block is marked `back`. Path queries that
+//     model "sequenced later in this activation" (flagorder) skip back
+//     edges; liveness-style queries (timerleak, spanbalance) follow them.
+//   - defer needs no CFG modeling: a deferred consume is treated by the
+//     analyzers as consuming at the defer statement itself, since every
+//     exit reached after the defer statement executes it.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgBlock is one basic block: atoms executed in order, then a transfer
+// through one of succs.
+type cfgBlock struct {
+	index int
+	atoms []ast.Node
+	succs []cfgEdge
+}
+
+// cfgEdge is one control transfer. back marks edges into loop heads.
+type cfgEdge struct {
+	to   *cfgBlock
+	back bool
+}
+
+// funcCFG is the graph for one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// atomSite locates one atom inside a CFG.
+type atomSite struct {
+	block *cfgBlock
+	idx   int
+}
+
+// findAtom locates the atom whose subtree contains pos (excluding nested
+// function literals, which are not atoms of this CFG).
+func (c *funcCFG) findAtom(pos token.Pos) (atomSite, bool) {
+	for _, b := range c.blocks {
+		for i, a := range b.atoms {
+			if a.Pos() <= pos && pos < a.End() {
+				return atomSite{block: b, idx: i}, true
+			}
+		}
+	}
+	return atomSite{}, false
+}
+
+// cfgBuilder carries the construction state.
+type cfgBuilder struct {
+	g *funcCFG
+	// cur is the block new atoms append to; nil after a terminator until
+	// the next statement opens an unreachable continuation block.
+	cur *cfgBlock
+	// breaks/continues are the innermost targets for unlabeled branches.
+	breaks    []*cfgBlock
+	continues []*cfgBlock
+	// loopHeads marks blocks that are loop heads: edges into them are
+	// back edges.
+	loopHeads map[*cfgBlock]bool
+	// labels: pendingLabel is the label naming the *next* loop/switch
+	// built; labeled maps label -> its break/continue targets; labelBlk
+	// maps label -> the block a goto jumps to.
+	pendingLabel string
+	labeled      map[string]*labelTargets
+	labelBlk     map[string]*cfgBlock
+	gotos        []pendingGoto
+	// fallthroughTo is the next case clause's block while building a
+	// switch clause body.
+	fallthroughTo *cfgBlock
+}
+
+type labelTargets struct {
+	brk, cont *cfgBlock
+}
+
+type pendingGoto struct {
+	from  *cfgBlock
+	label string
+	pos   token.Pos
+}
+
+// buildCFG constructs the CFG for one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{
+		g:         &funcCFG{},
+		loopHeads: map[*cfgBlock]bool{},
+		labeled:   map[string]*labelTargets{},
+		labelBlk:  map[string]*cfgBlock{},
+	}
+	b.g.entry = b.newBlock()
+	b.g.exit = b.newBlock()
+	b.cur = b.g.entry
+	b.stmtList(body.List)
+	// Fall off the end of the body: implicit return.
+	b.edge(b.cur, b.g.exit)
+	// Resolve forward gotos.
+	for _, pg := range b.gotos {
+		if tgt := b.labelBlk[pg.label]; tgt != nil {
+			e := cfgEdge{to: tgt}
+			// A backward goto re-enters earlier code; treat like a loop
+			// back edge so forward-order queries do not follow it.
+			if len(tgt.atoms) > 0 && tgt.atoms[0].Pos() < pg.pos {
+				e.back = true
+			}
+			pg.from.succs = append(pg.from.succs, e)
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// edge appends from→to, marking back edges into loop heads.
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, cfgEdge{to: to, back: b.loopHeads[to]})
+}
+
+// block returns the current block, opening a fresh (unreachable)
+// continuation if a terminator just closed the path.
+func (b *cfgBuilder) block() *cfgBlock {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) atom(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.block()
+	blk.atoms = append(blk.atoms, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.ExprStmt:
+		b.atom(st)
+		if isPanicCall(st.X) {
+			b.cur = nil // path ends; the run is dead
+		}
+
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt,
+		*ast.GoStmt, *ast.DeferStmt, *ast.EmptyStmt:
+		b.atom(s)
+
+	case *ast.ReturnStmt:
+		b.atom(st)
+		b.edge(b.cur, b.g.exit)
+		b.cur = nil
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.atom(st.Init)
+		}
+		b.atom(st.Cond)
+		head := b.block()
+		thenB := b.newBlock()
+		b.edge(head, thenB)
+		b.cur = thenB
+		b.stmt(st.Body)
+		afterThen := b.cur
+		var afterElse *cfgBlock
+		if st.Else != nil {
+			elseB := b.newBlock()
+			b.edge(head, elseB)
+			b.cur = elseB
+			b.stmt(st.Else)
+			afterElse = b.cur
+		}
+		join := b.newBlock()
+		b.edge(afterThen, join)
+		if st.Else != nil {
+			b.edge(afterElse, join)
+		} else {
+			b.edge(head, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.atom(st.Init)
+		}
+		head := b.newBlock()
+		b.loopHeads[head] = true
+		b.edge(b.block(), head)
+		if st.Cond != nil {
+			head.atoms = append(head.atoms, st.Cond)
+		}
+		after := b.newBlock()
+		contTarget := head
+		var postB *cfgBlock
+		if st.Post != nil {
+			postB = b.newBlock()
+			postB.atoms = append(postB.atoms, st.Post)
+			b.edge(postB, head)
+			contTarget = postB
+		}
+		if st.Cond != nil {
+			b.edge(head, after)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.pushLoop(label, after, contTarget)
+		b.cur = body
+		b.stmt(st.Body)
+		b.edge(b.cur, contTarget)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.atom(st.X)
+		head := b.newBlock()
+		b.loopHeads[head] = true
+		b.edge(b.block(), head)
+		after := b.newBlock()
+		b.edge(head, after)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmt(st.Body)
+		b.edge(b.cur, head)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.atom(st.Init)
+		}
+		if st.Tag != nil {
+			b.atom(st.Tag)
+		}
+		b.caseClauses(label, st.Body.List, func(cc *ast.CaseClause) ([]ast.Expr, []ast.Stmt, bool) {
+			return cc.List, cc.Body, cc.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.atom(st.Init)
+		}
+		b.atom(st.Assign)
+		b.caseClauses(label, st.Body.List, func(cc *ast.CaseClause) ([]ast.Expr, []ast.Stmt, bool) {
+			return cc.List, cc.Body, cc.List == nil
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.block()
+		after := b.newBlock()
+		b.pushSwitch(label, after)
+		var hasDefault bool
+		for _, c := range st.Body.List {
+			comm := c.(*ast.CommClause)
+			cb := b.newBlock()
+			b.edge(head, cb)
+			b.cur = cb
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			} else {
+				hasDefault = true
+			}
+			b.stmtList(comm.Body)
+			b.edge(b.cur, after)
+		}
+		_ = hasDefault // a default-less select still always transfers to a clause
+		b.popSwitch()
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		lbl := b.newBlock()
+		b.edge(b.cur, lbl)
+		b.cur = lbl
+		b.labelBlk[st.Label.Name] = lbl
+		b.pendingLabel = st.Label.Name
+		b.stmt(st.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			var tgt *cfgBlock
+			if st.Label != nil {
+				if lt := b.labeled[st.Label.Name]; lt != nil {
+					tgt = lt.brk
+				}
+			} else if len(b.breaks) > 0 {
+				tgt = b.breaks[len(b.breaks)-1]
+			}
+			b.edge(b.cur, tgt)
+			b.cur = nil
+		case token.CONTINUE:
+			var tgt *cfgBlock
+			if st.Label != nil {
+				if lt := b.labeled[st.Label.Name]; lt != nil {
+					tgt = lt.cont
+				}
+			} else if len(b.continues) > 0 {
+				tgt = b.continues[len(b.continues)-1]
+			}
+			b.edge(b.cur, tgt)
+			b.cur = nil
+		case token.GOTO:
+			if b.cur != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: st.Label.Name, pos: st.Pos()})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			b.edge(b.cur, b.fallthroughTo)
+			b.cur = nil
+		}
+
+	default:
+		// Unknown statement kinds are treated as opaque atoms.
+		b.atom(s)
+	}
+}
+
+// caseClauses builds the shared switch/type-switch clause structure.
+func (b *cfgBuilder) caseClauses(label string, clauses []ast.Stmt, split func(*ast.CaseClause) ([]ast.Expr, []ast.Stmt, bool)) {
+	head := b.block()
+	after := b.newBlock()
+	b.pushSwitch(label, after)
+	// Pre-create clause blocks so fallthrough can target the next one.
+	blks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		blks[i] = b.newBlock()
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		exprs, body, isDefault := split(cc)
+		if isDefault {
+			hasDefault = true
+		}
+		b.edge(head, blks[i])
+		b.cur = blks[i]
+		for _, e := range exprs {
+			b.atom(e)
+		}
+		saved := b.fallthroughTo
+		if i+1 < len(clauses) {
+			b.fallthroughTo = blks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.stmtList(body)
+		b.fallthroughTo = saved
+		b.edge(b.cur, after)
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.popSwitch()
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *cfgBlock) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if label != "" {
+		b.labeled[label] = &labelTargets{brk: brk, cont: cont}
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *cfgBuilder) pushSwitch(label string, brk *cfgBlock) {
+	b.breaks = append(b.breaks, brk)
+	if label != "" {
+		b.labeled[label] = &labelTargets{brk: brk}
+	}
+}
+
+func (b *cfgBuilder) popSwitch() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+// isPanicCall reports whether e is a direct call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic" && id.Obj == nil
+}
+
+// inspectAtom walks an atom's subtree without descending into nested
+// function literals (which are separate functions with their own CFGs).
+func inspectAtom(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// funcUnit is one analyzable function: a declaration or a function
+// literal, with its body.
+type funcUnit struct {
+	name string
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	body *ast.BlockStmt
+}
+
+// funcUnits enumerates every function body in a file: declarations and
+// all nested function literals, outermost first. Each literal is its own
+// unit — "every path out of the arming function" means paths out of the
+// innermost enclosing function, not out of the declaration that happens
+// to lexically contain it.
+func funcUnits(f *ast.File) []funcUnit {
+	var units []funcUnit
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		units = append(units, funcUnit{name: fd.Name.Name, decl: fd, body: fd.Body})
+		collectLits(fd.Body, fd.Name.Name, &units)
+	}
+	// Function literals in package-level var initializers.
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				collectLits(v, "package-level func literal", &units)
+			}
+		}
+	}
+	return units
+}
+
+func collectLits(root ast.Node, outer string, units *[]funcUnit) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		*units = append(*units, funcUnit{name: "func literal in " + outer, lit: lit, body: lit.Body})
+		collectLits(lit.Body, outer, units)
+		return false
+	})
+}

@@ -32,6 +32,7 @@ type directive struct {
 	reason   string // justification after " -- ", "" if missing
 	pos      token.Position
 	fileWide bool // appeared before the package clause
+	used     bool // suppressed at least one finding this run
 }
 
 // parseDirective splits one comment. ok is false for comments that are
@@ -56,20 +57,22 @@ func parseDirective(c *ast.Comment) (analyzer, reason string, ok bool) {
 }
 
 // directiveIndex records, per file, which analyzers are allowed where.
+// Entries point at the shared directive records so suppression hits can
+// be tracked for stale-allow detection.
 type directiveIndex struct {
-	// fileWide maps filename -> analyzer names allowed for the whole file.
-	fileWide map[string]map[string]bool
-	// byLine maps filename -> line -> analyzer names allowed on that line.
-	byLine map[string]map[int]map[string]bool
+	// fileWide maps filename -> analyzer name -> whole-file directives.
+	fileWide map[string]map[string][]*directive
+	// byLine maps filename -> line -> analyzer name -> directives there.
+	byLine map[string]map[int]map[string][]*directive
 	// all holds every directive (well-formed or not) for validation.
-	all []directive
+	all []*directive
 }
 
 // parseDirectives scans the comments of every file.
 func parseDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
 	idx := &directiveIndex{
-		fileWide: map[string]map[string]bool{},
-		byLine:   map[string]map[int]map[string]bool{},
+		fileWide: map[string]map[string][]*directive{},
+		byLine:   map[string]map[int]map[string][]*directive{},
 	}
 	for _, f := range files {
 		pkgLine := fset.Position(f.Package).Line
@@ -80,7 +83,7 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				d := directive{
+				d := &directive{
 					analyzer: name,
 					reason:   reason,
 					pos:      pos,
@@ -93,23 +96,23 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
 				if d.fileWide {
 					m := idx.fileWide[pos.Filename]
 					if m == nil {
-						m = map[string]bool{}
+						m = map[string][]*directive{}
 						idx.fileWide[pos.Filename] = m
 					}
-					m[name] = true
+					m[name] = append(m[name], d)
 				} else {
 					lines := idx.byLine[pos.Filename]
 					if lines == nil {
-						lines = map[int]map[string]bool{}
+						lines = map[int]map[string][]*directive{}
 						idx.byLine[pos.Filename] = lines
 					}
 					for _, ln := range []int{pos.Line, pos.Line + 1} {
 						m := lines[ln]
 						if m == nil {
-							m = map[string]bool{}
+							m = map[string][]*directive{}
 							lines[ln] = m
 						}
-						m[name] = true
+						m[name] = append(m[name], d)
 					}
 				}
 			}
@@ -120,27 +123,35 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
 
 // valid reports whether the directive names a real analyzer and carries
 // a non-empty reason.
-func (d directive) valid() bool {
+func (d *directive) valid() bool {
 	return d.analyzer != "" && d.analyzer != directiveName &&
 		ByName(d.analyzer) != nil && d.reason != ""
 }
 
 // allows reports whether a finding of the named analyzer at pos is
-// suppressed.
+// suppressed, marking every directive that contributed as used.
 func (idx *directiveIndex) allows(analyzer string, pos token.Position) bool {
-	if idx.fileWide[pos.Filename][analyzer] {
-		return true
+	hit := false
+	for _, d := range idx.fileWide[pos.Filename][analyzer] {
+		d.used = true
+		hit = true
 	}
-	return idx.byLine[pos.Filename][pos.Line][analyzer]
+	for _, d := range idx.byLine[pos.Filename][pos.Line][analyzer] {
+		d.used = true
+		hit = true
+	}
+	return hit
 }
 
 // Directive validates the suppression directives themselves: every
 // //putget:allow must name a known analyzer and carry a reason after
 // " -- ". It runs in every package (including non-sim-domain ones) so a
-// typo can never silently disable a real check.
+// typo can never silently disable a real check. Stale detection — a
+// valid directive that suppressed nothing — is done by RunPackage after
+// all analyzers have reported, and is attributed to this analyzer.
 var Directive = &Analyzer{
 	Name: directiveName,
-	Doc:  "putget:allow directives must name a known analyzer and carry a reason",
+	Doc:  "putget:allow directives must name a known analyzer, carry a reason, and suppress something",
 }
 
 // Run is attached in init to break the initialization cycle

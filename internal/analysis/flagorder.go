@@ -1,0 +1,229 @@
+package analysis
+
+// The flagorder analyzer flags a flag/imm put sequenced before the bulk
+// put it signals on the same connection.
+//
+// Motivating bug (PR 8): both fabrics guarantee per-connection FIFO, so
+// the signalling idiom is "post the bulk data, then post the imm flag" —
+// the receiver that polls the flag and sees it set may then read the
+// data. Posted the other way round, the tiny imm descriptor overtakes
+// the still-in-flight bulk payload and the receiver reads stale bytes.
+// PR 8's per-cable FIFO fix made the simulator honest about this; the
+// analyzer makes the ordering a vet-time invariant: within a function,
+// an Imm put on an endpoint followed (on some forward path, with no
+// intervening completion wait) by a bulk put on the same endpoint is
+// reported at the imm put.
+//
+// Loops are handled by excluding CFG back edges — an imm at the end of
+// iteration i does not "precede" iteration i+1's bulk put — and any
+// blocking synchronization call (Wait*/Poll*/Barrier/Quiet/Fence) ends
+// the search on that path, since the signal has then been consumed.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FlagOrder reports imm/flag puts posted before the bulk put they signal.
+var FlagOrder = &Analyzer{
+	Name: "flagorder",
+	Doc:  "report a flag/imm put sequenced before the bulk put it signals on the same endpoint",
+	Run:  runFlagOrder,
+}
+
+const transportPkgPath = "putget/internal/transport"
+
+// Method-name sets from the transport.Endpoint method set.
+var (
+	immPutNames  = map[string]bool{"DevPutImm": true, "HostPutImm": true}
+	bulkPutNames = map[string]bool{"DevPut": true, "DevPutCollective": true, "HostPut": true}
+)
+
+// barrierCallName reports whether a callee name is a blocking
+// synchronization point that consumes the signal.
+func barrierCallName(name string) bool {
+	if strings.Contains(name, "Wait") || strings.Contains(name, "Poll") ||
+		strings.Contains(name, "Barrier") || strings.Contains(name, "Quiet") ||
+		strings.Contains(name, "Fence") {
+		return true
+	}
+	// Synchronous round-trips order the connection too.
+	return name == "DevGet" || name == "HostGet" || name == "DevFetchAdd" || name == "HostFetchAdd"
+}
+
+func runFlagOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, unit := range funcUnits(f) {
+			checkFlagOrderUnit(pass, unit)
+		}
+	}
+	return nil
+}
+
+// putEvent is one ordered occurrence inside an atom: an imm put, a bulk
+// put, or a barrier call.
+type putEvent struct {
+	kind putEventKind
+	recv string // receiver expression, for imm/bulk matching
+	name string // method name
+	pos  token.Pos
+}
+
+type putEventKind int
+
+const (
+	evImm putEventKind = iota
+	evBulk
+	evBarrier
+)
+
+func checkFlagOrderUnit(pass *Pass, unit funcUnit) {
+	// Quick scan: any imm put at all in this unit?
+	events := map[ast.Node][]putEvent{} // atom -> ordered events
+	haveImm := false
+
+	collect := func(atom ast.Node) []putEvent {
+		if ev, ok := events[atom]; ok {
+			return ev
+		}
+		var ev []putEvent
+		inspectAtom(atom, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case immPutNames[name] && isEndpointMethodSel(pass, sel):
+				ev = append(ev, putEvent{evImm, exprString(sel.X), name, call.Pos()})
+			case bulkPutNames[name] && isEndpointMethodSel(pass, sel):
+				ev = append(ev, putEvent{evBulk, exprString(sel.X), name, call.Pos()})
+			case barrierCallName(name):
+				ev = append(ev, putEvent{kind: evBarrier, name: name, pos: call.Pos()})
+			}
+			return true
+		})
+		// ast.Inspect is pre-order, which follows source order for
+		// sibling statements; sort defensively anyway.
+		for i := 1; i < len(ev); i++ {
+			for j := i; j > 0 && ev[j].pos < ev[j-1].pos; j-- {
+				ev[j], ev[j-1] = ev[j-1], ev[j]
+			}
+		}
+		events[atom] = ev
+		return ev
+	}
+
+	ast.Inspect(unit.body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != unit.body {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if immPutNames[sel.Sel.Name] && isEndpointMethodSel(pass, sel) {
+					haveImm = true
+				}
+			}
+		}
+		return true
+	})
+	if !haveImm {
+		return
+	}
+	cfg := buildCFG(unit.body)
+
+	for _, b := range cfg.blocks {
+		for ai, atom := range b.atoms {
+			for ei, ev := range collect(atom) {
+				if ev.kind != evImm {
+					continue
+				}
+				if bulk := bulkAfterImm(cfg, collect, b, ai, ei, ev.recv); bulk != nil {
+					pass.Reportf(ev.pos,
+						"flag/imm put %s on %s is posted before the bulk put %s it signals (%s): "+
+							"on a FIFO connection the imm overtakes the payload and the receiver reads stale data "+
+							"(the PR 8 class); post the bulk put first, "+
+							"or annotate with //putget:allow flagorder -- <reason>",
+						ev.name, ev.recv, bulk.name, pass.Fset.Position(bulk.pos))
+				}
+			}
+		}
+	}
+}
+
+// bulkAfterImm searches forward from the imm event (block b, atom index
+// ai, event index ei) along non-back edges for a bulk put on the same
+// receiver, stopping each path at a barrier call. Returns the first
+// matching bulk event, or nil.
+func bulkAfterImm(cfg *funcCFG, collect func(ast.Node) []putEvent, b *cfgBlock, ai, ei int, recv string) *putEvent {
+	// scanAtoms processes events of atoms[from:] in block blk, the first
+	// atom starting at event index evFrom. Returns (found, stopped).
+	type frame struct {
+		blk    *cfgBlock
+		from   int
+		evFrom int
+	}
+	visited := map[*cfgBlock]bool{b: true}
+	stack := []frame{{b, ai, ei + 1}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stopped := false
+		for i := fr.from; i < len(fr.blk.atoms) && !stopped; i++ {
+			evs := collect(fr.blk.atoms[i])
+			start := 0
+			if i == fr.from {
+				start = fr.evFrom
+			}
+			for _, ev := range evs[start:] {
+				if ev.kind == evBarrier {
+					stopped = true
+					break
+				}
+				if ev.kind == evBulk && ev.recv == recv {
+					found := ev
+					return &found
+				}
+			}
+		}
+		if stopped {
+			continue
+		}
+		for _, e := range fr.blk.succs {
+			if e.back || visited[e.to] {
+				continue
+			}
+			visited[e.to] = true
+			stack = append(stack, frame{e.to, 0, 0})
+		}
+	}
+	return nil
+}
+
+// isEndpointMethodSel reports whether sel selects a method on a
+// transport endpoint: the receiver's named type (the Endpoint interface
+// or a concrete endpoint implementation) lives in the transport package.
+func isEndpointMethodSel(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == transportPkgPath
+}

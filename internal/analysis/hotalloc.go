@@ -1,0 +1,247 @@
+package analysis
+
+// The hotalloc analyzer guards the engine's marked hot paths against
+// per-event allocations: composite literals that allocate, closures
+// that capture (each capture materializes a heap cell + closure
+// object), and interface boxing of non-pointer values at call
+// boundaries.
+//
+// Motivating work (PR 7, PR 9): the event-engine rewrite got its 2.3×
+// from exactly these — value-typed heap entries instead of boxed
+// events, a once-per-spawn `resumeF` method value instead of a fresh
+// wake closure per park, and the allocs/op bench baselines in CI that
+// keep regressions out. The bench guard only fires for paths a
+// benchmark exercises; this analyzer covers every function annotated
+// with a `//putget:hot` marker comment, at vet time.
+//
+// Exemptions: allocations inside a panic(...) argument chain are free —
+// that path is the end of the run, not a per-event cost. Test files are
+// exempt as everywhere in this suite.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc reports allocation sites inside //putget:hot functions.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "report composite-literal, closure-capture, and interface-boxing allocations in //putget:hot functions",
+	Run:  runHotAlloc,
+}
+
+// hotMarker is the doc-comment line that opts a function into the
+// allocation guard.
+const hotMarker = "//putget:hot"
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotMarked(fd.Doc) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func isHotMarked(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == hotMarker || strings.HasPrefix(text, hotMarker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	panicRanges := collectPanicRanges(pass, fd.Body)
+	inPanic := func(pos token.Pos) bool {
+		for _, r := range panicRanges {
+			if pos >= r[0] && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	name := fd.Name.Name
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if caps := captureCount(pass, fd, x); caps > 0 && !inPanic(x.Pos()) {
+				pass.Reportf(x.Pos(),
+					"closure capturing %d variable(s) allocates in hot path %s: "+
+						"predeclare it once (the engine's resumeF pattern) or pass state explicitly, "+
+						"or annotate with //putget:allow hotalloc -- <reason>", caps, name)
+			}
+			return false // the literal's body runs elsewhere
+		case *ast.CompositeLit:
+			if kind := allocatingLitKind(pass, x); kind != "" && !inPanic(x.Pos()) {
+				pass.Reportf(x.Pos(),
+					"%s allocates in hot path %s: hoist it out of the hot path or reuse a buffer, "+
+						"or annotate with //putget:allow hotalloc -- <reason>", kind, name)
+			}
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return true
+			}
+			if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok && !inPanic(x.Pos()) {
+				pass.Reportf(x.Pos(),
+					"&composite literal allocates in hot path %s: reuse a preallocated value, "+
+						"or annotate with //putget:allow hotalloc -- <reason>", name)
+			}
+		case *ast.CallExpr:
+			for _, box := range boxedArgs(pass, x) {
+				if !inPanic(box.Pos()) {
+					pass.Reportf(box.Pos(),
+						"value %s is boxed into an interface and allocates in hot path %s: "+
+							"take a pointer or a concrete type, "+
+							"or annotate with //putget:allow hotalloc -- <reason>",
+						exprString(box), name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectPanicRanges records the source extents of every panic(...)
+// call so allocations on the way into a panic are exempt.
+func collectPanicRanges(pass *Pass, body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPanicIdent(pass, call.Fun) {
+			out = append(out, [2]token.Pos{call.Pos(), call.End()})
+		}
+		return true
+	})
+	return out
+}
+
+func isPanicIdent(pass *Pass, fun ast.Expr) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// captureCount counts distinct variables a function literal captures
+// from the enclosing declaration — parameters, receiver, or locals
+// declared outside the literal. Zero captures means a static closure,
+// which the compiler shares without allocating.
+func captureCount(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) int {
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		// Declared inside the enclosing function but outside the literal?
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			seen[v] = true
+		}
+		return true
+	})
+	return len(seen)
+}
+
+// allocatingLitKind classifies a composite literal that heap-allocates:
+// slice and map literals always do; struct and array value literals do
+// not (the &T{} case is reported at the & operator).
+func allocatingLitKind(pass *Pass, lit *ast.CompositeLit) string {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return ""
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		return "slice literal"
+	case *types.Map:
+		return "map literal"
+	}
+	return ""
+}
+
+// boxedArgs returns the call arguments that are converted to an
+// interface type and carry a non-pointer-shaped concrete value — each
+// such conversion allocates. Calls through `...` spreads pass the slice
+// unboxed. Conversions T(x) with interface T are handled too.
+func boxedArgs(pass *Pass, call *ast.CallExpr) []ast.Expr {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	if tv.IsType() {
+		// Conversion to an interface type.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(pass, call.Args[0]) {
+			return call.Args[:1]
+		}
+		return nil
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return nil // builtin or invalid
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	var out []ast.Expr
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, nothing boxed
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && boxes(pass, arg) {
+			out = append(out, arg)
+		}
+	}
+	return out
+}
+
+// boxes reports whether storing arg's value in an interface allocates:
+// true for concrete non-pointer-shaped values, false for nil, existing
+// interfaces, and pointer-shaped types (pointer, chan, map, func,
+// unsafe.Pointer), which fit the interface word directly.
+func boxes(pass *Pass, arg ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		if tv.Type.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}

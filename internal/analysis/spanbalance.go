@@ -1,0 +1,63 @@
+package analysis
+
+// The spanbalance analyzer flags SpanOpen/SpanOpenAt calls with a path
+// to return that lacks the matching SpanClose.
+//
+// Motivating bugs (PR 3, PR 6): the span tracing layer's exact-sum
+// `breakdown` experiment requires every opened span to close — an
+// unbalanced span either skews a stage's latency sum or trips the
+// recorder's dynamic imbalance check, but only on runs where tracing is
+// attached and the leaky path executes. The kv suite checks this
+// dynamically; this analyzer moves the check to vet time, where the
+// leaky error-return path is visible without having to provoke it.
+
+import (
+	"go/ast"
+)
+
+// SpanBalance reports trace spans opened but not closed on every path.
+var SpanBalance = &Analyzer{
+	Name: "spanbalance",
+	Doc:  "report SpanOpen/SpanOpenAt without a matching SpanClose on every path",
+	Run:  runSpanBalance,
+}
+
+var spanBalanceRule = &balanceRule{
+	openNames: map[string]bool{"SpanOpen": true, "SpanOpenAt": true},
+	consume:   spanConsume,
+	read:      spanRead,
+	discarded: func(open string) string {
+		return "result of " + open + " discarded: the span can never be closed " +
+			"and will skew breakdown sums; keep the SpanID and SpanClose it, " +
+			"or annotate with //putget:allow spanbalance -- <reason>"
+	},
+	leaked: func(open, fn string) string {
+		return "span from " + open + " is not closed on a path out of " + fn + ": " +
+			"add SpanClose before every return (defer works), " +
+			"or annotate with //putget:allow spanbalance -- <reason>"
+	},
+}
+
+func runSpanBalance(pass *Pass) error {
+	return runBalance(pass, spanBalanceRule)
+}
+
+// spanConsume matches `e.SpanClose(id)` / `e.SpanCloseAt(id, at)` where
+// e is a sim.Engine and id is the tracked span.
+func spanConsume(pass *Pass, path []ast.Node, id *ast.Ident) bool {
+	call, ok := parentNonParen(path, id).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 || ast.Unparen(call.Args[0]) != id {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "SpanClose" && sel.Sel.Name != "SpanCloseAt") {
+		return false
+	}
+	return isEngineMethodSel(pass, sel)
+}
+
+// spanRead: SpanIDs have no query methods; comparisons and condition
+// positions are already handled structurally by the balance engine.
+func spanRead(pass *Pass, path []ast.Node, id *ast.Ident) bool {
+	return false
+}

@@ -1,0 +1,54 @@
+// Fixtures for the flagorder analyzer: on a FIFO connection the
+// "data ready" flag must be posted after the bulk put it signals. The
+// seeded violation reproduces the PR 8 stale-read bug, where the tiny
+// imm descriptor overtook the still-in-flight payload.
+package core
+
+import "putget/internal/transport"
+
+var reg transport.Region
+
+// flagBeforeData is the PR 8 repro: flag first, payload second — the
+// receiver polls the flag, sees it set, and reads stale bytes.
+func flagBeforeData(ep transport.Endpoint) {
+	ep.DevPutImm(1, reg, 0, 8, 0) // want `flag/imm put DevPutImm on ep is posted before the bulk put DevPut it signals`
+	ep.DevPut(reg, 0, reg, 64, 4096, 0)
+}
+
+// hostFlagBeforeData: same bug through the host mirror, across a branch.
+func hostFlagBeforeData(ep transport.Endpoint, twice bool) {
+	ep.HostPutImm(1, reg, 0, 8, 0) // want `flag/imm put HostPutImm on ep is posted before the bulk put HostPut it signals`
+	if twice {
+		ep.HostPut(reg, 0, reg, 64, 1024, 0)
+	}
+}
+
+// dataThenFlag is the correct idiom: payload, then flag. Clean.
+func dataThenFlag(ep transport.Endpoint) {
+	ep.DevPut(reg, 0, reg, 64, 4096, 0)
+	ep.DevPutImm(1, reg, 0, 8, 0)
+}
+
+// pipelined: the imm at the end of iteration i does not precede
+// iteration i+1's bulk put — back edges are not "before". Clean.
+func pipelined(ep transport.Endpoint, n int) {
+	for i := 0; i < n; i++ {
+		ep.HostPut(reg, 0, reg, 64, 1024, 0)
+		ep.HostPutImm(uint64(i), reg, 0, 8, 0)
+	}
+}
+
+// fenced: a completion wait between the imm and the next bulk put
+// consumes the signal — the next put starts a new exchange. Clean.
+func fenced(ep transport.Endpoint) {
+	ep.HostPutImm(1, reg, 0, 8, 0)
+	ep.HostWaitCompleteTimeout(0, 10)
+	ep.HostPut(reg, 0, reg, 64, 1024, 0)
+}
+
+// twoConns: puts on different endpoints are unordered relative to each
+// other — no pairing, clean.
+func twoConns(a, b transport.Endpoint) {
+	a.DevPutImm(1, reg, 0, 8, 0)
+	b.DevPut(reg, 0, reg, 64, 4096, 0)
+}

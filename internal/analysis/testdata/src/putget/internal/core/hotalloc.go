@@ -1,0 +1,63 @@
+// Fixtures for the hotalloc analyzer: functions marked //putget:hot
+// must not allocate per call — no allocating composite literals, no
+// capturing closures, no interface boxing of non-pointer values. The
+// marker turns the PR 7/PR 9 allocs/op bench baselines into a vet-time
+// guard.
+package core
+
+type kvPair struct{ k, v int }
+
+type failure struct{ code int }
+
+// dispatch is marked hot: every allocation shape below is seeded.
+//
+//putget:hot
+func dispatch(emit func(interface{}), sink func(func())) {
+	box := 7
+	emit(box)             // want `value box is boxed into an interface and allocates in hot path dispatch`
+	tmp := []int{1, 2, 3} // want `slice literal allocates in hot path dispatch`
+	box += tmp[0]
+	sink(func() { box++ }) // want `closure capturing 1 variable\(s\) allocates in hot path dispatch`
+}
+
+// hotPointer returns a fresh pair per call.
+//
+//putget:hot
+func hotPointer(k, v int) *kvPair {
+	return &kvPair{k, v} // want `&composite literal allocates in hot path hotPointer`
+}
+
+// hotClean is hot and allocation-free: no findings.
+//
+//putget:hot
+func hotClean(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// hotStatic passes a closure that captures nothing: the compiler shares
+// one static closure, no allocation, clean.
+//
+//putget:hot
+func hotStatic(run func(func())) {
+	run(func() {})
+}
+
+// hotPanic allocates only on the way into a panic: that path ends the
+// run, so it is exempt.
+//
+//putget:hot
+func hotPanic(i int) int {
+	if i < 0 {
+		panic(&failure{i})
+	}
+	return i
+}
+
+// coldAlloc is unmarked: allocations are fine outside hot paths.
+func coldAlloc() []int {
+	return []int{1, 2, 3}
+}

@@ -1,0 +1,49 @@
+// Fixtures for the spanbalance analyzer: a SpanOpen/SpanOpenAt must be
+// matched by SpanClose on every path out of the opening function — the
+// PR 3/PR 6 class where an early error return skips the close and the
+// breakdown experiment's exact-sum check only catches it dynamically.
+package core
+
+import "putget/internal/sim"
+
+func stageWork() bool { return true }
+
+// unbalancedStage is the seeded violation: the failure path returns
+// without closing the stage span.
+func unbalancedStage(e *sim.Engine, fail bool) {
+	id := e.SpanOpen("core", "stage") // want `span from SpanOpen is not closed on a path out of unbalancedStage`
+	if fail {
+		return
+	}
+	e.SpanClose(id)
+}
+
+// droppedSpan discards the id: the span can never be closed.
+func droppedSpan(e *sim.Engine) {
+	e.SpanOpenAt(e.Now(), "core", "stage") // want `result of SpanOpenAt discarded`
+}
+
+// balancedBranches closes on both paths: clean.
+func balancedBranches(e *sim.Engine, fail bool) {
+	id := e.SpanOpen("core", "stage")
+	if fail {
+		e.SpanCloseAt(id, e.Now())
+		return
+	}
+	e.SpanClose(id)
+}
+
+// balancedDefer closes via defer: covers every exit, clean.
+func balancedDefer(e *sim.Engine) {
+	id := e.SpanOpenAt(e.Now(), "core", "stage")
+	defer e.SpanClose(id)
+	for stageWork() {
+		return
+	}
+}
+
+// openSpanHelper returns the id to the caller: the balance obligation
+// moves with it, clean here.
+func openSpanHelper(e *sim.Engine, kind string) sim.SpanID {
+	return e.SpanOpen("core", kind)
+}

@@ -1,0 +1,73 @@
+// Fixtures for the timerleak analyzer: an AtTimer/AfterTimer handle
+// must be Cancelled or handed off on every path out of the arming
+// function. The seeded violation reproduces the PR 7 tombstone class:
+// a retry timer armed per attempt and abandoned when the reply wins
+// the race.
+package core
+
+import "putget/internal/sim"
+
+func onRetry() {}
+
+// undisarmedRetry is the PR 7 bug shape: the reply-wins path returns
+// without disarming the retry timer, which later fires against
+// completed state.
+func undisarmedRetry(e *sim.Engine, replyWon bool) {
+	rt := e.AfterTimer(5, onRetry) // want `timer from AfterTimer leaks on a path out of undisarmedRetry`
+	if replyWon {
+		return
+	}
+	rt.Cancel()
+}
+
+// droppedTimer discards the handle outright: it can never be cancelled.
+func droppedTimer(e *sim.Engine) {
+	e.AtTimer(10, onRetry) // want `result of AtTimer discarded`
+}
+
+// disarmedRetry cancels on both paths: clean.
+func disarmedRetry(e *sim.Engine, replyWon bool) {
+	rt := e.AfterTimer(5, onRetry)
+	if replyWon {
+		rt.Cancel()
+		return
+	}
+	rt.Cancel()
+}
+
+// deferredDisarm uses defer: the cancel covers every exit.
+func deferredDisarm(e *sim.Engine, steps int) {
+	rt := e.AfterTimer(5, onRetry)
+	defer rt.Cancel()
+	for i := 0; i < steps; i++ {
+		if i == 3 {
+			return
+		}
+	}
+}
+
+// deferredClosureDisarm cancels inside a deferred literal: still a
+// consume at the defer statement.
+func deferredClosureDisarm(e *sim.Engine) {
+	rt := e.AfterTimer(5, onRetry)
+	defer func() {
+		if rt.Active() {
+			rt.Cancel()
+		}
+	}()
+}
+
+type pendingOp struct {
+	retry sim.Timer
+}
+
+// handoff stores the handle in the operation record: ownership moves to
+// whoever completes the op, so the arming function owes nothing.
+func handoff(e *sim.Engine, op *pendingOp) {
+	op.retry = e.AfterTimer(5, onRetry)
+}
+
+// escapeByReturn hands the handle to the caller: clean here.
+func escapeByReturn(e *sim.Engine) sim.Timer {
+	return e.AfterTimer(5, onRetry)
+}

@@ -1,6 +1,7 @@
 // Package sim is a fixture stub of the real discrete-event engine: just
 // enough surface, under the canonical import path, for the putgetlint
-// analyzers to resolve engine handles and event-posting methods against.
+// analyzers to resolve engine handles, event-posting methods, timer
+// handles, and span ids against.
 package sim
 
 // Time is the virtual clock.
@@ -17,6 +18,51 @@ func (e *Engine) Tracef(format string, args ...interface{}) {}
 
 // At schedules fn at virtual time t (order-observable).
 func (e *Engine) At(t Time, name string, fn func()) {}
+
+// After schedules fn a duration from now (order-observable).
+func (e *Engine) After(d Duration, fn func()) {}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return 0 }
+
+// Timer is a (stub) cancellable event handle.
+type Timer struct{}
+
+// AtTimer arms a cancellable event at absolute time t.
+func (e *Engine) AtTimer(t Time, fn func()) Timer { return Timer{} }
+
+// AfterTimer arms a cancellable event d from now.
+func (e *Engine) AfterTimer(d Duration, fn func()) Timer { return Timer{} }
+
+// Cancel disarms the timer; reports whether it was still pending.
+func (t Timer) Cancel() bool { return false }
+
+// Active reports whether the timer is still pending.
+func (t Timer) Active() bool { return false }
+
+// SpanID identifies one span; the zero id means "observability off".
+type SpanID uint64
+
+// Attr is one key=value attribute on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Observing reports whether an observer is installed.
+func (e *Engine) Observing() bool { return false }
+
+// SpanOpen opens a span starting now.
+func (e *Engine) SpanOpen(comp, kind string, attrs ...Attr) SpanID { return 0 }
+
+// SpanOpenAt opens a span with an explicit start time.
+func (e *Engine) SpanOpenAt(at Time, comp, kind string, attrs ...Attr) SpanID { return 0 }
+
+// SpanClose ends a span now.
+func (e *Engine) SpanClose(id SpanID) {}
+
+// SpanCloseAt ends a span at an explicit time.
+func (e *Engine) SpanCloseAt(id SpanID, at Time) {}
 
 // Proc is a (stub) engine-owned coroutine.
 type Proc struct{}

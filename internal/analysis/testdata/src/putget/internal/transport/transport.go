@@ -1,0 +1,31 @@
+// Package transport is a fixture stub of the fabric-agnostic endpoint
+// API, under the canonical import path, so the flagorder analyzer can
+// match put/wait calls against the Endpoint method set and boundedwait
+// can derive the unbounded-wait names from it.
+package transport
+
+import "putget/internal/sim"
+
+// Region names a (stub) registered memory region.
+type Region struct{}
+
+// Completion is a (stub) reaped completion record.
+type Completion struct{}
+
+// CompClass selects local vs remote completions.
+type CompClass int
+
+// Endpoint is the (stub) data plane: one side of a connection.
+type Endpoint interface {
+	DevPut(src Region, srcOff uint64, dst Region, dstOff uint64, size, flags int)
+	DevPutImm(value uint64, dst Region, dstOff uint64, size, flags int)
+	DevPutCollective(src Region, srcOff uint64, dst Region, dstOff uint64, size, flags int)
+	DevGet(dst Region, dstOff uint64, src Region, srcOff uint64, size int)
+	DevWaitComplete(c CompClass) Completion
+	DevWaitCompleteTimeout(c CompClass, timeout sim.Duration) (Completion, bool)
+
+	HostPut(src Region, srcOff uint64, dst Region, dstOff uint64, size, flags int)
+	HostPutImm(value uint64, dst Region, dstOff uint64, size, flags int)
+	HostWaitComplete(c CompClass) Completion
+	HostWaitCompleteTimeout(c CompClass, timeout sim.Duration) (Completion, bool)
+}

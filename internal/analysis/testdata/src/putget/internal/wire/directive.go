@@ -22,3 +22,11 @@ import "time"
 //
 //putget:allow nowalltime
 var bootStamp = time.Now() // want `wall-clock time\.Now in sim-domain package putget/internal/wire`
+
+// A well-formed directive that suppresses nothing is stale: the code it
+// excused is gone, and keeping it would silently shield whatever lands
+// on its line next.
+// want+2 `stale putget:allow boundedwait: it suppresses no finding`
+//
+//putget:allow boundedwait -- fixture: nothing here blocks; this allow is stale and must be reported
+var staleAnchor = 0

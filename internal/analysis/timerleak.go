@@ -1,0 +1,67 @@
+package analysis
+
+// The timerleak analyzer flags AtTimer/AfterTimer handles that are
+// neither Cancelled nor provably consumed on every path out of the
+// arming function.
+//
+// Motivating bug (PR 7): the event-engine rewrite introduced
+// cancellable timers precisely because the old engine accumulated
+// tombstones — retry/deadline events armed and then abandoned when the
+// operation completed first. A dropped Timer handle recreates that bug
+// at the call site: the timer still fires, the closure still runs, and
+// either the heap carries dead weight or — worse — a stale retry
+// executes against completed state. Every armed timer must be owned:
+// cancelled on the paths that no longer need it, or handed off (stored,
+// returned, passed) to the code that will.
+
+import (
+	"go/ast"
+)
+
+// TimerLeak reports sim timers armed and then dropped.
+var TimerLeak = &Analyzer{
+	Name: "timerleak",
+	Doc:  "report AtTimer/AfterTimer handles not cancelled or handed off on every path",
+	Run:  runTimerLeak,
+}
+
+var timerLeakRule = &balanceRule{
+	openNames: map[string]bool{"AtTimer": true, "AfterTimer": true},
+	consume:   timerConsume,
+	read:      timerRead,
+	discarded: func(open string) string {
+		return "result of " + open + " discarded: the timer cannot be cancelled; " +
+			"keep the handle and Cancel it when the waited-for event wins the race, " +
+			"or annotate with //putget:allow timerleak -- <reason>"
+	},
+	leaked: func(open, fn string) string {
+		return "timer from " + open + " leaks on a path out of " + fn + ": " +
+			"Cancel it on every exit that abandons it (the PR 7 tombstone class), " +
+			"or annotate with //putget:allow timerleak -- <reason>"
+	},
+}
+
+func runTimerLeak(pass *Pass) error {
+	return runBalance(pass, timerLeakRule)
+}
+
+// timerConsume matches `v.Cancel()`.
+func timerConsume(pass *Pass, path []ast.Node, id *ast.Ident) bool {
+	return methodCallOn(path, id, "Cancel")
+}
+
+// timerRead matches `v.Active()` — a harmless query.
+func timerRead(pass *Pass, path []ast.Node, id *ast.Ident) bool {
+	return methodCallOn(path, id, "Active")
+}
+
+// methodCallOn reports whether id appears as the receiver of a direct
+// method call `id.name(...)`.
+func methodCallOn(path []ast.Node, id *ast.Ident, name string) bool {
+	sel, ok := parentNonParen(path, id).(*ast.SelectorExpr)
+	if !ok || sel.X != id || sel.Sel.Name != name {
+		return false
+	}
+	call, ok := parentNonParen(path, sel).(*ast.CallExpr)
+	return ok && ast.Unparen(call.Fun) == sel
+}

@@ -25,6 +25,8 @@ func evLess(a, b *event) bool {
 
 // setPos records an event's current heap index in its timer slot, so
 // Timer.Cancel can remove it from the middle of the heap in O(log n).
+//
+//putget:hot
 func (e *Engine) setPos(i int) {
 	if t := e.events[i].tslot; t >= 0 {
 		e.timers[t].pos = int32(i)
@@ -39,6 +41,8 @@ func (e *Engine) setPos(i int) {
 
 // siftUp restores the heap invariant after inserting at index i. It moves
 // the hole rather than swapping, so each displaced event is written once.
+//
+//putget:hot
 func (e *Engine) siftUp(i int) {
 	ev := e.events[i]
 	for i > 0 {
@@ -56,6 +60,8 @@ func (e *Engine) siftUp(i int) {
 
 // siftDown restores the heap invariant below index i and reports whether
 // the element moved (Cancel uses that to decide whether to sift up).
+//
+//putget:hot
 func (e *Engine) siftDown(i int) bool {
 	n := len(e.events)
 	ev := e.events[i]
@@ -89,6 +95,8 @@ func (e *Engine) siftDown(i int) bool {
 
 // popMin removes and returns the earliest event. The vacated tail slot is
 // zeroed so the heap does not retain the callback closure.
+//
+//putget:hot
 func (e *Engine) popMin() (Time, func()) {
 	ev := e.events[0]
 	if ev.tslot >= 0 {
@@ -108,6 +116,8 @@ func (e *Engine) popMin() (Time, func()) {
 }
 
 // removeEvent deletes the event at heap index i (Timer.Cancel path).
+//
+//putget:hot
 func (e *Engine) removeEvent(i int) {
 	n := len(e.events) - 1
 	if i != n {
@@ -388,6 +398,8 @@ func (e *Engine) Metric(comp, name string, value float64) {
 // it would silently corrupt causality. Scheduling on a shut-down engine,
 // or concurrently with another goroutine, panics with an engine-affinity
 // diagnostic.
+//
+//putget:hot
 func (e *Engine) At(t Time, fn func()) {
 	e.schedule(t, fn, -1)
 }
@@ -395,6 +407,8 @@ func (e *Engine) At(t Time, fn func()) {
 // schedule is the shared insertion path for At and AtTimer. The affinity
 // bracket is inlined (no defer) — this runs once per scheduled event and
 // is the hottest function in the simulator.
+//
+//putget:hot
 func (e *Engine) schedule(t Time, fn func(), tslot int32) {
 	e.mustAlive("At")
 	e.touch("At")
@@ -409,6 +423,8 @@ func (e *Engine) schedule(t Time, fn func(), tslot int32) {
 }
 
 // After schedules fn to run d after the current time.
+//
+//putget:hot
 func (e *Engine) After(d Duration, fn func()) {
 	if d < 0 {
 		d = 0
@@ -432,6 +448,8 @@ const maxTime = Time(1<<63 - 1)
 // process finished the run under the Run caller's feet). Any simulation
 // goroutine may run it — the carrier discipline guarantees exactly one
 // does at a time.
+//
+//putget:hot
 func (e *Engine) loop() int {
 	for !e.stopped && len(e.events) > 0 && e.events[0].at <= e.bound {
 		at, fn := e.popMin()

@@ -104,6 +104,8 @@ func (p *Proc) Done() bool { return p.done }
 // dispatched), resumption is a flag store — no goroutine switch at all.
 // Otherwise the carrier wakes p's goroutine and blocks until the
 // simulation is handed back to it.
+//
+//putget:hot
 func (p *Proc) resume() {
 	e := p.e
 	c := e.carrier
@@ -144,6 +146,8 @@ func (p *Proc) resume() {
 // dispatched event panics, the value is forwarded to the Run caller —
 // an event's panic must surface out of Run/RunUntil no matter whose
 // goroutine dispatched it — and the process likewise stays parked.
+//
+//putget:hot
 func (p *Proc) park() {
 	e := p.e
 	if p.carryLoop() == unwindNone {
@@ -180,6 +184,8 @@ func (p *Proc) carryLoop() (u int) {
 
 // Sleep suspends the process for d of virtual time. Negative durations
 // sleep zero time but still yield, letting simultaneous events run.
+//
+//putget:hot
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
@@ -190,6 +196,8 @@ func (p *Proc) Sleep(d Duration) {
 
 // SleepUntil suspends the process until absolute time t. If t is in the
 // past it panics (causality violation).
+//
+//putget:hot
 func (p *Proc) SleepUntil(t Time) {
 	if t < p.e.now {
 		panic(fmt.Sprintf("sim: %s sleeping until %v which is before now %v", p.name, t, p.e.now))

@@ -31,6 +31,8 @@ type Timer struct {
 
 // AtTimer schedules fn at absolute time t like At and returns a handle
 // that can cancel it. Scheduling in the past panics, as with At.
+//
+//putget:hot
 func (e *Engine) AtTimer(t Time, fn func()) Timer {
 	idx := e.allocTimerSlot()
 	gen := e.timers[idx].gen
@@ -40,6 +42,8 @@ func (e *Engine) AtTimer(t Time, fn func()) Timer {
 
 // AfterTimer schedules fn d after the current time and returns a
 // cancellation handle.
+//
+//putget:hot
 func (e *Engine) AfterTimer(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
@@ -51,6 +55,8 @@ func (e *Engine) AfterTimer(d Duration, fn func()) Timer {
 // cancelled anything: false when the timer already fired, was already
 // cancelled, is the zero Timer, or its engine was shut down. Cancelling
 // releases the event's closure immediately.
+//
+//putget:hot
 func (t Timer) Cancel() bool {
 	e := t.e
 	if e == nil || e.dead {
@@ -78,6 +84,8 @@ func (t Timer) Active() bool {
 
 // allocTimerSlot returns a free slot index, recycling cancelled/fired
 // slots before growing the table.
+//
+//putget:hot
 func (e *Engine) allocTimerSlot() int32 {
 	if k := len(e.freeT); k > 0 {
 		idx := e.freeT[k-1]
@@ -91,6 +99,8 @@ func (e *Engine) allocTimerSlot() int32 {
 // freeTimerSlot retires a slot when its event fires or is cancelled: the
 // generation bump invalidates outstanding handles before the slot is
 // recycled.
+//
+//putget:hot
 func (e *Engine) freeTimerSlot(idx int32) {
 	s := &e.timers[idx]
 	s.pos = -1
